@@ -1,0 +1,143 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out:
+chain contraction, group adjustment, contention modelling, LPT vs
+round-robin assignment, and the mixed-mapping parameter d."""
+
+import pytest
+
+from repro.cluster import chic, juropa
+from repro.core import CostModel
+from repro.experiments.common import simulate_ode_step
+from repro.mapping import consecutive, mixed, place_layered, scattered
+from repro.npb import NPBConfig, build_npb_step_graph
+from repro.ode import MethodConfig, bruss2d, step_graph
+from repro.scheduling import LayerBasedScheduler, fixed_group_scheduler
+from repro.sim import SimulationOptions, simulate
+
+
+@pytest.fixture(scope="module")
+def problem():
+    return bruss2d(500)
+
+
+@pytest.fixture(scope="module")
+def plat():
+    return chic().with_cores(256)
+
+
+def run_layered(problem, cfg, plat, strategy, scheduler, options=SimulationOptions()):
+    cost = CostModel(plat)
+    graph = step_graph(problem, cfg)
+    sched = scheduler(cost).schedule(graph)
+    placement = place_layered(sched, plat.machine, strategy)
+    return simulate(graph, placement, cost, options).makespan
+
+
+def test_ablation_chain_contraction(benchmark, problem, plat):
+    """Without chain contraction the EPOL micro-steps of one
+    approximation may land on different groups, adding re-distributions
+    and serialisation."""
+    cfg = MethodConfig("epol", K=8)
+
+    def run():
+        # pin g = R/2 so both arms differ only in chain handling
+        with_chains = run_layered(
+            problem, cfg, plat, consecutive(),
+            lambda c: LayerBasedScheduler(c, candidate_groups=[4]),
+        )
+        without = run_layered(
+            problem, cfg, plat, consecutive(),
+            lambda c: LayerBasedScheduler(c, contract=False, candidate_groups=[4]),
+        )
+        return with_chains, without
+
+    with_chains, without = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nEPOL R=8, 256 CHiC cores: contracted={with_chains:.4g}s "
+          f"un-contracted={without:.4g}s")
+    assert with_chains <= without * 1.001
+
+
+def test_ablation_group_adjustment(benchmark, plat):
+    """Group adjustment matters when one group per chain leaves the LPT
+    assignment nothing to balance: EPOL with g = R puts approximations of
+    work 1..R into R groups, and only the size adjustment (Fig. 6 right)
+    restores the balance.  A compute-bound (dense) system shows the
+    effect cleanly; on bandwidth-bound sparse systems the collective
+    costs drown it out."""
+    from repro.ode import schroed
+
+    dense = schroed(3000)
+    cfg = MethodConfig("epol", K=8)
+
+    def run():
+        out = {}
+        for adjust in (True, False):
+            out[adjust] = run_layered(
+                dense, cfg, plat, consecutive(),
+                lambda c, a=adjust: fixed_group_scheduler(c, 8, adjust=a),
+            )
+        return out
+
+    res = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nEPOL g=R=8 (dense): adjusted={res[True]:.4g}s "
+          f"equal-groups={res[False]:.4g}s")
+    assert res[True] < res[False] * 0.9
+
+
+def test_ablation_contention_model(benchmark, problem, plat):
+    """Disabling cross-task NIC contention (1 simulator pass) makes the
+    scattered mapping look better than it is."""
+    cfg = MethodConfig("irk", K=4, m=7)
+
+    def run():
+        out = {}
+        for passes in (1, 2):
+            out[passes] = simulate_ode_step(
+                problem, cfg, plat, scattered(), "tp",
+                options=SimulationOptions(contention_passes=passes),
+            ).makespan
+        return out
+
+    res = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nIRK scattered: no-contention={res[1]:.4g}s contention={res[2]:.4g}s")
+    assert res[2] >= res[1]
+
+
+def test_ablation_lpt_vs_round_robin(benchmark, problem, plat):
+    """LPT assignment beats naive round robin on the uneven EPOL chains."""
+    cfg = MethodConfig("epol", K=8)
+
+    def run():
+        out = {}
+        for assign in ("lpt", "roundrobin"):
+            out[assign] = run_layered(
+                problem, cfg, plat, consecutive(),
+                lambda c, a=assign: LayerBasedScheduler(
+                    c, candidate_groups=[4], assignment=a, adjust=False
+                ),
+            )
+        return out
+
+    res = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nEPOL g=4: lpt={res['lpt']:.4g}s round-robin={res['roundrobin']:.4g}s")
+    assert res["lpt"] <= res["roundrobin"] * 1.001
+
+
+def test_ablation_mixed_d_sweep(benchmark, problem):
+    """The mixed-mapping parameter d interpolates between scattered (d=1)
+    and consecutive (d = node width) on the eight-core JuRoPA nodes."""
+    cfg = MethodConfig("pabm", K=8, m=2)
+    plat = juropa().with_cores(256)
+
+    def run():
+        return {
+            d: simulate_ode_step(problem, cfg, plat, mixed(d), "tp").makespan
+            for d in (1, 2, 4, 8)
+        }
+
+    res = benchmark.pedantic(run, rounds=1, iterations=1)
+    row = "  ".join(f"d={d}: {t:.4g}s" for d, t in res.items())
+    print(f"\nPABM JuRoPA mixed-d sweep: {row}")
+    # the PABM trend: d = node width (consecutive) is the overall best and
+    # full scattering (d = 1) the worst
+    assert res[8] <= min(res.values()) * 1.02
+    assert res[1] == max(res.values())

@@ -1,0 +1,79 @@
+"""Benchmarks of the reproduction's extensions beyond the paper:
+MCPA (the allocation-bounded CPA variant of reference [4]), straggler
+sensitivity of the mapping strategies, and the dynamic scheduler."""
+
+from repro.cluster import chic
+from repro.core import CostModel, MTask
+from repro.experiments.fig13_scheduling import schedule_and_simulate
+from repro.experiments.common import simulate_ode_step
+from repro.mapping import consecutive, scattered
+from repro.ode import MethodConfig, bruss2d
+from repro.scheduling import DynamicScheduler
+
+
+def test_extension_mcpa_vs_cpa(benchmark):
+    """MCPA's level-bounded allocation repairs CPA's over-allocation on
+    the PABM stage fork."""
+    problem = bruss2d(500)
+    cfg = MethodConfig("pabm", K=8, m=2)
+    plat = chic().with_cores(256)
+
+    def run():
+        return {
+            name: schedule_and_simulate(problem, cfg, plat, name)
+            for name in ("CPA", "MCPA", "task parallel")
+        }
+
+    res = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(
+        f"\nPABM 256 CHiC cores: CPA={res['CPA']:.4g}s "
+        f"MCPA={res['MCPA']:.4g}s layer-based={res['task parallel']:.4g}s"
+    )
+    assert res["MCPA"] < res["CPA"]
+    assert res["MCPA"] < 1.3 * res["task parallel"]
+
+
+def test_extension_straggler_sensitivity(benchmark):
+    """A half-speed node hurts the consecutive mapping less than it does
+    not exist -- but *its* group pays fully, while under the scattered
+    mapping every group slows to the straggler's pace."""
+    problem = bruss2d(350)
+    cfg = MethodConfig("pabm", K=8, m=2)
+    plat = chic().with_cores(256)
+
+    def run():
+        out = {}
+        for label, strat in (("consecutive", consecutive()), ("scattered", scattered())):
+            healthy = simulate_ode_step(problem, cfg, plat, strat, "tp").makespan
+            degraded = simulate_ode_step(
+                problem, cfg, plat, strat, "tp",
+                cost=CostModel(plat, node_speed={0: 0.5}),
+            ).makespan
+            out[label] = (healthy, degraded)
+        return out
+
+    res = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    for label, (h, d) in res.items():
+        print(f"  {label:<12s} healthy={h:.4g}s straggler={d:.4g}s (+{(d / h - 1) * 100:.0f}%)")
+    for h, d in res.values():
+        assert d > h  # the straggler always costs something
+
+
+def test_extension_dynamic_scheduler_throughput(benchmark):
+    """The dynamic scheduler keeps a 256-core machine busy with a stream
+    of moldable tasks of mixed sizes."""
+    plat = chic().with_cores(256)
+    cost = CostModel(plat)
+
+    def run():
+        dyn = DynamicScheduler(cost)
+        for i in range(64):
+            dyn.submit(MTask(f"t{i}", work=(1 + i % 7) * 1e9), preferred_width=16)
+        return dyn.run()
+
+    trace = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\n64 moldable tasks on 256 cores: makespan={trace.makespan:.4g}s "
+          f"utilisation={trace.utilization() * 100:.1f}%")
+    assert trace.utilization() > 0.8
+    assert len(trace) == 64

@@ -1,0 +1,35 @@
+"""Benchmark: Figure 13 -- scheduler comparison (layer-based vs CPA vs
+CPR vs data parallel) for PABM and EPOL on the CHiC cluster."""
+
+from repro.experiments import run_epol_times, run_pabm_speedups
+
+
+def test_fig13_left_pabm_speedups(benchmark):
+    res = benchmark.pedantic(
+        lambda: run_pabm_speedups(cores=(64, 128, 256, 512), N=500),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(res.table_str())
+    # the task-parallel (layer-based) schedule dominates at every size
+    for i in range(len(res.x)):
+        assert res.best_label_at(i, higher_is_better=True) in ("task parallel", "CPR")
+    # data parallelism degrades with scale
+    dp = res.get("data parallel").y
+    assert dp[-1] < dp[0] * 1.5
+
+
+def test_fig13_right_epol_times(benchmark):
+    res = benchmark.pedantic(
+        lambda: run_epol_times(cores=(64, 128, 256, 512), N=500),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(res.table_str())
+    i = res.x.index(256)
+    # CPA's mixed schedule clearly beats plain data parallelism (§4.3)
+    assert res.get("data parallel").y[i] > 1.3 * res.get("CPA").y[i]
+    # the layer-based schedule is the overall winner
+    assert res.best_label_at(i) == "task parallel"

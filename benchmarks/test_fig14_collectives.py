@@ -1,0 +1,24 @@
+"""Benchmark: Figure 14 -- MPI_Allgather and Multi-Allgather under the
+mapping strategies on 256 CHiC cores."""
+
+from repro.experiments import run_fig14_left, run_fig14_right
+
+
+def test_fig14_left_global_allgather(benchmark):
+    res = benchmark.pedantic(run_fig14_left, rounds=1, iterations=1)
+    print()
+    print(res.table_str())
+    last = len(res.x) - 1
+    assert res.best_label_at(last) == "consecutive"
+    assert res.get("scattered").y[last] > 2.5 * res.get("consecutive").y[last]
+
+
+def test_fig14_right_multi_allgather(benchmark):
+    group_res, orth_res = benchmark.pedantic(run_fig14_right, rounds=1, iterations=1)
+    print()
+    print(group_res.table_str())
+    print()
+    print(orth_res.table_str())
+    last = len(group_res.x) - 1
+    assert group_res.best_label_at(last) == "consecutive"
+    assert orth_res.best_label_at(last) == "scattered"

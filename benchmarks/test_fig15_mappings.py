@@ -1,0 +1,24 @@
+"""Benchmark: Figure 15 -- mapping strategies for IRK, DIIRK, EPOL."""
+
+from repro.experiments import run_fig15
+
+
+def test_fig15_all_panels(benchmark):
+    panels = benchmark.pedantic(lambda: run_fig15(quick=False), rounds=1, iterations=1)
+    print()
+    for res in panels:
+        print(res.table_str())
+        print()
+    irk_chic, irk_juropa, diirk, epol = panels
+    # consecutive wins from 256 cores on in both IRK panels (below that
+    # the stage-exchange volume per group still blurs the picture)
+    for res in (irk_chic, irk_juropa):
+        for i in range(len(res.x)):
+            if res.x[i] >= 256:
+                assert res.best_label_at(i) == "consecutive"
+        # scattered is clearly outperformed
+        assert res.get("scattered").y[-1] > 1.5 * res.get("consecutive").y[-1]
+    # DIIRK: the task-parallel consecutive version far ahead of data parallel
+    assert diirk.get("tp/consecutive").y[0] * 2 < diirk.get("data-parallel").y[0]
+    # EPOL at 512 JuRoPA cores: consecutive clearly below mixed(d=4)
+    assert epol.get("tp/consecutive").y[0] < epol.get("tp/mixed(d=4)").y[0]

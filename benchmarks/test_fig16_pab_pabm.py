@@ -1,0 +1,28 @@
+"""Benchmark: Figure 16 -- mapping strategies for PAB and PABM."""
+
+from repro.experiments import run_fig16
+
+
+def test_fig16_all_panels(benchmark):
+    panels = benchmark.pedantic(lambda: run_fig16(quick=False), rounds=1, iterations=1)
+    print()
+    for res in panels:
+        print(res.table_str())
+        print()
+    pab_chic, pab_juropa, pabm_dense, pabm_sparse = panels
+    # PAB: mixed mapping wins (d=2 on CHiC, d=4 on JuRoPA) at 256 cores
+    i256_c, i256_j = pab_chic.x.index(256), pab_juropa.x.index(256)
+    assert pab_chic.best_label_at(i256_c) == "mixed(d=2)"
+    assert pab_juropa.best_label_at(i256_j) == "mixed(d=4)"
+    # PABM dense speedups: consecutive tp keeps scaling, dp saturates
+    cons = pabm_dense.get("consecutive").y
+    dp = pabm_dense.get("data-parallel").y
+    assert cons[-1] > cons[0]
+    assert cons[-1] > 2 * dp[-1]
+    assert dp[-1] < 2 * dp[-3]  # dp gains little beyond 512 cores
+    # PABM sparse on JuRoPA: every tp mapping beats dp
+    i = len(pabm_sparse.x) - 1
+    dp_t = pabm_sparse.get("data-parallel").y[i]
+    for s in pabm_sparse.series:
+        if s.label != "data-parallel":
+            assert s.y[i] < dp_t

@@ -1,0 +1,33 @@
+"""Benchmark: Figure 17 -- NPB multi-zone group-count / mapping sweeps."""
+
+import pytest
+
+from repro.experiments import run_npb_sweep
+from repro.cluster import chic, sgi_altix
+
+
+@pytest.mark.parametrize(
+    "bench,cls,plat_name",
+    [("SP", "C", "chic"), ("SP", "C", "altix"), ("BT", "C", "chic"), ("BT", "C", "altix")],
+)
+def test_fig17_panel(benchmark, bench, cls, plat_name):
+    plat = (chic() if plat_name == "chic" else sgi_altix()).with_cores(256)
+    res = benchmark.pedantic(
+        lambda: run_npb_sweep(bench, cls, plat), rounds=1, iterations=1
+    )
+    print()
+    print(res.table_str())
+    peak = max(v for s in res.series for v in s.y)
+    # small group counts are not competitive
+    assert max(s.y[0] for s in res.series) < 0.7 * peak
+    # the maximum degree of task parallelism is not optimal either
+    assert max(s.y[-1] for s in res.series) < peak
+    if bench == "SP":
+        # the global optimum uses the scattered mapping (paper,
+        # Section 4.6); on the DSM Altix the levels are so close that we
+        # only require scattered within 10% of the panel peak
+        scat = res.get("scattered")
+        if plat_name == "chic":
+            assert max(scat.y) == peak
+        else:
+            assert max(scat.y) > 0.9 * peak

@@ -1,0 +1,19 @@
+"""Benchmark: Figure 18 -- pure MPI vs hybrid MPI+OpenMP (IRK, DIIRK)."""
+
+from repro.experiments import run_fig18
+
+
+def test_fig18_hybrid_panels(benchmark):
+    irk, diirk = benchmark.pedantic(lambda: run_fig18(quick=False), rounds=1, iterations=1)
+    print()
+    print(irk.table_str())
+    print()
+    print(diirk.table_str())
+    i = irk.x.index(512)
+    # IRK: hybrid helps both program versions, dp most visibly
+    assert irk.get("dp/hybrid").y[i] < irk.get("dp/pure MPI").y[i]
+    assert irk.get("tp/hybrid").y[i] < irk.get("tp/pure MPI").y[i]
+    # DIIRK: the synchronisation-heavy dp version slows down under the
+    # hybrid scheme while tp still gains
+    assert diirk.get("dp/hybrid").y[i] > diirk.get("dp/pure MPI").y[i]
+    assert diirk.get("tp/hybrid").y[i] < diirk.get("tp/pure MPI").y[i]

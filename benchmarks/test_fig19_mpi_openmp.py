@@ -1,0 +1,22 @@
+"""Benchmark: Figure 19 -- MPI x OpenMP combinations of PABM on the
+SGI Altix."""
+
+import math
+
+from repro.experiments import run_fig19
+
+
+def test_fig19_combinations(benchmark):
+    res = benchmark.pedantic(run_fig19, rounds=1, iterations=1)
+    print()
+    print(res.table_str())
+    dp = res.get("data-parallel")
+    tp = res.get("task-parallel")
+    # pure MPI is the worst data-parallel configuration
+    assert dp.y[res.x.index("256x1")] == max(dp.y)
+    # data parallel favours many threads / few processes
+    assert int(res.x[dp.min_index()].split("x")[0]) <= 16
+    # task parallel favours roughly one process per node
+    valid = [(v, x) for v, x in zip(tp.y, res.x) if not math.isnan(v)]
+    best_threads = int(min(valid)[1].split("x")[1])
+    assert best_threads in (2, 4, 8)

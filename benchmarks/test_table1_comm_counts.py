@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Table 1 (collective operations per time step)."""
+
+from repro.experiments import format_table1, run_table1
+
+
+def test_table1(benchmark):
+    rows = benchmark.pedantic(run_table1, rounds=1, iterations=1)
+    print()
+    print(format_table1(rows))
+    assert all(r.matches for r in rows)
+    assert len(rows) == 10

@@ -1,0 +1,37 @@
+#!/usr/bin/env python
+"""Hybrid MPI+OpenMP execution schemes (Figs. 18 and 19).
+
+Shows the two headline effects of Section 4.7:
+
+* the data-parallel IRK solver gains substantially from hybrid execution
+  (global collectives shrink to one rank per node), while the
+  synchronisation-heavy data-parallel DIIRK solver *loses*;
+* on the DSM Altix, the best split of 256 cores into MPI processes and
+  OpenMP threads differs between the data-parallel (few processes) and
+  task-parallel (one process per node) program versions.
+
+Run:  python examples/hybrid_execution.py
+"""
+
+from repro.cluster import chic
+from repro.experiments import run_fig19, run_hybrid_panel
+
+
+def main() -> None:
+    print("=== Fig 18: pure MPI vs hybrid (4 threads/process) on CHiC ===")
+    for method in ("irk", "diirk"):
+        res = run_hybrid_panel(method, cores=(128, 256, 512), N=400)
+        print()
+        print(res.table_str(value_format="{:11.4f}"))
+        i = res.x.index(512)
+        dp_gain = res.get("dp/pure MPI").y[i] / res.get("dp/hybrid").y[i]
+        tp_gain = res.get("tp/pure MPI").y[i] / res.get("tp/hybrid").y[i]
+        print(f"  -> at 512 cores: hybrid changes dp by {dp_gain:.2f}x, tp by {tp_gain:.2f}x")
+
+    print("\n=== Fig 19: MPI x OpenMP splits of 256 Altix cores (PABM) ===")
+    res = run_fig19(n_dense=4000)
+    print(res.table_str(value_format="{:11.5f}"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+#!/usr/bin/env python
+"""NAS multi-zone benchmarks: group counts and mappings (Fig. 17).
+
+Builds the SP-MZ and BT-MZ zone decompositions (class A for speed; pass
+--class C for the paper's setting), sweeps the number of core groups and
+compares the mapping strategies on a 128-core CHiC partition.
+
+Run:  python examples/nas_multizone.py [--class C] [--cores 256]
+"""
+
+import argparse
+
+from repro.cluster import chic
+from repro.experiments import run_npb_sweep
+from repro.npb import btmz_zones, spmz_zones
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--class", dest="cls", default="A", help="NPB class (S/W/A/B/C/D)")
+    ap.add_argument("--cores", type=int, default=128)
+    args = ap.parse_args()
+
+    print("=== zone decompositions ===")
+    for grid in (spmz_zones(args.cls), btmz_zones(args.cls)):
+        print(
+            f"  {grid.name}: {grid.num_zones} zones "
+            f"({grid.grid_x} x {grid.grid_y}), "
+            f"{grid.total_points():,} grid points, "
+            f"size imbalance {grid.imbalance():.1f}x"
+        )
+
+    platform = chic().with_cores(args.cores)
+    for bench in ("SP", "BT"):
+        res = run_npb_sweep(bench, args.cls, platform)
+        print()
+        print(res.table_str(value_format="{:11.1f}"))
+        best = max((max(s.y[i] for s in res.series), res.x[i]) for i in range(len(res.x)))
+        print(f"  -> best configuration: {best[1]} groups at {best[0]:.1f} Gflop/s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Quickstart: build an M-task program, schedule it, map it, simulate it.
+
+The program is a small fork-join: an initialisation task produces a
+vector, four independent solver stages process it (task parallelism!),
+and a combination task gathers the results.  We schedule it with the
+paper's layer-based algorithm, map the groups onto a small cluster with
+each of the three mapping strategies and compare the simulated step
+times.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.cluster import generic_cluster
+from repro.core import (
+    AccessMode,
+    CollectiveSpec,
+    CostModel,
+    DistributionSpec,
+    MTask,
+    Parameter,
+    TaskGraph,
+)
+from repro.mapping import consecutive, mixed, place_layered, scattered
+from repro.scheduling import LayerBasedScheduler, data_parallel_scheduler, symbolic_timeline
+from repro.sim import simulate
+
+
+def build_program(n: int = 200_000, stages: int = 4) -> TaskGraph:
+    graph = TaskGraph("quickstart")
+    init = MTask(
+        "init",
+        work=2.0 * n,
+        params=(Parameter("y", AccessMode.OUT, n),),
+    )
+    combine = MTask(
+        "combine",
+        work=4.0 * n,
+        comm=(CollectiveSpec("allgather", n, scope="global"),),
+        params=tuple(
+            Parameter(f"v{i}", AccessMode.IN, n, dist=DistributionSpec("block"))
+            for i in range(stages)
+        )
+        + (Parameter("y", AccessMode.OUT, n),),
+    )
+    graph.add_task(init)
+    graph.add_task(combine)
+    for i in range(stages):
+        stage = MTask(
+            f"stage{i}",
+            work=40.0 * n,  # the data-parallel inner computation
+            comm=(
+                CollectiveSpec("allgather", n, scope="group", count=3),
+                CollectiveSpec("allgather", n, scope="orthogonal"),
+            ),
+            params=(
+                Parameter("y", AccessMode.IN, n),
+                Parameter(f"v{i}", AccessMode.OUT, n, dist=DistributionSpec("block")),
+            ),
+        )
+        graph.connect(init, stage)
+        graph.connect(stage, combine)
+    graph.validate()
+    return graph
+
+
+def main() -> None:
+    platform = generic_cluster(nodes=8, procs_per_node=2, cores_per_proc=2)
+    cost = CostModel(platform)
+    graph = build_program()
+
+    print(f"platform: {platform.describe()}\n")
+    print(f"program:  {graph}\n")
+
+    # 1. schedule: the layer-based algorithm picks groups per layer
+    schedule = LayerBasedScheduler(cost).schedule(graph)
+    print(schedule.describe())
+
+    # 2. the symbolic timeline the scheduler reasoned about
+    timeline = symbolic_timeline(schedule, cost)
+    print(f"\nsymbolic makespan estimate: {timeline.makespan * 1e3:.2f} ms")
+    for line in timeline.gantt_lines(width=60)[:8]:
+        print(" ", line)
+    print("  ...")
+
+    # 3. map with each strategy and simulate
+    print("\nsimulated time per step:")
+    for strategy in (consecutive(), mixed(2), scattered()):
+        placement = place_layered(schedule, platform.machine, strategy)
+        trace = simulate(graph, placement, cost)
+        print(f"  {strategy.name:<12s} {trace.makespan * 1e3:8.2f} ms   ({trace.summary()})")
+
+    # 4. compare with plain data parallelism
+    dp = data_parallel_scheduler(cost).schedule(graph)
+    placement = place_layered(dp, platform.machine, consecutive())
+    trace = simulate(graph, placement, cost)
+    print(f"  {'data-parallel':<12s} {trace.makespan * 1e3:8.2f} ms")
+
+
+if __name__ == "__main__":
+    main()

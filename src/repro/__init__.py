@@ -1,0 +1,50 @@
+"""repro -- Scalable computing with parallel tasks.
+
+A reproduction of Dümmler, Rauber & Rünger's combined scheduling and
+mapping framework for M-task (moldable multiprocessor task) programs on
+hierarchical multi-core clusters, including:
+
+* the M-task programming model with a specification-language front end,
+* the layer-based scheduling algorithm with group adjustment and the
+  CPA/CPR comparison baselines,
+* consecutive / scattered / mixed mapping strategies,
+* analytic communication cost models with NIC contention,
+* a discrete-event simulator and a functional (data-carrying) runtime,
+* the full evaluation workloads: five parallel ODE solvers on the
+  BRUSS2D and SCHROED systems, and the NAS multi-zone benchmarks.
+
+Typical use::
+
+    from repro import cluster, ode, scheduling, mapping, sim
+    from repro.core import CostModel
+
+    platform = cluster.chic(64)                       # 256 cores
+    cost = CostModel(platform)
+    graph = ode.step_graph(ode.bruss2d(64), ode.default_config("irk", 4))
+    schedule = scheduling.LayerBasedScheduler(cost).schedule(graph)
+    placement = mapping.place_layered(schedule, platform.machine,
+                                      mapping.consecutive())
+    trace = sim.simulate(graph, placement, cost)
+    print(trace.summary())
+"""
+
+from . import cluster, comm, core, distribution, hybrid, mapping, npb, ode
+from . import runtime, scheduling, sim, spec
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "cluster",
+    "comm",
+    "core",
+    "distribution",
+    "hybrid",
+    "mapping",
+    "npb",
+    "ode",
+    "runtime",
+    "scheduling",
+    "sim",
+    "spec",
+    "__version__",
+]

@@ -1,0 +1,221 @@
+"""Hierarchical architecture model for multi-core clusters.
+
+The paper (Section 3.3) represents the target platform as a tree with the
+entire machine ``A`` as root, compute nodes ``N`` as first-level children,
+processors (sockets) ``P`` below nodes and cores ``C`` as leaves.  A leaf is
+identified by the label ``nid.pid.cid``.  The tree itself is *not*
+annotated with performance parameters; those live in the cost functions
+(see :mod:`repro.cluster.network` and :mod:`repro.comm`).
+
+This module provides:
+
+* :class:`CoreId` -- the ``nid.pid.cid`` label of a physical core,
+* :class:`Machine` -- the architecture tree plus per-core compute rate,
+* helpers to enumerate cores in the canonical (consecutive) order used by
+  the mapping strategies of Section 3.4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+__all__ = ["CoreId", "Machine", "LEVEL_PROCESSOR", "LEVEL_NODE", "LEVEL_NETWORK"]
+
+#: Communication levels between two cores (index into the network's link
+#: table).  Smaller level means "closer" / faster interconnect.
+LEVEL_PROCESSOR = 0  #: both cores share the same processor (socket)
+LEVEL_NODE = 1  #: same node, different processors (memory bus)
+LEVEL_NETWORK = 2  #: different nodes (cluster interconnect)
+
+
+@dataclass(frozen=True, order=True)
+class CoreId:
+    """Identifier of a physical core, the ``nid.pid.cid`` label of Fig. 7.
+
+    All three components are zero-based indices.  Instances are immutable,
+    hashable and ordered lexicographically, which makes the *consecutive*
+    order of Section 3.4 simply the sorted order of core ids.
+    """
+
+    node: int
+    proc: int
+    core: int
+
+    @property
+    def label(self) -> str:
+        """Human-readable ``nid.pid.cid`` label (1-based, as in the paper)."""
+        return f"{self.node + 1}.{self.proc + 1}.{self.core + 1}"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.label
+
+
+@dataclass(frozen=True)
+class Machine:
+    """Architecture tree of a (possibly heterogeneous) multi-core cluster.
+
+    Parameters
+    ----------
+    name:
+        Display name, e.g. ``"CHiC"``.
+    node_shapes:
+        One entry per compute node; each entry is a tuple of per-processor
+        core counts.  ``((2, 2), (2, 2))`` describes two nodes with two
+        dual-core processors each.
+    core_flops:
+        Peak floating point rate of a single core in Flop/s.  Used by cost
+        models to convert operation counts into seconds.
+    shared_memory_across_nodes:
+        ``True`` for distributed-shared-memory systems such as the SGI
+        Altix, where OpenMP threads may span node boundaries (Section 4.7).
+    """
+
+    name: str
+    node_shapes: Tuple[Tuple[int, ...], ...]
+    core_flops: float
+    shared_memory_across_nodes: bool = False
+    _cores: Tuple[CoreId, ...] = field(init=False, repr=False, compare=False, default=())
+
+    def __post_init__(self) -> None:
+        if not self.node_shapes:
+            raise ValueError("machine must have at least one node")
+        for shape in self.node_shapes:
+            if not shape or any(c <= 0 for c in shape):
+                raise ValueError(f"invalid node shape {shape!r}")
+        if self.core_flops <= 0:
+            raise ValueError("core_flops must be positive")
+        cores = tuple(
+            CoreId(n, p, c)
+            for n, shape in enumerate(self.node_shapes)
+            for p, ncores in enumerate(shape)
+            for c in range(ncores)
+        )
+        object.__setattr__(self, "_cores", cores)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def homogeneous(
+        cls,
+        name: str,
+        nodes: int,
+        procs_per_node: int,
+        cores_per_proc: int,
+        core_flops: float,
+        shared_memory_across_nodes: bool = False,
+    ) -> "Machine":
+        """Build a machine where every node has the same shape."""
+        if nodes <= 0 or procs_per_node <= 0 or cores_per_proc <= 0:
+            raise ValueError("nodes, procs_per_node and cores_per_proc must be positive")
+        shape = tuple([cores_per_proc] * procs_per_node)
+        return cls(
+            name=name,
+            node_shapes=tuple([shape] * nodes),
+            core_flops=core_flops,
+            shared_memory_across_nodes=shared_memory_across_nodes,
+        )
+
+    def subset(self, nodes: int) -> "Machine":
+        """Return a machine restricted to the first ``nodes`` nodes.
+
+        Experiments typically use a partition of the full cluster (e.g.
+        256 of the 2120 CHiC cores); this mirrors that.
+        """
+        if not 1 <= nodes <= self.num_nodes:
+            raise ValueError(f"nodes must be in [1, {self.num_nodes}], got {nodes}")
+        return Machine(
+            name=self.name,
+            node_shapes=self.node_shapes[:nodes],
+            core_flops=self.core_flops,
+            shared_memory_across_nodes=self.shared_memory_across_nodes,
+        )
+
+    # ------------------------------------------------------------------
+    # Topology queries
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return len(self.node_shapes)
+
+    @property
+    def total_cores(self) -> int:
+        return len(self._cores)
+
+    def cores_of_node(self, node: int) -> Tuple[CoreId, ...]:
+        """All cores of one node in consecutive order."""
+        return tuple(c for c in self._cores if c.node == node)
+
+    def cores_per_node(self, node: int = 0) -> int:
+        """Number of cores of ``node`` (all nodes for homogeneous machines)."""
+        return sum(self.node_shapes[node])
+
+    def cores_per_proc(self, node: int = 0, proc: int = 0) -> int:
+        return self.node_shapes[node][proc]
+
+    def procs_per_node(self, node: int = 0) -> int:
+        return len(self.node_shapes[node])
+
+    def cores(self) -> Tuple[CoreId, ...]:
+        """All cores in canonical consecutive order (Fig. 9 sequence)."""
+        return self._cores
+
+    def __iter__(self) -> Iterator[CoreId]:
+        return iter(self._cores)
+
+    def __contains__(self, core: CoreId) -> bool:
+        return (
+            0 <= core.node < self.num_nodes
+            and 0 <= core.proc < len(self.node_shapes[core.node])
+            and 0 <= core.core < self.node_shapes[core.node][core.proc]
+        )
+
+    def validate_core(self, core: CoreId) -> None:
+        if core not in self:
+            raise ValueError(f"core {core.label} does not exist on {self.name}")
+
+    def comm_level(self, a: CoreId, b: CoreId) -> int:
+        """Communication level between two cores (0/1/2, see module docs).
+
+        Level 0 also covers ``a == b`` (a self-message never leaves the
+        processor).
+        """
+        if a.node != b.node:
+            return LEVEL_NETWORK
+        if a.proc != b.proc:
+            return LEVEL_NODE
+        return LEVEL_PROCESSOR
+
+    def nodes_used(self, cores: Iterable[CoreId]) -> Tuple[int, ...]:
+        """Sorted tuple of distinct node ids touched by ``cores``."""
+        return tuple(sorted({c.node for c in cores}))
+
+    # ------------------------------------------------------------------
+    # Presentation
+    # ------------------------------------------------------------------
+    def tree_lines(self) -> List[str]:
+        """Render the architecture tree (Fig. 7) as indented text lines."""
+        lines = [f"A {self.name} ({self.total_cores} cores)"]
+        for n, shape in enumerate(self.node_shapes):
+            lines.append(f"  N {n + 1}")
+            for p, ncores in enumerate(shape):
+                lines.append(f"    P {n + 1}.{p + 1}")
+                for c in range(ncores):
+                    lines.append(f"      C {n + 1}.{p + 1}.{c + 1}")
+        return lines
+
+    def __str__(self) -> str:
+        shape = self.node_shapes[0]
+        homo = all(s == shape for s in self.node_shapes)
+        desc = (
+            f"{self.num_nodes} x {len(shape)} procs x {shape[0]} cores"
+            if homo and len(set(shape)) == 1
+            else f"{self.num_nodes} nodes (heterogeneous)"
+        )
+        return f"Machine({self.name}: {desc}, {self.total_cores} cores)"
+
+
+def consecutive_order(machine: Machine) -> Sequence[CoreId]:
+    """Canonical physical-core sequence: node-major, then processor, core."""
+    return machine.cores()

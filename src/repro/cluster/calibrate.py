@@ -1,0 +1,73 @@
+"""Calibrate link parameters from measured ping-pong times.
+
+The platform models ship with published hardware characteristics; to
+adapt the cost models to a *different* machine, measure point-to-point
+transfer times at several message sizes per hierarchy level (a standard
+ping-pong benchmark) and fit the Hockney parameters:
+
+    ``t(size) = alpha + size / bandwidth``
+
+:func:`fit_link` performs the least-squares fit, :func:`fit_network`
+builds a complete :class:`~repro.cluster.network.HierarchicalNetwork`
+from per-level measurements.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence, Tuple
+
+import numpy as np
+
+from .network import HierarchicalNetwork, LinkLevel
+
+__all__ = ["fit_link", "fit_network"]
+
+
+def fit_link(
+    sizes: Sequence[float],
+    times: Sequence[float],
+    name: str = "calibrated",
+) -> LinkLevel:
+    """Least-squares Hockney fit of one link level.
+
+    ``sizes`` are message sizes in bytes, ``times`` the measured transfer
+    times in seconds.  At least two distinct sizes are required; the fit
+    clamps a (noise-induced) negative latency to zero and rejects
+    non-positive bandwidth estimates.
+    """
+    s = np.asarray(sizes, dtype=float)
+    t = np.asarray(times, dtype=float)
+    if s.shape != t.shape or s.size < 2:
+        raise ValueError("need matching sizes/times with at least two samples")
+    if len(set(s.tolist())) < 2:
+        raise ValueError("need at least two distinct message sizes")
+    if np.any(t < 0) or np.any(s < 0):
+        raise ValueError("sizes and times must be non-negative")
+    A = np.vstack([np.ones_like(s), s]).T
+    (alpha, beta), *_ = np.linalg.lstsq(A, t, rcond=None)
+    if beta <= 0:
+        raise ValueError(
+            "fitted per-byte time is non-positive; the measurements do not "
+            "grow with message size"
+        )
+    return LinkLevel(name=name, latency=max(0.0, float(alpha)), bandwidth=1.0 / float(beta))
+
+
+def fit_network(
+    measurements: Mapping[int, Tuple[Sequence[float], Sequence[float]]],
+    nic_bandwidth: float = 0.0,
+) -> HierarchicalNetwork:
+    """Fit all three hierarchy levels.
+
+    ``measurements[level] = (sizes, times)`` for levels 0 (intra-socket),
+    1 (intra-node) and 2 (inter-node).
+    """
+    names = {0: "intra-socket (calibrated)", 1: "intra-node (calibrated)",
+             2: "inter-node (calibrated)"}
+    missing = {0, 1, 2} - set(measurements)
+    if missing:
+        raise ValueError(f"missing measurements for levels {sorted(missing)}")
+    levels = tuple(
+        fit_link(*measurements[lvl], name=names[lvl]) for lvl in (0, 1, 2)
+    )
+    return HierarchicalNetwork(levels=levels, nic_bandwidth=nic_bandwidth)

@@ -1,0 +1,51 @@
+"""Communication cost models: collectives, contention, patterns,
+re-distribution."""
+
+from .collectives import (
+    allgather_time,
+    allreduce_time,
+    alltoall_time,
+    barrier_time,
+    bcast_time,
+    collective_time,
+    collective_time_symbolic,
+    gather_time,
+    multi_group_time,
+    ptp_time,
+    reduce_time,
+    scatter_time,
+)
+from .contention import ContentionContext, build_context, edge_cost
+from .patterns import (
+    classify,
+    global_time,
+    group_time,
+    orthogonal_sets,
+    orthogonal_time,
+)
+from .redistribution import redistribution_messages, redistribution_time
+
+__all__ = [
+    "allgather_time",
+    "bcast_time",
+    "reduce_time",
+    "allreduce_time",
+    "scatter_time",
+    "gather_time",
+    "alltoall_time",
+    "ptp_time",
+    "barrier_time",
+    "collective_time",
+    "collective_time_symbolic",
+    "multi_group_time",
+    "ContentionContext",
+    "build_context",
+    "edge_cost",
+    "orthogonal_sets",
+    "classify",
+    "global_time",
+    "group_time",
+    "orthogonal_time",
+    "redistribution_messages",
+    "redistribution_time",
+]

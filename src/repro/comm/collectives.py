@@ -1,0 +1,338 @@
+"""Analytic cost models of MPI collective operations on mapped groups.
+
+Every model takes the *physical* core tuple executing the operation (the
+result of the mapping step), so the same collective is cheaper or more
+expensive depending on where its participants sit in the machine -- this
+is the mechanism behind Figures 14-17 of the paper.
+
+Algorithms modelled (following the MPI implementations the paper used):
+
+* ``allgather`` -- ring algorithm for large messages (explicitly named in
+  Section 4.4 as the cause of the consecutive mapping's advantage):
+  ``q - 1`` rounds, each rank forwards a ``n/q`` chunk to its ring
+  neighbour.
+* ``bcast`` / ``reduce`` -- binomial tree over the rank sequence.
+* ``allreduce`` -- ring reduce-scatter followed by ring allgather.
+* ``scatter`` / ``gather`` -- linear, serialised at the root.
+* ``alltoall`` -- ``q - 1`` shifted pairwise exchange rounds.
+* ``ptp`` -- a single point-to-point message.
+* ``barrier`` -- dissemination, latency-only.
+
+*Symbolic* variants (suffix ``_symbolic``) implement the default mapping
+pattern ``dmp`` of Section 3.2: all traffic is charged at the slowest
+network level, giving the upper-bound cost ``Tsymb`` used during
+scheduling, before any physical mapping exists.
+"""
+
+from __future__ import annotations
+
+from math import ceil, log2
+from typing import List, Optional, Sequence
+
+from ..cluster.architecture import CoreId, Machine
+from ..cluster.network import HierarchicalNetwork
+from .contention import ContentionContext, Edge, build_context, round_cost
+
+__all__ = [
+    "ring_edges",
+    "binomial_rounds",
+    "alltoall_rounds",
+    "allgather_time",
+    "bcast_time",
+    "reduce_time",
+    "allreduce_time",
+    "scatter_time",
+    "gather_time",
+    "alltoall_time",
+    "ptp_time",
+    "barrier_time",
+    "collective_time",
+    "collective_time_symbolic",
+    "multi_group_time",
+]
+
+
+# ----------------------------------------------------------------------
+# Round/edge construction
+# ----------------------------------------------------------------------
+def ring_edges(group: Sequence[CoreId]) -> List[Edge]:
+    """Edges of one ring round: rank ``i`` sends to rank ``i + 1 mod q``."""
+    q = len(group)
+    if q < 2:
+        return []
+    return [(group[i], group[(i + 1) % q]) for i in range(q)]
+
+
+def binomial_rounds(group: Sequence[CoreId]) -> List[List[Edge]]:
+    """Rounds of a binomial broadcast tree rooted at rank 0."""
+    q = len(group)
+    rounds: List[List[Edge]] = []
+    span = 1
+    while span < q:
+        edges = [
+            (group[i], group[i + span]) for i in range(span) if i + span < q
+        ]
+        rounds.append(edges)
+        span *= 2
+    return rounds
+
+
+def alltoall_rounds(group: Sequence[CoreId]) -> List[List[Edge]]:
+    """Shifted pairwise exchange: round ``r`` sends rank ``i`` -> ``i+r``."""
+    q = len(group)
+    return [
+        [(group[i], group[(i + r) % q]) for i in range(q)] for r in range(1, q)
+    ]
+
+
+def _default_ctx(machine: Machine, edges: Sequence[Edge], ctx: Optional[ContentionContext]) -> ContentionContext:
+    return ctx if ctx is not None else build_context(machine, [edges])
+
+
+# ----------------------------------------------------------------------
+# Mapped collective costs
+# ----------------------------------------------------------------------
+def allgather_time(
+    machine: Machine,
+    network: HierarchicalNetwork,
+    group: Sequence[CoreId],
+    total_bytes: float,
+    ctx: Optional[ContentionContext] = None,
+) -> float:
+    """Ring ``MPI_Allgather`` of a ``total_bytes`` result (each rank
+    contributes ``total_bytes / q``)."""
+    q = len(group)
+    if q < 2:
+        return 0.0
+    chunk = total_bytes / q
+    edges = ring_edges(group)
+    ctx = _default_ctx(machine, edges, ctx)
+    return (q - 1) * round_cost(machine, network, edges, chunk, ctx)
+
+
+def bcast_time(
+    machine: Machine,
+    network: HierarchicalNetwork,
+    group: Sequence[CoreId],
+    total_bytes: float,
+    ctx: Optional[ContentionContext] = None,
+) -> float:
+    """Binomial-tree ``MPI_Bcast`` of ``total_bytes`` from rank 0."""
+    q = len(group)
+    if q < 2:
+        return 0.0
+    rounds = binomial_rounds(group)
+    if ctx is None:
+        ctx = build_context(machine, rounds)
+    return sum(round_cost(machine, network, e, total_bytes, ctx) for e in rounds)
+
+
+def reduce_time(
+    machine: Machine,
+    network: HierarchicalNetwork,
+    group: Sequence[CoreId],
+    total_bytes: float,
+    ctx: Optional[ContentionContext] = None,
+) -> float:
+    """Binomial-tree ``MPI_Reduce``; same communication shape as bcast."""
+    return bcast_time(machine, network, group, total_bytes, ctx)
+
+
+def allreduce_time(
+    machine: Machine,
+    network: HierarchicalNetwork,
+    group: Sequence[CoreId],
+    total_bytes: float,
+    ctx: Optional[ContentionContext] = None,
+) -> float:
+    """Rabenseifner-style allreduce: reduce-scatter + allgather rings."""
+    return 2.0 * allgather_time(machine, network, group, total_bytes, ctx)
+
+
+def scatter_time(
+    machine: Machine,
+    network: HierarchicalNetwork,
+    group: Sequence[CoreId],
+    total_bytes: float,
+    ctx: Optional[ContentionContext] = None,
+) -> float:
+    """Linear ``MPI_Scatter`` serialised at root (rank 0)."""
+    q = len(group)
+    if q < 2:
+        return 0.0
+    chunk = total_bytes / q
+    root = group[0]
+    ctx = ctx or ContentionContext.none()
+    total = 0.0
+    for dst in group[1:]:
+        lvl = machine.comm_level(root, dst)
+        link = network.level(lvl)
+        total += link.latency + chunk * link.beta
+    return total
+
+
+def gather_time(
+    machine: Machine,
+    network: HierarchicalNetwork,
+    group: Sequence[CoreId],
+    total_bytes: float,
+    ctx: Optional[ContentionContext] = None,
+) -> float:
+    """Linear ``MPI_Gather``; mirror image of scatter."""
+    return scatter_time(machine, network, group, total_bytes, ctx)
+
+
+def alltoall_time(
+    machine: Machine,
+    network: HierarchicalNetwork,
+    group: Sequence[CoreId],
+    total_bytes: float,
+    ctx: Optional[ContentionContext] = None,
+) -> float:
+    """Pairwise-exchange ``MPI_Alltoall``; each rank sends ``n/q`` to each
+    other rank."""
+    q = len(group)
+    if q < 2:
+        return 0.0
+    chunk = total_bytes / q
+    rounds = alltoall_rounds(group)
+    if ctx is None:
+        ctx = build_context(machine, rounds[:1])
+    return sum(round_cost(machine, network, e, chunk, ctx) for e in rounds)
+
+
+def ptp_time(
+    machine: Machine,
+    network: HierarchicalNetwork,
+    src: CoreId,
+    dst: CoreId,
+    nbytes: float,
+    ctx: Optional[ContentionContext] = None,
+) -> float:
+    """A single point-to-point message."""
+    from .contention import edge_cost
+
+    return edge_cost(machine, network, src, dst, nbytes, ctx or ContentionContext.none())
+
+
+def barrier_time(
+    machine: Machine,
+    network: HierarchicalNetwork,
+    group: Sequence[CoreId],
+    total_bytes: float = 0.0,
+    ctx: Optional[ContentionContext] = None,
+) -> float:
+    """Dissemination barrier: ``ceil(log2 q)`` latency-bound rounds."""
+    q = len(group)
+    if q < 2:
+        return 0.0
+    worst = max(
+        machine.comm_level(group[0], c) for c in group[1:]
+    )
+    return ceil(log2(q)) * 2.0 * network.alpha(worst)
+
+
+_MAPPED = {
+    "allgather": allgather_time,
+    "bcast": bcast_time,
+    "reduce": reduce_time,
+    "allreduce": allreduce_time,
+    "scatter": scatter_time,
+    "gather": gather_time,
+    "alltoall": alltoall_time,
+    "barrier": barrier_time,
+}
+
+
+def collective_time(
+    op: str,
+    machine: Machine,
+    network: HierarchicalNetwork,
+    group: Sequence[CoreId],
+    total_bytes: float,
+    ctx: Optional[ContentionContext] = None,
+) -> float:
+    """Dispatch a collective cost by operation name.
+
+    ``ptp`` interprets the first two group members as source/destination.
+    """
+    if op == "ptp":
+        if len(group) < 2:
+            return 0.0
+        return ptp_time(machine, network, group[0], group[1], total_bytes, ctx)
+    try:
+        fn = _MAPPED[op]
+    except KeyError:
+        raise ValueError(f"unknown collective op {op!r}") from None
+    return fn(machine, network, group, total_bytes, ctx)
+
+
+def multi_group_time(
+    op: str,
+    machine: Machine,
+    network: HierarchicalNetwork,
+    groups: Sequence[Sequence[CoreId]],
+    total_bytes: float,
+) -> float:
+    """Concurrent execution of the same collective in several groups
+    (the Intel MPI *Multi-Allgather* benchmark of Fig. 14 right).
+
+    All groups run simultaneously; the shared-NIC contention of every
+    group's rounds is aggregated, and the phase ends when the slowest
+    group finishes.
+    """
+    if not groups:
+        return 0.0
+    if op == "allgather":
+        per_group_edges = [ring_edges(g) for g in groups]
+    elif op in ("bcast", "reduce"):
+        per_group_edges = [
+            (binomial_rounds(g)[-1] if len(g) > 1 else []) for g in groups
+        ]
+    elif op == "alltoall":
+        per_group_edges = [
+            (alltoall_rounds(g)[0] if len(g) > 1 else []) for g in groups
+        ]
+    else:
+        per_group_edges = [[] for _ in groups]
+    ctx = build_context(machine, per_group_edges)
+    return max(
+        collective_time(op, machine, network, g, total_bytes, ctx) for g in groups
+    )
+
+
+# ----------------------------------------------------------------------
+# Symbolic (pre-mapping) costs: the default mapping pattern dmp
+# ----------------------------------------------------------------------
+def collective_time_symbolic(
+    op: str,
+    network: HierarchicalNetwork,
+    q: int,
+    total_bytes: float,
+) -> float:
+    """Upper-bound cost of a collective on ``q`` symbolic cores.
+
+    Implements ``Tsymb`` of Section 3.2: every transfer is charged at the
+    slowest level of the interconnect hierarchy (the default mapping
+    pattern ``dmp``), making the value an upper limit of the cost on any
+    physical placement without contention.
+    """
+    if q < 2:
+        return 0.0
+    lvl = network.slowest_level
+    alpha, beta = network.alpha(lvl), network.beta(lvl)
+    if op == "allgather":
+        return (q - 1) * (alpha + (total_bytes / q) * beta)
+    if op in ("bcast", "reduce"):
+        return ceil(log2(q)) * (alpha + total_bytes * beta)
+    if op == "allreduce":
+        return 2 * (q - 1) * (alpha + (total_bytes / q) * beta)
+    if op in ("scatter", "gather"):
+        return (q - 1) * (alpha + (total_bytes / q) * beta)
+    if op == "alltoall":
+        return (q - 1) * (alpha + (total_bytes / q) * beta)
+    if op == "ptp":
+        return alpha + total_bytes * beta
+    if op == "barrier":
+        return ceil(log2(q)) * 2.0 * alpha
+    raise ValueError(f"unknown collective op {op!r}")

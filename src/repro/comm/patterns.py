@@ -1,0 +1,125 @@
+"""Communication patterns of task-parallel programs (Section 4.2).
+
+The ODE program versions of the paper use three pattern classes:
+
+* **global** -- a collective over *all* available cores,
+* **group-based** -- a collective within the cores of one M-task's group
+  (e.g. ``{s1, s2, s3, s4}`` in Fig. 9),
+* **orthogonal** -- concurrent collectives over cores holding the *same
+  rank position* in different concurrently executing groups (e.g.
+  ``{s1, s5, s9, s13}`` in Fig. 9).
+
+This module constructs the physical core sets for each pattern given a
+layer's mapped groups, and classifies a core set against a group
+structure.  Costing is done by :mod:`repro.comm.collectives`; the
+orthogonal pattern always executes its collectives concurrently, so its
+cost includes cross-set contention.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..cluster.architecture import CoreId, Machine
+from ..cluster.network import HierarchicalNetwork
+from .collectives import multi_group_time
+
+__all__ = [
+    "orthogonal_sets",
+    "classify",
+    "global_time",
+    "group_time",
+    "orthogonal_time",
+]
+
+
+def orthogonal_sets(
+    groups: Sequence[Sequence[CoreId]], locality_order: bool = True
+) -> List[List[CoreId]]:
+    """Orthogonal core sets of equal-sized concurrent groups.
+
+    Set ``j`` collects the core at position ``j`` of every group.  All
+    groups must have equal size (the paper's orthogonal operations only
+    occur between the equally-sized stage-vector groups).
+
+    With ``locality_order`` (default) each set is sorted by physical
+    core id, so ring/tree algorithms inside the set communicate between
+    co-located members first.  The M-task runtime controls the rank
+    order when it creates the orthogonal sub-communicators, so ordering
+    them locality-aware is free -- and it is what lets the mixed mapping
+    profit on orthogonal operations (members of groups ``l`` and
+    ``l + g/2`` share nodes under ``mixed(d)``).
+    """
+    if not groups:
+        return []
+    size = len(groups[0])
+    if any(len(g) != size for g in groups):
+        raise ValueError("orthogonal sets require equal-sized groups")
+    sets = [[g[j] for g in groups] for j in range(size)]
+    if locality_order:
+        for s in sets:
+            s.sort()
+    return sets
+
+
+def classify(
+    cores: Sequence[CoreId],
+    all_cores: Sequence[CoreId],
+    groups: Sequence[Sequence[CoreId]],
+) -> str:
+    """Classify a communicating core set as ``"global"``, ``"group"``,
+    ``"orthogonal"`` or ``"other"`` with respect to a layer's groups."""
+    cset = set(cores)
+    if cset == set(all_cores):
+        return "global"
+    for g in groups:
+        if cset == set(g):
+            return "group"
+    try:
+        for o in orthogonal_sets(groups):
+            if cset == set(o):
+                return "orthogonal"
+    except ValueError:
+        pass
+    return "other"
+
+
+def global_time(
+    op: str,
+    machine: Machine,
+    network: HierarchicalNetwork,
+    all_cores: Sequence[CoreId],
+    total_bytes: float,
+) -> float:
+    """A collective over every core of the program."""
+    return multi_group_time(op, machine, network, [list(all_cores)], total_bytes)
+
+
+def group_time(
+    op: str,
+    machine: Machine,
+    network: HierarchicalNetwork,
+    groups: Sequence[Sequence[CoreId]],
+    total_bytes: float,
+    concurrent: bool = True,
+) -> float:
+    """Group-based collectives; when ``concurrent`` all groups execute
+    the operation at the same time and share the NICs."""
+    if not concurrent:
+        return max(
+            multi_group_time(op, machine, network, [list(g)], total_bytes)
+            for g in groups
+        )
+    return multi_group_time(op, machine, network, [list(g) for g in groups], total_bytes)
+
+
+def orthogonal_time(
+    op: str,
+    machine: Machine,
+    network: HierarchicalNetwork,
+    groups: Sequence[Sequence[CoreId]],
+    total_bytes: float,
+) -> float:
+    """Concurrent collectives over the orthogonal core sets of ``groups``."""
+    sets = orthogonal_sets(groups)
+    return multi_group_time(op, machine, network, sets, total_bytes)

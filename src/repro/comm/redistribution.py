@@ -1,0 +1,118 @@
+"""Cost of data re-distribution between cooperating M-tasks.
+
+When an input-output relation connects task ``M1`` (executed on physical
+cores ``src_cores`` with distribution ``d1``) to ``M2`` (``dst_cores``,
+``d2``), the elements each target rank needs from each source rank follow
+from the logical transfer matrix (:func:`repro.distribution.transfer_counts`).
+Whether a logical transfer costs anything depends on the *mapping*: a
+message between ranks backed by the same physical core is free, one inside
+a node is cheap, one across nodes pays the network and shares the NIC.
+
+The paper's ``TRe(M1, M2, q1, q2, mp1, mp2)`` (Section 3.1) is realised by
+:func:`redistribution_time`.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..cluster.architecture import LEVEL_NETWORK, CoreId, Machine
+from ..cluster.network import HierarchicalNetwork
+from ..distribution import Distribution1D, transfer_counts
+from .contention import ContentionContext
+
+__all__ = ["redistribution_messages", "redistribution_time"]
+
+
+def redistribution_messages(
+    src_cores: Sequence[CoreId],
+    dst_cores: Sequence[CoreId],
+    src_dist: Distribution1D,
+    dst_dist: Distribution1D,
+    itemsize: int = 8,
+) -> Dict[Tuple[CoreId, CoreId], int]:
+    """Physical messages (in bytes) required by a re-distribution.
+
+    Logical transfers between ranks that share a physical core are
+    dropped -- the data never leaves the core.
+    """
+    if len(src_cores) != src_dist.nprocs:
+        raise ValueError(
+            f"source has {len(src_cores)} cores but distribution expects {src_dist.nprocs}"
+        )
+    if len(dst_cores) != dst_dist.nprocs:
+        raise ValueError(
+            f"target has {len(dst_cores)} cores but distribution expects {dst_dist.nprocs}"
+        )
+    counts = transfer_counts(src_dist, dst_dist)
+    messages: Dict[Tuple[CoreId, CoreId], int] = {}
+    nz = np.argwhere(counts > 0)
+    for i, j in nz:
+        u, v = src_cores[int(i)], dst_cores[int(j)]
+        if u == v:
+            continue
+        messages[(u, v)] = messages.get((u, v), 0) + int(counts[i, j]) * itemsize
+    return messages
+
+
+def redistribution_time(
+    machine: Machine,
+    network: HierarchicalNetwork,
+    src_cores: Sequence[CoreId],
+    dst_cores: Sequence[CoreId],
+    src_dist: Distribution1D,
+    dst_dist: Distribution1D,
+    itemsize: int = 8,
+    ctx: Optional[ContentionContext] = None,
+) -> float:
+    """Time of the re-distribution phase.
+
+    Every core serialises its own sends and its own receives (an MPI rank
+    posts them one after another); different cores proceed concurrently,
+    so the phase lasts as long as the busiest core.  Inter-node transfers
+    additionally share each node's NIC with the other transfers of the
+    phase.
+    """
+    messages = redistribution_messages(src_cores, dst_cores, src_dist, dst_dist, itemsize)
+    if not messages:
+        return 0.0
+
+    if ctx is None:
+        # Concurrency on a NIC comes from *different cores* of the node
+        # sending/receiving at once; the fan-out of a single core is
+        # serialised by that core and must not be double-counted.
+        out_cores: Dict[int, set] = defaultdict(set)
+        in_cores: Dict[int, set] = defaultdict(set)
+        for (u, v), _ in messages.items():
+            if machine.comm_level(u, v) == LEVEL_NETWORK:
+                out_cores[u.node].add(u)
+                in_cores[v.node].add(v)
+        ctx = ContentionContext(
+            out_per_node={n: len(cs) for n, cs in out_cores.items()},
+            in_per_node={n: len(cs) for n, cs in in_cores.items()},
+        )
+
+    send_busy: Dict[CoreId, float] = defaultdict(float)
+    recv_busy: Dict[CoreId, float] = defaultdict(float)
+    for (u, v), nbytes in messages.items():
+        lvl = machine.comm_level(u, v)
+        link = network.level(lvl)
+        if lvl == LEVEL_NETWORK:
+            per_byte = max(
+                link.beta,
+                ctx.out_count(u.node) / network.nic_bandwidth,
+                ctx.in_count(v.node) / network.nic_bandwidth,
+            )
+        else:
+            per_byte = link.beta
+        t = link.latency + nbytes * per_byte
+        send_busy[u] += t
+        recv_busy[v] += t
+
+    busiest = 0.0
+    for core in set(send_busy) | set(recv_busy):
+        busiest = max(busiest, send_busy[core], recv_busy[core])
+    return busiest

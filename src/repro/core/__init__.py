@@ -1,0 +1,30 @@
+"""Core M-task model: tasks, graphs, cost model, schedules."""
+
+from .costmodel import CostModel
+from .graph import DataFlow, TaskGraph
+from .schedule import Layer, LayeredSchedule, Placement, Schedule, ScheduledTask
+from .task import (
+    COLLECTIVE_OPS,
+    AccessMode,
+    CollectiveSpec,
+    DistributionSpec,
+    MTask,
+    Parameter,
+)
+
+__all__ = [
+    "MTask",
+    "Parameter",
+    "AccessMode",
+    "DistributionSpec",
+    "CollectiveSpec",
+    "COLLECTIVE_OPS",
+    "TaskGraph",
+    "DataFlow",
+    "CostModel",
+    "Schedule",
+    "ScheduledTask",
+    "Layer",
+    "LayeredSchedule",
+    "Placement",
+]

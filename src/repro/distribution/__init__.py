@@ -1,0 +1,28 @@
+"""Block-cyclic / replicated data distributions and re-distribution."""
+
+from .distribution import (
+    BlockCyclic,
+    Distribution1D,
+    MeshDistribution,
+    Replicated,
+    block,
+    cyclic,
+    mesh_transfer_counts,
+    transfer_counts,
+)
+from .redistribute import RedistributionResult, assemble, redistribute, split
+
+__all__ = [
+    "Distribution1D",
+    "BlockCyclic",
+    "block",
+    "cyclic",
+    "Replicated",
+    "MeshDistribution",
+    "transfer_counts",
+    "mesh_transfer_counts",
+    "RedistributionResult",
+    "split",
+    "assemble",
+    "redistribute",
+]

@@ -1,0 +1,34 @@
+"""Experiment runners regenerating every table and figure of the paper's
+evaluation (Section 4).  One module per artefact; see EXPERIMENTS.md for
+the paper-vs-measured record."""
+
+from .common import ExperimentResult, Series, sequential_step_time, simulate_ode_step
+from .fig13_scheduling import run_epol_times, run_fig13, run_pabm_speedups
+from .fig14_collectives import run_fig14_left, run_fig14_right
+from .fig15_irk_diirk_epol import run_fig15
+from .fig16_pab_pabm import run_fig16
+from .fig17_npb import run_fig17, run_npb_sweep
+from .fig18_hybrid import run_fig18, run_hybrid_panel
+from .fig19_mpi_openmp import run_fig19
+from .table1_counts import format_table1, run_table1
+
+__all__ = [
+    "ExperimentResult",
+    "Series",
+    "simulate_ode_step",
+    "sequential_step_time",
+    "run_table1",
+    "format_table1",
+    "run_fig13",
+    "run_pabm_speedups",
+    "run_epol_times",
+    "run_fig14_left",
+    "run_fig14_right",
+    "run_fig15",
+    "run_fig16",
+    "run_fig17",
+    "run_npb_sweep",
+    "run_fig18",
+    "run_hybrid_panel",
+    "run_fig19",
+]

@@ -1,0 +1,85 @@
+"""Regenerate every table and figure of the paper from the command line.
+
+Usage::
+
+    python -m repro.experiments                 # all artefacts, full scale
+    python -m repro.experiments --quick         # reduced scale (~1 min)
+    python -m repro.experiments --only fig14 table1
+    python -m repro.experiments --out results/  # also write text files
+
+Each artefact prints its paper-style table; with ``--out`` the tables are
+additionally written to ``<out>/<artefact>.txt``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Dict, List
+
+from .fig13_scheduling import run_fig13
+from .fig14_collectives import run_fig14_left, run_fig14_right
+from .fig15_irk_diirk_epol import run_fig15
+from .fig16_pab_pabm import run_fig16
+from .fig17_npb import run_fig17
+from .fig18_hybrid import run_fig18
+from .fig19_mpi_openmp import run_fig19
+from .table1_counts import format_table1, run_table1
+
+
+def _tables(results) -> List[str]:
+    if isinstance(results, list):
+        return [r.table_str() for r in results]
+    return [results.table_str()]
+
+
+ARTEFACTS: Dict[str, Callable[[bool], List[str]]] = {
+    "table1": lambda quick: [format_table1(run_table1())],
+    "fig13": lambda quick: _tables(run_fig13(quick)),
+    "fig14": lambda quick: [
+        run_fig14_left().table_str(),
+        *[r.table_str() for r in run_fig14_right()],
+    ],
+    "fig15": lambda quick: _tables(run_fig15(quick)),
+    "fig16": lambda quick: _tables(run_fig16(quick)),
+    "fig17": lambda quick: _tables(run_fig17(quick)),
+    "fig18": lambda quick: _tables(run_fig18(quick)),
+    "fig19": lambda quick: [run_fig19(quick=quick).table_str()],
+}
+
+
+def main(argv: List[str] = None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    ap.add_argument("--quick", action="store_true", help="reduced problem sizes")
+    ap.add_argument(
+        "--only",
+        nargs="+",
+        choices=sorted(ARTEFACTS),
+        help="restrict to specific artefacts",
+    )
+    ap.add_argument("--out", type=Path, help="directory for text output files")
+    args = ap.parse_args(argv)
+
+    selected = args.only or sorted(ARTEFACTS)
+    if args.out:
+        args.out.mkdir(parents=True, exist_ok=True)
+
+    for name in selected:
+        t0 = time.time()
+        print(f"### {name} " + "#" * (60 - len(name)))
+        tables = ARTEFACTS[name](args.quick)
+        text = "\n\n".join(tables)
+        print(text)
+        print(f"({time.time() - t0:.1f}s)\n")
+        if args.out:
+            (args.out / f"{name}.txt").write_text(text + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,151 @@
+"""Figure 13: layer-based scheduling vs CPA vs CPR (Section 4.3).
+
+Left: PABM with K=8 stage vectors on the CHiC cluster -- speedups of the
+four scheduling decisions (task parallel = layer-based algorithm, CPA,
+CPR, data parallel).  CPA over-allocates the independent stage chains,
+serialising them; CPR converges to the same schedule as the layer-based
+algorithm.
+
+Right: EPOL with R=8 approximations -- time per step.  CPA finds a good
+mixed schedule; CPR pours cores into the longest micro-step chain,
+producing an almost data-parallel schedule whose extra re-distributions
+make it *worse* than plain data parallelism.
+
+All schedulers run on the chain-contracted step graph (the layer-based
+algorithm contracts internally; handing CPA/CPR the same contracted
+graph keeps the comparison about allocation policy, not chain handling).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..cluster.platforms import Platform, chic
+from ..core.costmodel import CostModel
+from ..core.schedule import Placement, Schedule
+from ..mapping.mapper import place_layered, place_timeline
+from ..mapping.strategies import MappingStrategy, consecutive
+from ..ode.problems import ODEProblem, bruss2d
+from ..ode.programs import MethodConfig, step_graph
+from ..scheduling.baselines import data_parallel_scheduler, fixed_group_scheduler
+from ..scheduling.chains import contract_chains
+from ..scheduling.cpa import CPAScheduler
+from ..scheduling.cpr import CPRScheduler
+from .common import ExperimentResult, paper_group_count, sequential_step_time
+from ..sim.executor import simulate
+
+__all__ = ["SCHEDULERS", "schedule_and_simulate", "run_pabm_speedups", "run_epol_times", "run_fig13"]
+
+#: the four scheduling decisions the paper compares; ``"MCPA"`` (the
+#: allocation-bounded CPA variant of reference [4]) is additionally
+#: accepted by :func:`schedule_and_simulate` as an extension
+SCHEDULERS = ("task parallel", "CPA", "CPR", "data parallel")
+
+
+def _expand_timeline_placement(
+    schedule: Schedule,
+    expansion: Dict,
+    platform: Platform,
+    strategy: MappingStrategy,
+) -> Placement:
+    """Placement for the *original* graph from a contracted timeline."""
+    base = place_timeline(schedule, platform.machine, strategy)
+    task_cores = {}
+    priority = {}
+    for node, cores in base.task_cores.items():
+        members = expansion.get(node, [node])
+        for k, member in enumerate(members):
+            width = member.clamp_procs(len(cores))
+            task_cores[member] = cores[:width]
+            priority[member] = base.priority[node] + k * 1e-9
+    return Placement(task_cores=task_cores, priority=priority, all_cores=base.all_cores)
+
+
+def schedule_and_simulate(
+    problem: ODEProblem,
+    cfg: MethodConfig,
+    platform: Platform,
+    scheduler: str,
+    strategy: MappingStrategy = consecutive(),
+) -> float:
+    """Time per step under one of the four scheduling decisions."""
+    cost = CostModel(platform)
+    graph = step_graph(problem, cfg)
+    if scheduler == "task parallel":
+        sched = fixed_group_scheduler(cost, paper_group_count(cfg)).schedule(graph)
+        placement = place_layered(sched, platform.machine, strategy)
+    elif scheduler == "data parallel":
+        sched = data_parallel_scheduler(cost).schedule(graph)
+        placement = place_layered(sched, platform.machine, strategy)
+    elif scheduler in ("CPA", "CPR", "MCPA"):
+        contracted, expansion = contract_chains(graph)
+        gran = max(1, platform.total_cores // 128)
+        if scheduler == "CPA":
+            timeline = CPAScheduler(cost, granularity=gran).schedule(contracted)
+        elif scheduler == "MCPA":
+            from ..scheduling.mcpa import MCPAScheduler
+
+            timeline = MCPAScheduler(cost, granularity=gran).schedule(contracted)
+        else:
+            timeline = CPRScheduler(cost, granularity=gran).schedule(contracted)
+        placement = _expand_timeline_placement(timeline, expansion, platform, strategy)
+    else:
+        raise ValueError(f"unknown scheduler {scheduler!r}")
+    return simulate(graph, placement, cost).makespan
+
+
+def run_pabm_speedups(
+    cores: Sequence[int] = (64, 128, 256, 512, 1024),
+    N: int = 500,
+    schedulers: Sequence[str] = SCHEDULERS,
+) -> ExperimentResult:
+    """Fig 13 left: PABM K=8 speedups per scheduler on CHiC."""
+    problem = bruss2d(N)
+    cfg = MethodConfig("pabm", K=8, m=2)
+    base = chic()
+    result = ExperimentResult(
+        title="Fig 13 (left): PABM K=8 speedups by scheduler, BRUSS2D, CHiC",
+        xlabel="cores",
+        x=list(cores),
+        ylabel="speedup",
+    )
+    t_seq = sequential_step_time(step_graph(problem, cfg), CostModel(base))
+    for name in schedulers:
+        ys = []
+        for p in cores:
+            plat = base.with_cores(p)
+            ys.append(t_seq / schedule_and_simulate(problem, cfg, plat, name))
+        result.add(name, ys)
+    return result
+
+
+def run_epol_times(
+    cores: Sequence[int] = (64, 128, 256, 512),
+    N: int = 500,
+    schedulers: Sequence[str] = SCHEDULERS,
+) -> ExperimentResult:
+    """Fig 13 right: EPOL R=8 time per step per scheduler on CHiC."""
+    problem = bruss2d(N)
+    cfg = MethodConfig("epol", K=8)
+    base = chic()
+    result = ExperimentResult(
+        title="Fig 13 (right): EPOL R=8 time/step by scheduler, BRUSS2D, CHiC",
+        xlabel="cores",
+        x=list(cores),
+    )
+    for name in schedulers:
+        ys = []
+        for p in cores:
+            plat = base.with_cores(p)
+            ys.append(schedule_and_simulate(problem, cfg, plat, name))
+        result.add(name, ys)
+    return result
+
+
+def run_fig13(quick: bool = False) -> List[ExperimentResult]:
+    if quick:
+        return [
+            run_pabm_speedups(cores=(64, 256), N=180),
+            run_epol_times(cores=(64, 256), N=180),
+        ]
+    return [run_pabm_speedups(), run_epol_times()]

@@ -1,0 +1,96 @@
+"""Figure 15: mapping strategies for the IRK, DIIRK and EPOL solvers.
+
+Panels (Section 4.5):
+
+* top left  -- IRK, K=4 stages, BRUSS2D, CHiC;
+* top right -- IRK, K=4 stages, BRUSS2D, JuRoPA (adds mixed d=4);
+* bottom left -- DIIRK, K=4, BRUSS2D, 512 CHiC cores (dp vs tp mappings);
+* bottom right -- EPOL, R=8, BRUSS2D, 512 JuRoPA cores.
+
+Expected shapes: the consecutive mapping wins everywhere; scattered is
+clearly outperformed; the DIIRK task-parallel version beats data
+parallelism by a wide margin (group-restricted pivot broadcasts).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..cluster.platforms import chic, juropa
+from ..mapping.strategies import consecutive, mixed, scattered
+from ..ode.problems import bruss2d
+from ..ode.programs import MethodConfig
+from .common import ExperimentResult, simulate_ode_step
+from .ode_figures import mapping_sweep
+
+__all__ = ["run_irk_chic", "run_irk_juropa", "run_diirk_chic", "run_epol_juropa", "run_fig15"]
+
+DEFAULT_N_GRID = 500  # BRUSS2D N -> n = 2 N^2 = 500k
+
+
+def run_irk_chic(cores=(64, 128, 256, 512), N: int = DEFAULT_N_GRID) -> ExperimentResult:
+    return mapping_sweep(
+        bruss2d(N),
+        MethodConfig("irk", K=4, m=7),
+        chic,
+        cores,
+        title="Fig 15 (top left): IRK K=4, BRUSS2D, CHiC",
+    )
+
+
+def run_irk_juropa(cores=(64, 128, 256, 512), N: int = DEFAULT_N_GRID) -> ExperimentResult:
+    return mapping_sweep(
+        bruss2d(N),
+        MethodConfig("irk", K=4, m=7),
+        juropa,
+        cores,
+        title="Fig 15 (top right): IRK K=4, BRUSS2D, JuRoPA",
+    )
+
+
+def run_diirk_chic(cores: int = 512, N: int = DEFAULT_N_GRID) -> ExperimentResult:
+    """DIIRK at a fixed core count: bars per mapping + data parallel."""
+    problem = bruss2d(N)
+    cfg = MethodConfig("diirk", K=4, m=3, I=2)
+    plat = chic().with_cores(cores)
+    result = ExperimentResult(
+        title=f"Fig 15 (bottom left): DIIRK K=4, BRUSS2D, {cores} CHiC cores",
+        xlabel="variant",
+        x=["time"],
+    )
+    for strat in (consecutive(), mixed(2), scattered()):
+        t = simulate_ode_step(problem, cfg, plat, strat, "tp").makespan
+        result.add(f"tp/{strat.name}", [t])
+    t = simulate_ode_step(problem, cfg, plat, consecutive(), "dp").makespan
+    result.add("data-parallel", [t])
+    return result
+
+
+def run_epol_juropa(cores: int = 512, N: int = DEFAULT_N_GRID) -> ExperimentResult:
+    """EPOL R=8 at 512 JuRoPA cores: consecutive vs mixed(4) vs others."""
+    problem = bruss2d(N)
+    cfg = MethodConfig("epol", K=8)
+    plat = juropa().with_cores(cores)
+    result = ExperimentResult(
+        title=f"Fig 15 (bottom right): EPOL R=8, BRUSS2D, {cores} JuRoPA cores",
+        xlabel="variant",
+        x=["time"],
+    )
+    for strat in (consecutive(), mixed(4), mixed(2), scattered()):
+        t = simulate_ode_step(problem, cfg, plat, strat, "tp").makespan
+        result.add(f"tp/{strat.name}", [t])
+    t = simulate_ode_step(problem, cfg, plat, consecutive(), "dp").makespan
+    result.add("data-parallel", [t])
+    return result
+
+
+def run_fig15(quick: bool = False) -> List[ExperimentResult]:
+    N = 180 if quick else DEFAULT_N_GRID
+    cores = (64, 256) if quick else (64, 128, 256, 512)
+    fixed = 256 if quick else 512
+    return [
+        run_irk_chic(cores, N),
+        run_irk_juropa(cores, N),
+        run_diirk_chic(fixed, N),
+        run_epol_juropa(fixed, N),
+    ]

@@ -1,0 +1,90 @@
+"""Figure 16: mapping strategies for the PAB and PABM solvers.
+
+Panels (Section 4.5):
+
+* top left  -- PAB, K=8, BRUSS2D, CHiC (mixed d=2 wins);
+* top right -- PAB, K=8, BRUSS2D, JuRoPA (mixed d=4 wins);
+* bottom left -- PABM, K=8, dense SCHROED system, CHiC: *speedups*;
+  the data-parallel version stops scaling around 512 cores while the
+  consecutive task-parallel version keeps climbing;
+* bottom right -- PABM, K=8, sparse BRUSS2D, JuRoPA: runtimes; every
+  task-parallel mapping beats data parallelism, consecutive in front.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..cluster.platforms import chic, juropa
+from ..ode.problems import bruss2d, schroed
+from ..ode.programs import MethodConfig
+from .common import ExperimentResult
+from .ode_figures import mapping_sweep, speedup_sweep
+
+__all__ = [
+    "run_pab_chic",
+    "run_pab_juropa",
+    "run_pabm_dense_chic",
+    "run_pabm_sparse_juropa",
+    "run_fig16",
+]
+
+DEFAULT_N_GRID = 500
+DEFAULT_DENSE_N = 4000
+
+
+def run_pab_chic(cores=(64, 128, 256, 512), N: int = DEFAULT_N_GRID) -> ExperimentResult:
+    return mapping_sweep(
+        bruss2d(N),
+        MethodConfig("pab", K=8),
+        chic,
+        cores,
+        title="Fig 16 (top left): PAB K=8, BRUSS2D, CHiC",
+    )
+
+
+def run_pab_juropa(cores=(64, 128, 256, 512), N: int = DEFAULT_N_GRID) -> ExperimentResult:
+    return mapping_sweep(
+        bruss2d(N),
+        MethodConfig("pab", K=8),
+        juropa,
+        cores,
+        title="Fig 16 (top right): PAB K=8, BRUSS2D, JuRoPA",
+    )
+
+
+def run_pabm_dense_chic(
+    cores=(64, 128, 256, 512, 1024), n: int = DEFAULT_DENSE_N
+) -> ExperimentResult:
+    return speedup_sweep(
+        schroed(n),
+        MethodConfig("pabm", K=8, m=2),
+        chic,
+        cores,
+        title="Fig 16 (bottom left): PABM K=8 speedups, SCHROED (dense), CHiC",
+    )
+
+
+def run_pabm_sparse_juropa(
+    cores=(64, 128, 256, 512), N: int = DEFAULT_N_GRID
+) -> ExperimentResult:
+    return mapping_sweep(
+        bruss2d(N),
+        MethodConfig("pabm", K=8, m=2),
+        juropa,
+        cores,
+        title="Fig 16 (bottom right): PABM K=8, BRUSS2D (sparse), JuRoPA",
+    )
+
+
+def run_fig16(quick: bool = False) -> List[ExperimentResult]:
+    N = 180 if quick else DEFAULT_N_GRID
+    n_dense = 1500 if quick else DEFAULT_DENSE_N
+    cores = (64, 256) if quick else (64, 128, 256, 512)
+    dense_cores = (64, 256, 512) if quick else (64, 128, 256, 512, 1024)
+    return [
+        run_pab_chic(cores, N),
+        run_pab_juropa(cores, N),
+        run_pabm_dense_chic(dense_cores, n_dense),
+        run_pabm_sparse_juropa(cores, N),
+    ]

@@ -1,0 +1,104 @@
+"""Figure 17: NPB multi-zone benchmarks vs group count and mapping.
+
+For SP-MZ and BT-MZ (classes C and D) the number ``g`` of disjoint core
+groups is swept while the mapping strategy varies.  Expected shapes
+(Section 4.6):
+
+* very small ``g`` loses -- every zone runs on a huge group whose
+  intra-zone ADI transposes dominate;
+* the maximum ``g`` (one group per zone) is not optimal either: the
+  border exchanges couple all groups, and for BT-MZ the graded zone
+  sizes leave groups idle (load imbalance);
+* the optimum sits at a medium group count and the *scattered* mapping
+  outperforms the others (border exchanges are orthogonal-pattern
+  communication).
+
+Performance is reported as total Gflop/s of the simulated time step.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..cluster.platforms import Platform, chic, sgi_altix
+from ..core.costmodel import CostModel
+from ..mapping.mapper import place_layered
+from ..mapping.strategies import MappingStrategy, consecutive, mixed, scattered
+from ..npb.programs import NPBConfig, build_npb_step_graph
+from ..scheduling.baselines import fixed_group_scheduler
+from ..sim.executor import simulate
+from .common import ExperimentResult
+
+__all__ = ["npb_rate", "run_npb_sweep", "run_fig17"]
+
+
+def npb_rate(
+    cfg: NPBConfig,
+    platform: Platform,
+    groups: int,
+    strategy: MappingStrategy,
+    adjust: bool = True,
+) -> float:
+    """Simulated Gflop/s of one time step."""
+    cost = CostModel(platform)
+    graph, grid = build_npb_step_graph(cfg)
+    scheduler = fixed_group_scheduler(cost, groups, adjust=adjust)
+    schedule = scheduler.schedule(graph)
+    placement = place_layered(schedule, platform.machine, strategy)
+    trace = simulate(graph, placement, cost)
+    total_flops = sum(t.work for t in graph)
+    return total_flops / trace.makespan / 1e9
+
+
+def run_npb_sweep(
+    benchmark: str = "SP",
+    cls: str = "C",
+    platform: Optional[Platform] = None,
+    group_counts: Optional[Sequence[int]] = None,
+    strategies: Optional[Sequence[MappingStrategy]] = None,
+    adjust: bool = True,
+) -> ExperimentResult:
+    """One panel of Fig. 17."""
+    platform = platform or chic().with_cores(256)
+    cfg = NPBConfig(benchmark=benchmark, cls=cls)
+    _, grid = build_npb_step_graph(cfg)
+    if group_counts is None:
+        group_counts = []
+        g = 4
+        while g <= min(grid.num_zones, platform.total_cores):
+            group_counts.append(g)
+            g *= 2
+    strategies = list(strategies or (consecutive(), mixed(2), scattered()))
+    result = ExperimentResult(
+        title=(
+            f"Fig 17: {grid.name} on {platform.total_cores} cores of "
+            f"{platform.name} ({grid.num_zones} zones)"
+        ),
+        xlabel="groups",
+        x=list(group_counts),
+        ylabel="Gflop/s",
+    )
+    for strat in strategies:
+        result.add(
+            strat.name,
+            [npb_rate(cfg, platform, g, strat, adjust) for g in group_counts],
+        )
+    return result
+
+
+def run_fig17(quick: bool = False) -> List[ExperimentResult]:
+    """All four panels: SP-MZ / BT-MZ on CHiC and SGI Altix."""
+    if quick:
+        chic_plat = chic().with_cores(128)
+        altix_plat = sgi_altix().with_cores(128)
+        cls_chic = cls_altix = "B"
+    else:
+        chic_plat = chic().with_cores(256)
+        altix_plat = sgi_altix().with_cores(256)
+        cls_chic, cls_altix = "C", "C"
+    return [
+        run_npb_sweep("SP", cls_chic, chic_plat),
+        run_npb_sweep("SP", cls_altix, altix_plat),
+        run_npb_sweep("BT", cls_chic, chic_plat),
+        run_npb_sweep("BT", cls_altix, altix_plat),
+    ]

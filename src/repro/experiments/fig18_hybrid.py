@@ -1,0 +1,73 @@
+"""Figure 18: pure MPI vs hybrid MPI+OpenMP on the CHiC cluster.
+
+Left (IRK, K=4): the hybrid execution scheme lifts the *data parallel*
+version considerably -- its global collectives shrink from one rank per
+core to one per node -- and also helps the task parallel version.
+
+Right (DIIRK, K=4): the hybrid scheme *slows down* the data parallel
+version: its distributed eliminations synchronise extremely often, and
+each synchronisation now pays the two-level (OpenMP + funneled-MPI)
+barrier.  The task parallel version, whose eliminations run concurrently
+inside the groups, still gains.
+
+Both panels use the consecutive mapping (thread teams must share a
+node).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..cluster.platforms import chic
+from ..hybrid.model import HybridCostModel
+from ..mapping.strategies import consecutive
+from ..ode.problems import bruss2d
+from ..ode.programs import MethodConfig
+from .common import ExperimentResult, simulate_ode_step
+
+__all__ = ["run_hybrid_panel", "run_fig18"]
+
+
+def run_hybrid_panel(
+    method: str,
+    cores: Sequence[int] = (64, 128, 256, 512),
+    N: int = 500,
+    threads: int = 4,
+) -> ExperimentResult:
+    """One Fig. 18 panel: {dp, tp} x {pure MPI, hybrid} time per step."""
+    problem = bruss2d(N)
+    if method == "irk":
+        cfg = MethodConfig("irk", K=4, m=7)
+    elif method == "diirk":
+        cfg = MethodConfig("diirk", K=4, m=3, I=2)
+    else:
+        raise ValueError("method must be 'irk' or 'diirk'")
+    base = chic()
+    result = ExperimentResult(
+        title=f"Fig 18: {method.upper()} K=4 pure MPI vs hybrid (h={threads}), BRUSS2D, CHiC",
+        xlabel="cores",
+        x=list(cores),
+    )
+    strat = consecutive()
+    for version in ("dp", "tp"):
+        for hybrid in (False, True):
+            ys = []
+            for p in cores:
+                plat = base.with_cores(p)
+                cost = HybridCostModel(
+                    plat, threads_per_process=threads if hybrid else 1
+                )
+                tr = simulate_ode_step(problem, cfg, plat, strat, version, cost=cost)
+                ys.append(tr.makespan)
+            label = f"{version}/{'hybrid' if hybrid else 'pure MPI'}"
+            result.add(label, ys)
+    return result
+
+
+def run_fig18(quick: bool = False) -> List[ExperimentResult]:
+    cores = (64, 256) if quick else (64, 128, 256, 512)
+    N = 180 if quick else 500
+    return [
+        run_hybrid_panel("irk", cores, N),
+        run_hybrid_panel("diirk", cores, N),
+    ]

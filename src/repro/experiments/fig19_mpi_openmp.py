@@ -1,0 +1,65 @@
+"""Figure 19: MPI-process / OpenMP-thread combinations on the SGI Altix.
+
+The Altix is a distributed-shared-memory machine, so OpenMP teams may
+span nodes and every split of 256 cores into ``procs x threads`` is
+admissible.  For PABM with K=8 stages:
+
+* the **data parallel** version is fastest with few processes and many
+  threads (global collectives all but disappear; the NUMA-penalised team
+  barriers are paid rarely),
+* the **task parallel** version needs at least K = 8 processes (one per
+  stage group) and is fastest at one process per node (h = node width):
+  threads stay node-local while the group collectives shrink.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..cluster.platforms import sgi_altix
+from ..hybrid.model import HybridCostModel
+from ..mapping.strategies import consecutive
+from ..ode.problems import schroed
+from ..ode.programs import MethodConfig
+from .common import ExperimentResult, simulate_ode_step
+
+__all__ = ["run_fig19"]
+
+
+def run_fig19(
+    cores: int = 256,
+    n_dense: int = 8000,
+    combos: Optional[Sequence[Tuple[int, int]]] = None,
+    quick: bool = False,
+) -> ExperimentResult:
+    """PABM K=8 on 256 Altix cores over MPI x OpenMP splits."""
+    if quick:
+        cores, n_dense = 128, 1500
+    problem = schroed(n_dense)
+    cfg = MethodConfig("pabm", K=8, m=2)
+    plat = sgi_altix().with_cores(cores)
+    if combos is None:
+        combos = []
+        procs = 1
+        while procs <= cores:
+            combos.append((procs, cores // procs))
+            procs *= 2
+    result = ExperimentResult(
+        title=f"Fig 19: PABM K=8 on {cores} Altix cores, SCHROED (dense)",
+        xlabel="MPI procs x OpenMP threads",
+        x=[f"{p}x{h}" for p, h in combos],
+    )
+    strat = consecutive()
+    dp, tp = [], []
+    for procs, h in combos:
+        cost = HybridCostModel(plat, threads_per_process=h)
+        dp.append(simulate_ode_step(problem, cfg, plat, strat, "dp", cost=cost).makespan)
+        if procs >= cfg.K:
+            tp.append(
+                simulate_ode_step(problem, cfg, plat, strat, "tp", cost=cost).makespan
+            )
+        else:
+            tp.append(float("nan"))  # fewer processes than stage groups
+    result.add("data-parallel", dp)
+    result.add("task-parallel", tp)
+    return result

@@ -1,0 +1,5 @@
+"""Hybrid MPI+OpenMP execution model."""
+
+from .model import HybridCostModel, process_leaders
+
+__all__ = ["HybridCostModel", "process_leaders"]

@@ -1,0 +1,23 @@
+"""Architecture-aware mapping of symbolic cores to physical cores."""
+
+from .mapper import map_layer, place_layered, place_timeline
+from .strategies import (
+    MappingStrategy,
+    consecutive,
+    mixed,
+    scattered,
+    standard_strategies,
+    strategy_by_name,
+)
+
+__all__ = [
+    "MappingStrategy",
+    "consecutive",
+    "scattered",
+    "mixed",
+    "strategy_by_name",
+    "standard_strategies",
+    "map_layer",
+    "place_layered",
+    "place_timeline",
+]

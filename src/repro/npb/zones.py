@@ -1,0 +1,181 @@
+"""Zone geometry of the NAS Parallel Benchmarks, Multi-Zone versions.
+
+NPB-MZ (van der Wijngaart & Jin, NAS-03-010) partitions a global 3-D
+mesh into a 2-D grid of zones in the x/y plane:
+
+* **SP-MZ** splits the mesh into *equally sized* zones;
+* **BT-MZ** grades the zone widths geometrically in both directions so
+  that the largest zone is roughly 20x the smallest -- the load-balance
+  challenge of Fig. 17 (bottom).
+
+The benchmark classes used in the paper:
+
+=======  ==================  ==========  =========
+Class    Global mesh         Zone grid   Zones
+=======  ==================  ==========  =========
+C        480 x 320 x 28      16 x 16     256
+D        1632 x 1216 x 34    32 x 32     1024
+=======  ==================  ==========  =========
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+__all__ = ["Zone", "ZoneGrid", "spmz_zones", "btmz_zones", "CLASS_PARAMS"]
+
+#: class name -> (global nx, ny, nz, zone grid x, zone grid y, time steps)
+CLASS_PARAMS: Dict[str, Tuple[int, int, int, int, int, int]] = {
+    "S": (24, 24, 6, 2, 2, 60),
+    "W": (64, 64, 8, 4, 4, 200),
+    "A": (128, 128, 16, 4, 4, 200),
+    "B": (304, 208, 17, 8, 8, 200),
+    "C": (480, 320, 28, 16, 16, 200),
+    "D": (1632, 1216, 34, 32, 32, 250),
+}
+
+#: BT-MZ size ratio between the largest and smallest zone dimension
+BTMZ_RATIO = 20.0
+
+
+@dataclass(frozen=True)
+class Zone:
+    """One zone of the multi-zone mesh."""
+
+    id: int
+    ix: int  #: zone-grid x coordinate
+    iy: int  #: zone-grid y coordinate
+    nx: int  #: grid points in x
+    ny: int  #: grid points in y
+    nz: int  #: grid points in z
+
+    @property
+    def points(self) -> int:
+        return self.nx * self.ny * self.nz
+
+    def face_points(self, axis: str) -> int:
+        """Grid points of a boundary face normal to ``axis``."""
+        if axis == "x":
+            return self.ny * self.nz
+        if axis == "y":
+            return self.nx * self.nz
+        raise ValueError("axis must be 'x' or 'y'")
+
+
+@dataclass(frozen=True)
+class ZoneGrid:
+    """A complete multi-zone decomposition."""
+
+    name: str
+    zones: Tuple[Zone, ...]
+    grid_x: int
+    grid_y: int
+    time_steps: int
+
+    def __post_init__(self) -> None:
+        if len(self.zones) != self.grid_x * self.grid_y:
+            raise ValueError("zone count does not match the zone grid")
+
+    @property
+    def num_zones(self) -> int:
+        return len(self.zones)
+
+    def zone_at(self, ix: int, iy: int) -> Zone:
+        return self.zones[iy * self.grid_x + ix]
+
+    def neighbours(self, zone: Zone) -> List[Tuple[Zone, str]]:
+        """Adjacent zones with the orientation of the shared face.
+
+        NPB-MZ uses periodic (wrap-around) connectivity in x and y.
+        """
+        out: List[Tuple[Zone, str]] = []
+        left = self.zone_at((zone.ix - 1) % self.grid_x, zone.iy)
+        right = self.zone_at((zone.ix + 1) % self.grid_x, zone.iy)
+        down = self.zone_at(zone.ix, (zone.iy - 1) % self.grid_y)
+        up = self.zone_at(zone.ix, (zone.iy + 1) % self.grid_y)
+        for nb, axis in ((left, "x"), (right, "x"), (down, "y"), (up, "y")):
+            if nb.id != zone.id:
+                out.append((nb, axis))
+        return out
+
+    def total_points(self) -> int:
+        return sum(z.points for z in self.zones)
+
+    def imbalance(self) -> float:
+        """Largest over smallest zone size."""
+        sizes = [z.points for z in self.zones]
+        return max(sizes) / min(sizes)
+
+
+def _equal_split(total: int, parts: int) -> List[int]:
+    base, rem = divmod(total, parts)
+    return [base + (1 if i < rem else 0) for i in range(parts)]
+
+
+def _graded_split(total: int, parts: int, ratio: float) -> List[int]:
+    """Geometric grading: sizes proportional to ``r**i`` with
+    ``r = ratio**(1/(parts-1))``, rounded to sum to ``total`` with every
+    part at least 2 points."""
+    if parts == 1:
+        return [total]
+    r = ratio ** (1.0 / (parts - 1))
+    raw = np.array([r**i for i in range(parts)])
+    sizes = np.maximum(2, np.floor(raw / raw.sum() * total).astype(int))
+    # distribute the rounding remainder to the largest parts
+    diff = total - int(sizes.sum())
+    order = np.argsort(-raw)
+    i = 0
+    while diff != 0:
+        j = order[i % parts]
+        step = 1 if diff > 0 else -1
+        if sizes[j] + step >= 2:
+            sizes[j] += step
+            diff -= step
+        i += 1
+    return list(map(int, sizes))
+
+
+def _build(name: str, cls: str, splitter) -> ZoneGrid:
+    try:
+        nx, ny, nz, gx, gy, steps = CLASS_PARAMS[cls.upper()]
+    except KeyError:
+        raise ValueError(
+            f"unknown NPB class {cls!r}; known: {sorted(CLASS_PARAMS)}"
+        ) from None
+    widths = splitter(nx, gx)
+    heights = splitter(ny, gy)
+    zones = []
+    zid = 0
+    for iy in range(gy):
+        for ix in range(gx):
+            zones.append(Zone(zid, ix, iy, widths[ix], heights[iy], nz))
+            zid += 1
+    return ZoneGrid(
+        name=f"{name}.{cls.upper()}",
+        zones=tuple(zones),
+        grid_x=gx,
+        grid_y=gy,
+        time_steps=steps,
+    )
+
+
+def spmz_zones(cls: str = "C") -> ZoneGrid:
+    """Equal-sized zones of the SP-MZ benchmark."""
+    return _build("SP-MZ", cls, _equal_split)
+
+
+def btmz_zones(cls: str = "C") -> ZoneGrid:
+    """Geometrically graded zones of the BT-MZ benchmark.
+
+    Both the x and y widths grade by ``sqrt(BTMZ_RATIO)`` so the *zone
+    size* ratio between the largest and smallest zone is about
+    ``BTMZ_RATIO`` (the published ~20x imbalance).
+    """
+    return _build(
+        "BT-MZ",
+        cls,
+        lambda total, parts: _graded_split(total, parts, BTMZ_RATIO**0.5),
+    )

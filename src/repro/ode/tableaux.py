@@ -1,0 +1,134 @@
+"""Butcher tableaux and polynomial integration weights.
+
+The iterated Runge-Kutta methods of the paper (IRK, DIIRK) iterate
+towards fully implicit collocation methods; the parallel Adams methods
+(PAB, PABM) are block methods built from Lagrange integration weights.
+This module provides both ingredients:
+
+* :func:`gauss_legendre` -- the ``s``-stage Gauss collocation tableau
+  (order ``2s``), the classical corrector choice for IRK methods,
+* :func:`radau_iia` -- stiffly accurate Radau IIA tableaux (DIIRK),
+* :func:`lagrange_integration_weights` -- exact weights
+  ``W[i, j] = \\int_0^{b_i} l_j(t) dt`` for Lagrange bases on arbitrary
+  nodes, used to derive the PAB/PABM block coefficients.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "ButcherTableau",
+    "gauss_legendre",
+    "radau_iia",
+    "explicit_rk4",
+    "lagrange_integration_weights",
+]
+
+
+@dataclass(frozen=True)
+class ButcherTableau:
+    """A Runge-Kutta tableau ``(A, b, c)`` with convergence ``order``."""
+
+    A: np.ndarray
+    b: np.ndarray
+    c: np.ndarray
+    order: int
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        s = len(self.b)
+        if self.A.shape != (s, s) or len(self.c) != s:
+            raise ValueError("inconsistent tableau dimensions")
+
+    @property
+    def stages(self) -> int:
+        return len(self.b)
+
+    @property
+    def is_explicit(self) -> bool:
+        return bool(np.allclose(self.A, np.tril(self.A, -1)))
+
+
+def lagrange_integration_weights(
+    nodes: Sequence[float], upper_limits: Sequence[float], lower_limit: float = 0.0
+) -> np.ndarray:
+    """Exact integrals of the Lagrange basis polynomials.
+
+    ``W[i, j] = int_{lower}^{upper[i]} l_j(t) dt`` where ``l_j`` is the
+    Lagrange basis on ``nodes``.  Solved through the monomial moment
+    system, which is exact (and well conditioned for the small stage
+    counts used here).
+    """
+    nodes = np.asarray(nodes, dtype=float)
+    upper = np.asarray(upper_limits, dtype=float)
+    s = len(nodes)
+    if len(set(np.round(nodes, 14))) != s:
+        raise ValueError("nodes must be distinct")
+    # Vandermonde: V[k, j] = nodes[j]**k
+    V = np.vander(nodes, N=s, increasing=True).T
+    powers = np.arange(1, s + 1, dtype=float)
+    moments = (upper[:, None] ** powers - lower_limit**powers) / powers  # (m, s)
+    return np.linalg.solve(V, moments.T).T
+
+
+def gauss_legendre(s: int) -> ButcherTableau:
+    """The ``s``-stage Gauss-Legendre collocation tableau (order ``2s``)."""
+    if s < 1:
+        raise ValueError("s must be >= 1")
+    # roots of the shifted Legendre polynomial P_s(2x - 1)
+    raw = np.polynomial.legendre.leggauss(s)[0]
+    c = np.sort((raw + 1.0) / 2.0)
+    A = lagrange_integration_weights(c, c)
+    b = lagrange_integration_weights(c, [1.0])[0]
+    return ButcherTableau(A=A, b=b, c=c, order=2 * s, name=f"Gauss({s})")
+
+
+def radau_iia(s: int) -> ButcherTableau:
+    """Radau IIA tableaux (order ``2s - 1``), stiffly accurate."""
+    if s == 1:  # implicit Euler
+        return ButcherTableau(
+            A=np.array([[1.0]]), b=np.array([1.0]), c=np.array([1.0]),
+            order=1, name="RadauIIA(1)",
+        )
+    if s == 2:
+        A = np.array([[5.0 / 12.0, -1.0 / 12.0], [3.0 / 4.0, 1.0 / 4.0]])
+        b = np.array([3.0 / 4.0, 1.0 / 4.0])
+        c = np.array([1.0 / 3.0, 1.0])
+        return ButcherTableau(A=A, b=b, c=c, order=3, name="RadauIIA(2)")
+    if s == 3:
+        sq6 = np.sqrt(6.0)
+        c = np.array([(4.0 - sq6) / 10.0, (4.0 + sq6) / 10.0, 1.0])
+        A = lagrange_integration_weights(c, c)
+        b = A[-1].copy()  # stiffly accurate: b = last row
+        return ButcherTableau(A=A, b=b, c=c, order=5, name="RadauIIA(3)")
+    # general construction: collocation at Radau right points = roots of
+    # P_s(2x-1) - P_{s-1}(2x-1), which include x = 1
+    from numpy.polynomial import legendre as L
+
+    ps = L.Legendre.basis(s)
+    ps1 = L.Legendre.basis(s - 1)
+    poly = ps - ps1
+    roots = np.sort((np.real(poly.roots()) + 1.0) / 2.0)
+    c = roots
+    A = lagrange_integration_weights(c, c)
+    b = A[-1].copy()
+    return ButcherTableau(A=A, b=b, c=c, order=2 * s - 1, name=f"RadauIIA({s})")
+
+
+def explicit_rk4() -> ButcherTableau:
+    """The classical explicit RK4 scheme (bootstrap method for PAB/PABM)."""
+    A = np.array(
+        [
+            [0.0, 0.0, 0.0, 0.0],
+            [0.5, 0.0, 0.0, 0.0],
+            [0.0, 0.5, 0.0, 0.0],
+            [0.0, 0.0, 1.0, 0.0],
+        ]
+    )
+    b = np.array([1.0, 2.0, 2.0, 1.0]) / 6.0
+    c = np.array([0.0, 0.5, 0.5, 1.0])
+    return ButcherTableau(A=A, b=b, c=c, order=4, name="RK4")

@@ -1,0 +1,12 @@
+"""Functional (data-carrying) execution of M-task programs."""
+
+from .context import CollectiveRecord, RuntimeContext
+from .executor import RunResult, RunStats, run_program
+
+__all__ = [
+    "RuntimeContext",
+    "CollectiveRecord",
+    "run_program",
+    "RunResult",
+    "RunStats",
+]

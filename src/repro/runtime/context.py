@@ -1,0 +1,61 @@
+"""Execution context handed to M-task bodies by the functional runtime.
+
+A basic task's ``func`` runs once per activation (the runtime emulates
+the SPMD group as a whole).  The context tells the body how many ranks
+execute it and records the collective operations the body *would* issue
+on a real machine -- the recorded log is what the tests compare against
+the declared :class:`~repro.core.task.CollectiveSpec` profile and against
+Table 1 of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+__all__ = ["CollectiveRecord", "RuntimeContext"]
+
+
+@dataclass(frozen=True)
+class CollectiveRecord:
+    """One collective operation logged by a task body."""
+
+    op: str
+    total_elements: float
+    itemsize: int = 8
+
+
+@dataclass
+class RuntimeContext:
+    """Per-activation runtime context.
+
+    ``env`` carries the compile-time bindings of the activation (loop
+    variables, constants) so a shared task body can tell which activation
+    it implements -- e.g. the micro-step indices ``(i, j)`` of the
+    extrapolation method.
+    """
+
+    task_name: str
+    group_size: int
+    env: Dict[str, int] = field(default_factory=dict)
+    log: List[CollectiveRecord] = field(default_factory=list)
+
+    def record(self, op: str, total_elements: float, itemsize: int = 8) -> None:
+        """Log a collective the SPMD implementation would execute."""
+        self.log.append(CollectiveRecord(op, total_elements, itemsize))
+
+    # Convenience wrappers matching MPI vocabulary -----------------------
+    def allgather(self, total_elements: float, itemsize: int = 8) -> None:
+        self.record("allgather", total_elements, itemsize)
+
+    def bcast(self, total_elements: float, itemsize: int = 8) -> None:
+        self.record("bcast", total_elements, itemsize)
+
+    def allreduce(self, total_elements: float, itemsize: int = 8) -> None:
+        self.record("allreduce", total_elements, itemsize)
+
+    def counts_by_op(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for r in self.log:
+            out[r.op] = out.get(r.op, 0) + 1
+        return out

@@ -1,0 +1,48 @@
+"""M-task scheduling algorithms: the layer-based algorithm of the paper
+plus the CPA/CPR and data-parallel comparison baselines."""
+
+from .allocation import (
+    adjust_group_sizes,
+    equal_partition,
+    lpt_assign,
+    round_robin_assign,
+)
+from .base import Scheduler, symbolic_timeline
+from .baselines import (
+    data_parallel_scheduler,
+    fixed_group_scheduler,
+    max_task_parallel_scheduler,
+)
+from .chains import contract_chains, find_linear_chains
+from .cpa import CPAScheduler
+from .cpr import CPRScheduler
+from .dynamic import DynamicScheduler, DynamicTask, SpawnContext
+from .layered import LayerBasedScheduler
+from .mcpa import MCPAScheduler
+from .layers import build_layers, layer_index
+from .listsched import bottom_levels, list_schedule
+
+__all__ = [
+    "Scheduler",
+    "symbolic_timeline",
+    "LayerBasedScheduler",
+    "CPAScheduler",
+    "CPRScheduler",
+    "MCPAScheduler",
+    "DynamicScheduler",
+    "DynamicTask",
+    "SpawnContext",
+    "data_parallel_scheduler",
+    "max_task_parallel_scheduler",
+    "fixed_group_scheduler",
+    "find_linear_chains",
+    "contract_chains",
+    "build_layers",
+    "layer_index",
+    "lpt_assign",
+    "round_robin_assign",
+    "equal_partition",
+    "adjust_group_sizes",
+    "bottom_levels",
+    "list_schedule",
+]

@@ -1,0 +1,112 @@
+"""Per-layer task assignment and group-size adjustment (step 3 of
+Algorithm 1).
+
+Within one layer the symbolic cores are split into ``g`` subsets and the
+independent M-tasks of the layer are dealt to the subsets by the modified
+greedy algorithm for independent uniprocessor tasks [Sahni 1976]: tasks
+in decreasing order of execution time, each to the subset with the
+smallest accumulated time (LPT).  The subsequent *group adjustment*
+resizes the subsets proportionally to their accumulated sequential work.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence
+
+from ..core.task import MTask
+
+__all__ = ["equal_partition", "lpt_assign", "round_robin_assign", "adjust_group_sizes"]
+
+
+def equal_partition(total: int, g: int) -> List[int]:
+    """Split ``total`` symbolic cores into ``g`` near-equal subset sizes."""
+    if g <= 0:
+        raise ValueError("g must be positive")
+    if g > total:
+        raise ValueError(f"cannot build {g} non-empty subsets from {total} cores")
+    base, rem = divmod(total, g)
+    return [base + (1 if i < rem else 0) for i in range(g)]
+
+
+def lpt_assign(
+    tasks: Sequence[MTask],
+    time_of: Callable[[MTask], float],
+    g: int,
+) -> List[List[MTask]]:
+    """Longest-processing-time-first assignment to ``g`` subsets.
+
+    Tasks are considered in decreasing order of ``time_of`` and assigned
+    to the subset with the smallest accumulated execution time (the
+    modified greedy scheduler with 4/3 sub-optimality bound referenced in
+    Section 3.2).  Ties fall to the lowest-indexed subset, which keeps
+    the result deterministic.
+    """
+    groups: List[List[MTask]] = [[] for _ in range(g)]
+    loads = [0.0] * g
+    order = sorted(tasks, key=lambda t: (-time_of(t), t.name))
+    for t in order:
+        l = min(range(g), key=lambda i: (loads[i], i))
+        groups[l].append(t)
+        loads[l] += time_of(t)
+    return groups
+
+
+def round_robin_assign(
+    tasks: Sequence[MTask],
+    time_of: Callable[[MTask], float],
+    g: int,
+) -> List[List[MTask]]:
+    """Naive round-robin assignment; ablation baseline for LPT."""
+    groups: List[List[MTask]] = [[] for _ in range(g)]
+    for i, t in enumerate(tasks):
+        groups[i % g].append(t)
+    return groups
+
+
+def adjust_group_sizes(
+    groups: Sequence[Sequence[MTask]],
+    seq_work: Callable[[MTask], float],
+    total_cores: int,
+) -> List[int]:
+    """Group adjustment: sizes proportional to accumulated sequential work.
+
+    ``g_l = round(P * Tseq(G_l) / sum_j Tseq(G_j))`` with rounding fixed
+    up so the sizes sum to ``total_cores``, every group keeps at least
+    one core, and no group shrinks below the ``min_procs`` of its widest
+    task.
+    """
+    g = len(groups)
+    if g == 0:
+        return []
+    if g > total_cores:
+        raise ValueError(f"{g} groups cannot share {total_cores} cores")
+    tseq = [sum(seq_work(t) for t in grp) for grp in groups]
+    total_work = sum(tseq)
+    floors = [max((max((t.min_procs for t in grp), default=1)), 1) for grp in groups]
+    if sum(floors) > total_cores:
+        raise ValueError("min_procs constraints exceed the available cores")
+    if total_work <= 0:
+        return equal_partition(total_cores, g)
+
+    ideal = [total_cores * w / total_work for w in tseq]
+    sizes = [max(f, round(x)) for f, x in zip(floors, ideal)]
+    # repair the rounding so sizes sum to total_cores
+    diff = total_cores - sum(sizes)
+    # fractional parts guide who gains/loses first
+    order_gain = sorted(range(g), key=lambda i: (sizes[i] - ideal[i], i))
+    order_lose = sorted(range(g), key=lambda i: (ideal[i] - sizes[i], i))
+    k = 0
+    while diff > 0:
+        sizes[order_gain[k % g]] += 1
+        diff -= 1
+        k += 1
+    k = 0
+    while diff < 0:
+        i = order_lose[k % g]
+        if sizes[i] > floors[i]:
+            sizes[i] -= 1
+            diff += 1
+        k += 1
+        if k > 10 * g and diff < 0:  # all at floor; distribute remainder anyway
+            raise ValueError("cannot satisfy min_procs floors within total cores")
+    return sizes

@@ -1,0 +1,51 @@
+"""Scheduler interface and symbolic-timeline utilities."""
+
+from __future__ import annotations
+
+from typing import List, Protocol, Union
+
+from ..core.costmodel import CostModel
+from ..core.graph import TaskGraph
+from ..core.schedule import LayeredSchedule, Schedule, ScheduledTask
+
+__all__ = ["Scheduler", "symbolic_timeline"]
+
+
+class Scheduler(Protocol):
+    """A scheduling algorithm for M-task graphs."""
+
+    def schedule(self, graph: TaskGraph) -> Union[LayeredSchedule, Schedule]:
+        """Compute a schedule for ``graph`` on the scheduler's platform."""
+        ...
+
+
+def symbolic_timeline(
+    schedule: LayeredSchedule,
+    cost: CostModel,
+    expand_chains: bool = True,
+) -> Schedule:
+    """Estimate a start/finish timeline for a layered schedule.
+
+    Uses the symbolic cost ``Tsymb`` (default mapping pattern); layers are
+    separated by a barrier, groups execute their tasks one after another.
+    This is the makespan the *scheduling* phase reasons about -- the
+    simulator recomputes the real timeline after mapping.
+    """
+    out = Schedule(schedule.nprocs)
+    t_layer = 0.0
+    for layer in schedule.layers:
+        ranges = layer.symbolic_ranges()
+        layer_end = t_layer
+        for gi, tasks in enumerate(layer.groups):
+            cores = tuple(ranges[gi])
+            t = t_layer
+            for task in tasks:
+                members = schedule.expand(task) if expand_chains else [task]
+                for m in members:
+                    width = m.clamp_procs(len(cores))
+                    dur = cost.tsymb(m, width)
+                    out.add(ScheduledTask(m, t, t + dur, cores[:width]))
+                    t += dur
+            layer_end = max(layer_end, t)
+        t_layer = layer_end
+    return out

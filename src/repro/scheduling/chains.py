@@ -1,0 +1,107 @@
+"""Linear-chain identification and contraction (step 1 of Algorithm 1).
+
+A *linear chain* is a maximal path ``t_1 -> t_2 -> .. -> t_n`` (n >= 2) in
+the M-task graph where every node but the entry has exactly one
+predecessor (its chain predecessor) and every node but the exit has
+exactly one successor (its chain successor).  Replacing each maximal
+chain by a single node guarantees that its members are later scheduled
+onto the same group of cores, avoiding re-distribution between them --
+e.g. the micro-steps of one approximation of the extrapolation method
+(Fig. 5 left).
+
+The contracted node accumulates the members' computational work and
+internal communication; edges entering the entry / leaving the exit are
+re-attached to the contracted node with their original data flows.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..core.graph import TaskGraph
+from ..core.task import MTask
+
+__all__ = ["find_linear_chains", "contract_chains"]
+
+
+def find_linear_chains(graph: TaskGraph) -> List[List[MTask]]:
+    """All maximal linear chains with at least two members.
+
+    Chains are disjoint; members are returned in execution order.
+    """
+
+    def chain_edge(u: MTask, v: MTask) -> bool:
+        # u -> v may be merged iff v is u's only successor and u is v's
+        # only predecessor.
+        return len(graph.successors(u)) == 1 and len(graph.predecessors(v)) == 1
+
+    chains: List[List[MTask]] = []
+    seen = set()
+    for t in graph.topological_order():
+        if t in seen:
+            continue
+        preds = graph.predecessors(t)
+        extendable_back = len(preds) == 1 and chain_edge(preds[0], t)
+        if extendable_back:
+            continue  # not a chain head; will be reached from its head
+        chain = [t]
+        cur = t
+        while True:
+            succs = graph.successors(cur)
+            if len(succs) != 1:
+                break
+            nxt = succs[0]
+            if not chain_edge(cur, nxt) or nxt in seen:
+                break
+            chain.append(nxt)
+            cur = nxt
+        if len(chain) >= 2:
+            chains.append(chain)
+            seen.update(chain)
+    return chains
+
+
+def _merge_chain(chain: List[MTask]) -> MTask:
+    """Build the contracted node of a chain."""
+    work = sum(t.work for t in chain)
+    comm = tuple(c for t in chain for c in t.comm)
+    min_procs = max(t.min_procs for t in chain)
+    max_candidates = [t.max_procs for t in chain if t.max_procs is not None]
+    max_procs = min(max_candidates) if max_candidates else None
+    sync_points = sum(t.sync_points for t in chain)
+    name = f"chain[{chain[0].name}..{chain[-1].name}:{len(chain)}]"
+    return MTask(
+        name=name,
+        work=work,
+        comm=comm,
+        min_procs=min_procs,
+        max_procs=max_procs,
+        sync_points=sync_points,
+        meta={"chain_members": list(chain)},
+    )
+
+
+def contract_chains(graph: TaskGraph) -> Tuple[TaskGraph, Dict[MTask, List[MTask]]]:
+    """Contract every maximal linear chain into a single node.
+
+    Returns the contracted graph and the expansion map from contracted
+    node to ordered member tasks (identity entries are omitted).
+    """
+    chains = find_linear_chains(graph)
+    node_of: Dict[MTask, MTask] = {}
+    expansion: Dict[MTask, List[MTask]] = {}
+    for chain in chains:
+        merged = _merge_chain(chain)
+        expansion[merged] = list(chain)
+        for member in chain:
+            node_of[member] = merged
+
+    out = TaskGraph(f"{graph.name}/chained")
+    for t in graph:
+        out.add_task(node_of.get(t, t))
+    for u, v, flows in graph.edges():
+        cu, cv = node_of.get(u, u), node_of.get(v, v)
+        if cu is cv:
+            continue  # interior chain edge
+        out.add_dependency(cu, cv, flows)
+    return out, expansion

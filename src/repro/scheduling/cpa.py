@@ -1,0 +1,75 @@
+"""CPA -- Critical Path and Allocation (Radulescu & van Gemund, 2001).
+
+Comparison baseline of Section 4.3.  CPA decouples the *allocation* phase
+from the *scheduling* phase:
+
+* allocation starts every task at one core and repeatedly gives one more
+  core to the critical-path task with the largest execution-time gain,
+  until the critical path no longer exceeds the average area
+  ``A = sum_t q_t * T(t, q_t) / P``;
+* scheduling is an earliest-finish list scheduler over the fixed
+  allocation (:mod:`repro.scheduling.listsched`).
+
+Because the allocation phase never looks back at the global core budget,
+wide graphs of independent tasks can end up with ``sum_t q_t > P``
+("over-allocation"), serialising tasks that were meant to run
+concurrently -- exactly the behaviour the paper observes for the PABM
+method (Fig. 13 left).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..core.costmodel import CostModel
+from ..core.graph import TaskGraph
+from ..core.schedule import Schedule
+from ..core.task import MTask
+from .listsched import list_schedule
+
+__all__ = ["CPAScheduler"]
+
+
+@dataclass
+class CPAScheduler:
+    """The CPA two-phase M-task scheduler."""
+
+    cost: CostModel
+    #: safety bound on allocation iterations (defaults to ample headroom)
+    max_iterations: int = 100_000
+    #: cores added per allocation move; > 1 coarsens the search on large
+    #: machines (a performance knob, not part of the original algorithm)
+    granularity: int = 1
+
+    def allocate(self, graph: TaskGraph) -> Dict[MTask, int]:
+        """CPA allocation phase."""
+        P = self.cost.platform.total_cores
+        step = max(1, self.granularity)
+        alloc: Dict[MTask, int] = {t: t.min_procs for t in graph}
+        for _ in range(self.max_iterations):
+            times = {t: self.cost.tsymb(t, alloc[t]) for t in graph}
+            cp_len = graph.critical_path_length(times)
+            area = sum(alloc[t] * times[t] for t in graph) / P
+            if cp_len <= area:
+                break
+            path = graph.critical_path(times)
+            best_task, best_gain = None, 0.0
+            for t in path:
+                limit = t.clamp_procs(P)
+                if alloc[t] >= limit:
+                    continue
+                trial = min(limit, alloc[t] + step)
+                gain = times[t] - self.cost.tsymb(t, trial)
+                if gain > best_gain:
+                    best_task, best_gain = t, gain
+            if best_task is None:
+                break  # no critical-path task benefits from another core
+            alloc[best_task] = min(
+                best_task.clamp_procs(P), alloc[best_task] + step
+            )
+        return alloc
+
+    def schedule(self, graph: TaskGraph) -> Schedule:
+        alloc = self.allocate(graph)
+        return list_schedule(graph, alloc, self.cost)

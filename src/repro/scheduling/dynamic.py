@@ -1,0 +1,216 @@
+"""Dynamic M-task scheduling (Section 2.2.2).
+
+The paper's static algorithm needs the whole M-task graph up front.  For
+adaptive computations and divide-and-conquer algorithms it points to
+*dynamic* scheduling in the style of the Tlib library [44]: subsets of
+cores are assigned to M-tasks at runtime, depending on the availability
+of free cores, and tasks may create further M-tasks recursively while
+the program runs.
+
+:class:`DynamicScheduler` implements that execution model on top of the
+simulation kernel:
+
+* a task becomes *ready* when the tasks it depends on have finished;
+* ready tasks wait in a priority queue (longest sequential work first,
+  ties by submission order);
+* when cores free up, the dispatcher grants the head of the queue a
+  group of free cores -- its preferred width if available, any feasible
+  remainder otherwise (moldability at work);
+* a running task may submit new tasks (``spawn``) with dependencies on
+  other dynamic tasks, enabling recursive decomposition.
+
+The result is an :class:`~repro.sim.trace.ExecutionTrace` like the static
+pipeline produces, so dynamic and static schedules can be compared
+directly (see ``examples/divide_and_conquer.py``).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..cluster.architecture import CoreId
+from ..core.costmodel import CostModel
+from ..core.task import MTask
+from ..sim.engine import Simulator
+from ..sim.trace import ExecutionTrace, TraceEntry
+
+__all__ = ["DynamicTask", "DynamicScheduler", "SpawnContext"]
+
+
+@dataclass(eq=False)
+class DynamicTask:
+    """A task submitted to the dynamic scheduler.
+
+    ``preferred_width`` is the core count the task would like; the
+    dispatcher may grant fewer (down to ``task.min_procs``) when the
+    machine is busy.  ``on_start`` runs when the task is dispatched and
+    may spawn further tasks through the provided :class:`SpawnContext`.
+    """
+
+    task: MTask
+    deps: Tuple["DynamicTask", ...] = ()
+    preferred_width: Optional[int] = None
+    on_start: Optional[Callable[["SpawnContext"], None]] = None
+    #: filled in by the scheduler
+    _remaining: int = field(default=0, repr=False)
+    _submitted: int = field(default=0, repr=False)
+
+
+class SpawnContext:
+    """Handed to a task's ``on_start`` hook to submit child tasks."""
+
+    def __init__(self, scheduler: "DynamicScheduler", parent: DynamicTask) -> None:
+        self._scheduler = scheduler
+        self.parent = parent
+
+    def spawn(
+        self,
+        task: MTask,
+        deps: Sequence[DynamicTask] = (),
+        preferred_width: Optional[int] = None,
+        on_start: Optional[Callable[["SpawnContext"], None]] = None,
+    ) -> DynamicTask:
+        """Submit a new task from inside a running task."""
+        # children implicitly depend on their parent (its inputs exist)
+        all_deps = tuple(deps) + (self.parent,)
+        return self._scheduler.submit(
+            task, deps=all_deps, preferred_width=preferred_width, on_start=on_start
+        )
+
+
+class DynamicScheduler:
+    """Runtime scheduler with dynamic task creation.
+
+    Usage::
+
+        dyn = DynamicScheduler(cost)
+        root = dyn.submit(task, on_start=decompose)   # decompose spawns more
+        trace = dyn.run()
+    """
+
+    def __init__(self, cost: CostModel) -> None:
+        self.cost = cost
+        self.machine = cost.platform.machine
+        self._sim = Simulator()
+        self._free: List[CoreId] = list(self.machine.cores())
+        self._ready: List[Tuple[float, int, DynamicTask]] = []
+        self._counter = itertools.count()
+        self._pending: Set[DynamicTask] = set()
+        self._running: Set[DynamicTask] = set()
+        self._done: Set[DynamicTask] = set()
+        self._waiters: Dict[DynamicTask, List[DynamicTask]] = {}
+        self._trace = ExecutionTrace(self.machine)
+        self._ran = False
+
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        task: MTask,
+        deps: Sequence[DynamicTask] = (),
+        preferred_width: Optional[int] = None,
+        on_start: Optional[Callable[[SpawnContext], None]] = None,
+    ) -> DynamicTask:
+        """Submit a task; may be called before or during :meth:`run`."""
+        dyn = DynamicTask(
+            task=task,
+            deps=tuple(deps),
+            preferred_width=preferred_width,
+            on_start=on_start,
+        )
+        dyn._submitted = next(self._counter)
+        open_deps = [d for d in dyn.deps if d not in self._done]
+        dyn._remaining = len(open_deps)
+        for d in open_deps:
+            if d in self._trace or d in self._done:
+                continue
+            self._waiters.setdefault(d, []).append(dyn)
+        self._pending.add(dyn)
+        if dyn._remaining == 0:
+            self._enqueue(dyn)
+        return dyn
+
+    def _enqueue(self, dyn: DynamicTask) -> None:
+        # longest sequential work first; FIFO among equals
+        prio = (-dyn.task.work, dyn._submitted)
+        heapq.heappush(self._ready, (prio[0], prio[1], dyn))
+        self._sim.at(self._sim.now, self._dispatch)
+
+    # ------------------------------------------------------------------
+    def _grant_width(self, dyn: DynamicTask) -> Optional[int]:
+        free = len(self._free)
+        want = dyn.preferred_width or dyn.task.clamp_procs(self.machine.total_cores)
+        want = dyn.task.clamp_procs(max(want, dyn.task.min_procs))
+        if free >= want:
+            return want
+        if free >= dyn.task.min_procs:
+            return dyn.task.clamp_procs(free)
+        return None
+
+    def _dispatch(self) -> None:
+        # grant cores to ready tasks in priority order; a task that does
+        # not fit blocks lower-priority tasks from jumping far ahead only
+        # if even its minimum width is unavailable
+        deferred: List[Tuple[float, int, DynamicTask]] = []
+        while self._ready:
+            key = heapq.heappop(self._ready)
+            dyn = key[2]
+            width = self._grant_width(dyn)
+            if width is None:
+                deferred.append(key)
+                break  # nothing smaller will run before cores free up
+            cores = tuple(self._free[:width])
+            del self._free[:width]
+            self._start(dyn, cores)
+        for key in deferred:
+            heapq.heappush(self._ready, key)
+
+    def _start(self, dyn: DynamicTask, cores: Tuple[CoreId, ...]) -> None:
+        self._pending.discard(dyn)
+        self._running.add(dyn)
+        if dyn.on_start is not None:
+            dyn.on_start(SpawnContext(self, dyn))
+        comp = self.cost.tcomp_mapped(dyn.task, cores)
+        comm = self.cost.tcomm_mapped(dyn.task, cores)
+        start = self._sim.now
+        finish = start + comp + comm
+        self._trace.add(
+            TraceEntry(
+                task=dyn.task,
+                start=start,
+                finish=finish,
+                cores=cores,
+                comp_time=comp,
+                comm_time=comm,
+                redist_wait=0.0,
+            )
+        )
+        self._sim.at(finish, lambda: self._complete(dyn, cores))
+
+    def _complete(self, dyn: DynamicTask, cores: Tuple[CoreId, ...]) -> None:
+        self._running.discard(dyn)
+        self._done.add(dyn)
+        self._free.extend(cores)
+        self._free.sort()
+        for waiter in self._waiters.pop(dyn, []):
+            waiter._remaining -= 1
+            if waiter._remaining == 0:
+                self._enqueue(waiter)
+        self._dispatch()
+
+    # ------------------------------------------------------------------
+    def run(self) -> ExecutionTrace:
+        """Process the submitted (and recursively spawned) tasks."""
+        if self._ran:
+            raise RuntimeError("a DynamicScheduler instance runs only once")
+        self._ran = True
+        self._sim.at(0.0, self._dispatch)
+        self._sim.run()
+        if self._pending or self._running:
+            stuck = [d.task.name for d in self._pending | self._running]
+            raise RuntimeError(
+                f"dynamic schedule deadlocked; unfinished tasks: {stuck}"
+            )
+        return self._trace

@@ -1,0 +1,151 @@
+"""The combined layer-based scheduling algorithm (Algorithm 1).
+
+The scheduler proceeds in three steps (Section 3.2):
+
+1. replace maximal linear chains by single nodes
+   (:mod:`repro.scheduling.chains`),
+2. partition the contracted graph into layers of independent tasks
+   (:mod:`repro.scheduling.layers`),
+3. for every layer, try each feasible number ``g`` of equal-sized core
+   subsets, assign the layer's tasks to subsets with the modified LPT
+   greedy, pick the ``g`` minimising the layer makespan
+   ``Tact(g)`` under the symbolic cost ``Tsymb`` and finally *adjust* the
+   chosen groups' sizes proportionally to their accumulated sequential
+   work (:mod:`repro.scheduling.allocation`).
+
+All decisions use symbolic cores interconnected by the slowest network
+level; the separate mapping step (:mod:`repro.mapping`) later pins the
+groups to physical cores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.costmodel import CostModel
+from ..core.graph import TaskGraph
+from ..core.schedule import Layer, LayeredSchedule
+from ..core.task import MTask
+from .allocation import adjust_group_sizes, equal_partition, lpt_assign, round_robin_assign
+from .chains import contract_chains
+from .layers import build_layers
+
+__all__ = ["LayerBasedScheduler"]
+
+
+@dataclass
+class LayerBasedScheduler:
+    """Layer-based M-task scheduler with group adjustment.
+
+    Parameters
+    ----------
+    cost:
+        Cost model (binds the target platform).
+    contract:
+        Contract linear chains first (step 1); disabling this is the
+        chain-contraction ablation.
+    adjust:
+        Apply the group-size adjustment after choosing ``g``.
+    assignment:
+        ``"lpt"`` (paper) or ``"roundrobin"`` (ablation baseline).
+    candidate_groups:
+        Restrict the searched group counts.  ``None`` searches every
+        feasible ``g``; wide layers (> ``wide_layer_limit`` tasks) fall
+        back to powers of two plus the layer width to keep the search
+        tractable, matching the group counts the paper sweeps.
+    """
+
+    cost: CostModel
+    contract: bool = True
+    adjust: bool = True
+    assignment: str = "lpt"
+    candidate_groups: Optional[Sequence[int]] = None
+    wide_layer_limit: int = 64
+
+    def __post_init__(self) -> None:
+        if self.assignment not in ("lpt", "roundrobin"):
+            raise ValueError("assignment must be 'lpt' or 'roundrobin'")
+
+    # ------------------------------------------------------------------
+    @property
+    def nprocs(self) -> int:
+        return self.cost.platform.total_cores
+
+    def _assign(self, tasks, time_of, g):
+        fn = lpt_assign if self.assignment == "lpt" else round_robin_assign
+        return fn(tasks, time_of, g)
+
+    def _candidates(self, n_tasks: int) -> List[int]:
+        max_g = min(self.nprocs, n_tasks)
+        if self.candidate_groups is not None:
+            # clamp requested counts to the layer width (a fixed-g sweep
+            # still needs narrow layers, e.g. a lone combine task, to work)
+            return sorted({min(max(g, 1), max_g) for g in self.candidate_groups})
+        if max_g <= self.wide_layer_limit:
+            return list(range(1, max_g + 1))
+        cands = {1, max_g}
+        g = 2
+        while g < max_g:
+            cands.add(g)
+            g *= 2
+        return sorted(cands)
+
+    def _layer_feasible(self, tasks: Sequence[MTask], g: int) -> bool:
+        min_size = min(equal_partition(self.nprocs, g))
+        return all(t.min_procs <= min_size for t in tasks)
+
+    def schedule_layer(self, tasks: Sequence[MTask]) -> Tuple[Layer, float]:
+        """Schedule one layer; returns the layer and its ``Tmin``."""
+        P = self.nprocs
+        best: Optional[Tuple[float, int, List[List[MTask]], List[int]]] = None
+        for g in self._candidates(len(tasks)):
+            if not self._layer_feasible(tasks, g):
+                continue
+            sizes = equal_partition(P, g)
+            q_est = P // g  # the equal subset size the paper assumes
+            time_of = lambda t, q=q_est: self.cost.tsymb(t, t.clamp_procs(max(q, t.min_procs)))
+            groups = self._assign(tasks, time_of, g)
+            loads = []
+            for gi, grp in enumerate(groups):
+                q = sizes[gi]
+                loads.append(
+                    sum(self.cost.tsymb(t, t.clamp_procs(max(q, t.min_procs))) for t in grp)
+                )
+            tact = max(loads) if loads else 0.0
+            if best is None or tact < best[0] - 1e-15:
+                best = (tact, g, groups, sizes)
+        if best is None:
+            raise ValueError(
+                "no feasible group count for layer "
+                f"[{', '.join(t.name for t in tasks)}] on {P} cores"
+            )
+        tact, g, groups, sizes = best
+        # drop empty groups (can happen when g exceeds the task count of a
+        # restricted candidate list)
+        nonempty = [(grp, sz) for grp, sz in zip(groups, sizes) if grp]
+        groups = [grp for grp, _ in nonempty]
+        sizes = [sz for _, sz in nonempty]
+        lost = self.nprocs - sum(sizes)
+        if lost > 0 and sizes:
+            sizes[0] += lost  # give cores of dropped groups to the largest
+        if self.adjust and len(groups) > 1:
+            sizes = adjust_group_sizes(groups, self.cost.sequential_time, self.nprocs)
+        return Layer(groups=groups, group_sizes=sizes), tact
+
+    def schedule(self, graph: TaskGraph) -> LayeredSchedule:
+        """Run the complete three-step algorithm on an M-task graph."""
+        if self.contract:
+            work_graph, expansion = contract_chains(graph)
+        else:
+            work_graph, expansion = graph, {}
+        raw_layers = build_layers(work_graph)
+        layers: List[Layer] = []
+        for tasks in raw_layers:
+            layer, _ = self.schedule_layer(tasks)
+            layers.append(layer)
+        return LayeredSchedule(
+            nprocs=self.nprocs,
+            layers=layers,
+            expansion={k: list(v) for k, v in expansion.items()},
+        )

@@ -1,0 +1,44 @@
+"""Greedy layer decomposition (step 2 of Algorithm 1).
+
+A breadth-first greedy pass partitions the (chain-contracted) M-task
+graph into consecutive *layers* of pairwise independent tasks: a task
+joins the earliest layer that already contains all of its predecessors'
+layers strictly before it.  The greedy rule "put as many independent
+nodes as possible into the current layer" is equivalent to grouping tasks
+by their longest-path depth from the sources, which is what the paper's
+shrinking-wavefront illustration (Fig. 5 right) shows.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..core.graph import TaskGraph
+from ..core.task import MTask
+
+__all__ = ["build_layers", "layer_index"]
+
+
+def layer_index(graph: TaskGraph) -> Dict[MTask, int]:
+    """Layer number of every task (longest-path depth from the sources)."""
+    depth: Dict[MTask, int] = {}
+    for t in graph.topological_order():
+        preds = graph.predecessors(t)
+        depth[t] = 0 if not preds else 1 + max(depth[p] for p in preds)
+    return depth
+
+
+def build_layers(graph: TaskGraph) -> List[List[MTask]]:
+    """Partition the graph into layers of independent tasks.
+
+    Tasks within a returned layer are pairwise independent by
+    construction; layers are ordered so that all dependencies point from
+    earlier to later layers.
+    """
+    depth = layer_index(graph)
+    if not depth:
+        return []
+    layers: List[List[MTask]] = [[] for _ in range(max(depth.values()) + 1)]
+    for t in graph.topological_order():
+        layers[depth[t]].append(t)
+    return layers

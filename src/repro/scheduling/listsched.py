@@ -1,0 +1,80 @@
+"""List scheduling of M-task graphs with fixed per-task allocations.
+
+Shared scheduling phase of the CPA and CPR baselines: given an allocation
+``q_t`` for every task, tasks are dispatched in decreasing bottom-level
+order; each task takes the ``q_t`` symbolic cores that become free
+earliest and starts when both its cores and its input data (predecessor
+finish plus symbolic re-distribution) are available.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from ..core.costmodel import CostModel
+from ..core.graph import TaskGraph
+from ..core.schedule import Schedule, ScheduledTask
+from ..core.task import MTask
+
+__all__ = ["bottom_levels", "list_schedule"]
+
+
+def bottom_levels(graph: TaskGraph, times: Dict[MTask, float]) -> Dict[MTask, float]:
+    """Bottom level (length of the longest path to a sink) per task."""
+    bl: Dict[MTask, float] = {}
+    for t in reversed(graph.topological_order()):
+        succ = graph.successors(t)
+        bl[t] = times[t] + (max(bl[s] for s in succ) if succ else 0.0)
+    return bl
+
+
+def list_schedule(
+    graph: TaskGraph,
+    alloc: Dict[MTask, int],
+    cost: CostModel,
+    include_redistribution: bool = True,
+) -> Schedule:
+    """Earliest-finish list scheduling under a fixed allocation."""
+    P = cost.platform.total_cores
+    times = {t: cost.tsymb(t, alloc[t]) for t in graph}
+    bl = bottom_levels(graph, times)
+
+    avail = [0.0] * P  # per symbolic core: time it becomes free
+    finish: Dict[MTask, float] = {}
+    cores_of: Dict[MTask, tuple] = {}
+    scheduled: Set[MTask] = set()
+    schedule = Schedule(P)
+
+    pending = set(graph.tasks)
+    while pending:
+        ready = [
+            t for t in pending if all(p in scheduled for p in graph.predecessors(t))
+        ]
+        if not ready:
+            raise AssertionError("dependency deadlock in list scheduling")
+        # highest bottom level first; name breaks ties deterministically
+        t = min(ready, key=lambda x: (-bl[x], x.name))
+        q = alloc[t]
+        if not 1 <= q <= P:
+            raise ValueError(f"allocation of {t.name!r} is {q}, outside [1, {P}]")
+        # the q cores that free up earliest
+        order = sorted(range(P), key=lambda c: (avail[c], c))
+        chosen = tuple(sorted(order[:q]))
+        core_ready = max(avail[c] for c in chosen)
+        data_ready = 0.0
+        for p in graph.predecessors(t):
+            arrival = finish[p]
+            if include_redistribution and set(cores_of[p]) != set(chosen):
+                flows = graph.flows(p, t)
+                arrival += cost.redistribution_time_symbolic(flows, alloc[p], q)
+            data_ready = max(data_ready, arrival)
+        start = max(core_ready, data_ready)
+        end = start + times[t]
+        for c in chosen:
+            avail[c] = end
+        finish[t] = end
+        cores_of[t] = chosen
+        schedule.add(ScheduledTask(t, start, end, chosen))
+        scheduled.add(t)
+        pending.discard(t)
+    return schedule

@@ -1,0 +1,133 @@
+"""Execution traces produced by the simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..cluster.architecture import CoreId, Machine
+from ..core.task import MTask
+
+__all__ = ["TraceEntry", "ExecutionTrace"]
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """Simulated execution record of one task."""
+
+    task: MTask
+    start: float
+    finish: float
+    cores: Tuple[CoreId, ...]
+    comp_time: float
+    comm_time: float
+    redist_wait: float  #: re-distribution delay charged before the start
+
+    @property
+    def duration(self) -> float:
+        return self.finish - self.start
+
+
+@dataclass
+class ExecutionTrace:
+    """Complete simulated run of an M-task program."""
+
+    machine: Machine
+    entries: List[TraceEntry] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._by_task: Dict[MTask, TraceEntry] = {e.task: e for e in self.entries}
+
+    def add(self, entry: TraceEntry) -> None:
+        if entry.task in self._by_task:
+            raise ValueError(f"task {entry.task.name!r} traced twice")
+        self.entries.append(entry)
+        self._by_task[entry.task] = entry
+
+    def __getitem__(self, task: MTask) -> TraceEntry:
+        return self._by_task[task]
+
+    def __contains__(self, task: MTask) -> bool:
+        return task in self._by_task
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    @property
+    def makespan(self) -> float:
+        return max((e.finish for e in self.entries), default=0.0)
+
+    @property
+    def total_comp(self) -> float:
+        return sum(e.comp_time * len(e.cores) for e in self.entries)
+
+    @property
+    def total_comm(self) -> float:
+        return sum(e.comm_time * len(e.cores) for e in self.entries)
+
+    def comm_fraction(self) -> float:
+        """Fraction of busy core-time spent communicating."""
+        busy = self.total_comp + self.total_comm
+        return self.total_comm / busy if busy > 0 else 0.0
+
+    def utilization(self) -> float:
+        """Busy core-time over the ``P x makespan`` area."""
+        span = self.makespan
+        if span <= 0:
+            return 0.0
+        area = span * self.machine.total_cores
+        busy = sum(e.duration * len(e.cores) for e in self.entries)
+        return busy / area
+
+    def per_node_busy(self) -> Dict[int, float]:
+        busy: Dict[int, float] = {}
+        for e in self.entries:
+            for c in e.cores:
+                busy[c.node] = busy.get(c.node, 0.0) + e.duration
+        return busy
+
+    def gantt_lines(self, width: int = 72, by_node: bool = True) -> List[str]:
+        """Coarse ASCII Gantt chart of the trace.
+
+        With ``by_node`` one line per node (letters show which task keeps
+        the node busy); otherwise one line per core.
+        """
+        span = self.makespan or 1.0
+        entries = sorted(self.entries, key=lambda e: (e.start, e.task.name))
+        letter = {e.task: chr(ord("A") + i % 26) for i, e in enumerate(entries)}
+        if by_node:
+            keys: List = sorted({c.node for e in entries for c in e.cores})
+            key_of = lambda c: c.node
+            label = lambda k: f"node {k:3d}"
+        else:
+            keys = sorted({c for e in entries for c in e.cores})
+            key_of = lambda c: c
+            label = lambda k: f"core {k.label:>8s}"
+        grid = {k: [" "] * width for k in keys}
+        for e in entries:
+            a = int(e.start / span * (width - 1))
+            b = max(a + 1, int(e.finish / span * (width - 1)))
+            for c in e.cores:
+                row = grid[key_of(c)]
+                for x in range(a, min(b, width)):
+                    row[x] = letter[e.task]
+        return [f"{label(k)} |{''.join(grid[k])}|" for k in keys]
+
+    def to_csv(self) -> str:
+        """The trace as CSV (one row per task, in start order)."""
+        rows = ["task,start,finish,width,nodes,comp_time,comm_time,redist_wait"]
+        for e in sorted(self.entries, key=lambda e: (e.start, e.task.name)):
+            nodes = ";".join(str(n) for n in sorted({c.node for c in e.cores}))
+            rows.append(
+                f"{e.task.name},{e.start!r},{e.finish!r},{len(e.cores)},"
+                f"{nodes},{e.comp_time!r},{e.comm_time!r},{e.redist_wait!r}"
+            )
+        return "\n".join(rows) + "\n"
+
+    def summary(self) -> str:
+        return (
+            f"makespan={self.makespan * 1e3:.3f} ms  "
+            f"util={self.utilization() * 100:.1f}%  "
+            f"comm-frac={self.comm_fraction() * 100:.1f}%  "
+            f"tasks={len(self.entries)}"
+        )

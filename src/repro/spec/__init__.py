@@ -1,0 +1,25 @@
+"""Specification-language front end (the CM-task compiler's DSL)."""
+
+from .ast_nodes import Program
+from .build import BuildResult, GraphBuilder, TaskCost, build_program
+from .codegen import generate_mpi_pseudocode
+from .lexer import LexError, Token, tokenize
+from .parser import ParseError, parse
+from .unparse import unparse, unparse_expr, unparse_stmt
+
+__all__ = [
+    "tokenize",
+    "Token",
+    "LexError",
+    "parse",
+    "ParseError",
+    "Program",
+    "GraphBuilder",
+    "TaskCost",
+    "BuildResult",
+    "build_program",
+    "generate_mpi_pseudocode",
+    "unparse",
+    "unparse_expr",
+    "unparse_stmt",
+]

@@ -1,0 +1,204 @@
+"""Abstract syntax tree of the specification language."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+__all__ = [
+    "Expr",
+    "Num",
+    "Name",
+    "BinOp",
+    "Compare",
+    "Arg",
+    "ConstDecl",
+    "TypeDecl",
+    "ParamDecl",
+    "TaskDecl",
+    "VarDecl",
+    "Stmt",
+    "Call",
+    "Seq",
+    "Par",
+    "ForLoop",
+    "WhileLoop",
+    "CMMain",
+    "Program",
+]
+
+
+# ----------------------------------------------------------------------
+# Expressions (compile-time integer arithmetic over constants/loop vars)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Num:
+    value: int
+
+
+@dataclass(frozen=True)
+class Name:
+    ident: str
+
+
+@dataclass(frozen=True)
+class BinOp:
+    op: str  # + - * /
+    left: "Expr"
+    right: "Expr"
+
+
+Expr = Union[Num, Name, BinOp]
+
+
+@dataclass(frozen=True)
+class Compare:
+    """Loop condition of a ``while``; kept symbolic (runtime property)."""
+
+    op: str  # < > <= >= == !=
+    left: Expr
+    right: Expr
+
+
+def eval_expr(expr: Expr, env: Dict[str, int]) -> int:
+    """Evaluate a compile-time expression under constant/loop bindings."""
+    if isinstance(expr, Num):
+        return expr.value
+    if isinstance(expr, Name):
+        try:
+            return env[expr.ident]
+        except KeyError:
+            raise ValueError(f"undefined constant or loop variable {expr.ident!r}") from None
+    if isinstance(expr, BinOp):
+        a, b = eval_expr(expr.left, env), eval_expr(expr.right, env)
+        if expr.op == "+":
+            return a + b
+        if expr.op == "-":
+            return a - b
+        if expr.op == "*":
+            return a * b
+        if expr.op == "/":
+            if b == 0:
+                raise ValueError("division by zero in specification expression")
+            return a // b
+        raise ValueError(f"unknown operator {expr.op!r}")
+    raise TypeError(f"not an expression: {expr!r}")
+
+
+# ----------------------------------------------------------------------
+# Declarations
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ConstDecl:
+    name: str
+    value: Expr
+
+
+@dataclass(frozen=True)
+class TypeDecl:
+    """``type Rvectors = vector[R];`` -- an array of ``count`` base items."""
+
+    name: str
+    base: str
+    count: Optional[Expr]  #: None for plain aliases
+
+
+@dataclass(frozen=True)
+class ParamDecl:
+    """``eta_k : vector : inout : replic``"""
+
+    name: str
+    type_name: str
+    mode: str  # in / out / inout
+    dist: str  # replic / block / cyclic
+
+
+@dataclass(frozen=True)
+class TaskDecl:
+    """Interface of a basic M-task."""
+
+    name: str
+    params: Tuple[ParamDecl, ...]
+
+
+@dataclass(frozen=True)
+class VarDecl:
+    names: Tuple[str, ...]
+    type_name: str
+
+
+# ----------------------------------------------------------------------
+# Module expressions
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Arg:
+    """A task-call argument: a variable, optionally indexed (``V[i]``)."""
+
+    name: str
+    index: Optional[Expr] = None
+
+
+@dataclass(frozen=True)
+class Call:
+    task: str
+    args: Tuple[Arg, ...]
+
+
+@dataclass(frozen=True)
+class Seq:
+    body: Tuple["Stmt", ...]
+
+
+@dataclass(frozen=True)
+class Par:
+    body: Tuple["Stmt", ...]
+
+
+@dataclass(frozen=True)
+class ForLoop:
+    var: str
+    lo: Expr
+    hi: Expr
+    body: Tuple["Stmt", ...]
+    parallel: bool  #: True for ``parfor``
+
+
+@dataclass(frozen=True)
+class WhileLoop:
+    cond: Compare
+    body: Tuple["Stmt", ...]
+
+
+Stmt = Union[Call, Seq, Par, ForLoop, WhileLoop]
+
+
+@dataclass(frozen=True)
+class CMMain:
+    name: str
+    params: Tuple[ParamDecl, ...]
+    variables: Tuple[VarDecl, ...]
+    body: Stmt
+
+
+@dataclass
+class Program:
+    consts: List[ConstDecl] = field(default_factory=list)
+    types: List[TypeDecl] = field(default_factory=list)
+    tasks: List[TaskDecl] = field(default_factory=list)
+    mains: List[CMMain] = field(default_factory=list)
+
+    def main(self, name: Optional[str] = None) -> CMMain:
+        if not self.mains:
+            raise ValueError("program declares no cmmain")
+        if name is None:
+            return self.mains[0]
+        for m in self.mains:
+            if m.name == name:
+                return m
+        raise KeyError(f"no cmmain named {name!r}")
+
+    def task(self, name: str) -> TaskDecl:
+        for t in self.tasks:
+            if t.name == name:
+                return t
+        raise KeyError(f"no task declaration named {name!r}")

@@ -1,0 +1,128 @@
+"""Lexer for the CM-task specification language (Fig. 3).
+
+The language fragment implemented here covers the constructs of the
+paper's example specification: ``const`` and ``type`` declarations, basic
+M-task interface declarations, and a ``cmmain`` composed task whose
+module expression uses ``seq``, ``par``, ``for``, ``parfor``, ``while``
+and task activations with (possibly indexed) variable arguments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+__all__ = ["Token", "LexError", "tokenize", "KEYWORDS"]
+
+KEYWORDS = frozenset(
+    ["const", "type", "task", "cmmain", "var", "seq", "par", "for", "parfor", "while"]
+)
+
+_SYMBOLS = [
+    "<=",
+    ">=",
+    "==",
+    "!=",
+    "{",
+    "}",
+    "(",
+    ")",
+    "[",
+    "]",
+    ":",
+    ";",
+    "=",
+    ",",
+    "<",
+    ">",
+    "+",
+    "-",
+    "*",
+    "/",
+]
+
+
+class LexError(ValueError):
+    """Raised on malformed input."""
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  #: ``"ident"``, ``"int"``, ``"keyword"``, ``"symbol"``, ``"eof"``
+    text: str
+    line: int
+    col: int
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Token({self.kind} {self.text!r} @{self.line}:{self.col})"
+
+
+def tokenize(source: str) -> List[Token]:
+    """Turn a specification program into a token list (ending with EOF)."""
+    tokens: List[Token] = []
+    i, line, col = 0, 1, 1
+    n = len(source)
+
+    def error(msg: str) -> LexError:
+        return LexError(f"line {line}, column {col}: {msg}")
+
+    while i < n:
+        ch = source[i]
+        # whitespace
+        if ch == "\n":
+            i += 1
+            line += 1
+            col = 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            col += 1
+            continue
+        # comments
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end < 0:
+                raise error("unterminated block comment")
+            skipped = source[i : end + 2]
+            line += skipped.count("\n")
+            if "\n" in skipped:
+                col = len(skipped) - skipped.rfind("\n")
+            else:
+                col += len(skipped)
+            i = end + 2
+            continue
+        # numbers
+        if ch.isdigit():
+            j = i
+            while j < n and source[j].isdigit():
+                j += 1
+            tokens.append(Token("int", source[i:j], line, col))
+            col += j - i
+            i = j
+            continue
+        # identifiers / keywords
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            text = source[i:j]
+            kind = "keyword" if text in KEYWORDS else "ident"
+            tokens.append(Token(kind, text, line, col))
+            col += j - i
+            i = j
+            continue
+        # symbols (longest first)
+        for sym in _SYMBOLS:
+            if source.startswith(sym, i):
+                tokens.append(Token("symbol", sym, line, col))
+                col += len(sym)
+                i += len(sym)
+                break
+        else:
+            raise error(f"unexpected character {ch!r}")
+    tokens.append(Token("eof", "", line, col))
+    return tokens

@@ -1,0 +1,262 @@
+"""Recursive-descent parser for the CM-task specification language."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from .ast_nodes import (
+    Arg,
+    BinOp,
+    Call,
+    CMMain,
+    Compare,
+    ConstDecl,
+    Expr,
+    ForLoop,
+    Name,
+    Num,
+    Par,
+    ParamDecl,
+    Program,
+    Seq,
+    Stmt,
+    TaskDecl,
+    TypeDecl,
+    VarDecl,
+    WhileLoop,
+)
+from .lexer import Token, tokenize
+
+__all__ = ["ParseError", "parse"]
+
+_MODES = ("in", "out", "inout")
+_DISTS = ("replic", "block", "cyclic")
+_COMPARE_OPS = ("<", ">", "<=", ">=", "==", "!=")
+
+
+class ParseError(ValueError):
+    """Raised on syntactically invalid specifications."""
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token plumbing -------------------------------------------------
+    @property
+    def cur(self) -> Token:
+        return self.tokens[self.pos]
+
+    def error(self, msg: str) -> ParseError:
+        t = self.cur
+        return ParseError(f"line {t.line}, column {t.col}: {msg} (found {t.text!r})")
+
+    def advance(self) -> Token:
+        t = self.cur
+        if t.kind != "eof":
+            self.pos += 1
+        return t
+
+    def accept(self, kind: str, text: Optional[str] = None) -> Optional[Token]:
+        t = self.cur
+        if t.kind == kind and (text is None or t.text == text):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, text: Optional[str] = None) -> Token:
+        t = self.accept(kind, text)
+        if t is None:
+            want = text or kind
+            raise self.error(f"expected {want!r}")
+        return t
+
+    # -- expressions ----------------------------------------------------
+    def parse_expr(self) -> Expr:
+        left = self.parse_term()
+        while self.cur.kind == "symbol" and self.cur.text in ("+", "-"):
+            op = self.advance().text
+            left = BinOp(op, left, self.parse_term())
+        return left
+
+    def parse_term(self) -> Expr:
+        left = self.parse_atom()
+        while self.cur.kind == "symbol" and self.cur.text in ("*", "/"):
+            op = self.advance().text
+            left = BinOp(op, left, self.parse_atom())
+        return left
+
+    def parse_atom(self) -> Expr:
+        if self.cur.kind == "int":
+            return Num(int(self.advance().text))
+        if self.cur.kind == "ident":
+            return Name(self.advance().text)
+        if self.accept("symbol", "("):
+            e = self.parse_expr()
+            self.expect("symbol", ")")
+            return e
+        if self.accept("symbol", "-"):
+            return BinOp("-", Num(0), self.parse_atom())
+        raise self.error("expected expression")
+
+    def parse_compare(self) -> Compare:
+        left = self.parse_expr()
+        if self.cur.kind != "symbol" or self.cur.text not in _COMPARE_OPS:
+            raise self.error("expected comparison operator")
+        op = self.advance().text
+        right = self.parse_expr()
+        return Compare(op, left, right)
+
+    # -- declarations ---------------------------------------------------
+    def parse_param(self) -> ParamDecl:
+        name = self.expect("ident").text
+        self.expect("symbol", ":")
+        type_name = self.expect("ident").text
+        self.expect("symbol", ":")
+        mode = self.expect("ident").text
+        if mode not in _MODES:
+            raise self.error(f"invalid access mode {mode!r}")
+        self.expect("symbol", ":")
+        dist = self.expect("ident").text
+        if dist not in _DISTS:
+            raise self.error(f"invalid distribution {dist!r}")
+        return ParamDecl(name, type_name, mode, dist)
+
+    def parse_param_list(self) -> Tuple[ParamDecl, ...]:
+        self.expect("symbol", "(")
+        params: List[ParamDecl] = []
+        if not self.accept("symbol", ")"):
+            params.append(self.parse_param())
+            while self.accept("symbol", ","):
+                params.append(self.parse_param())
+            self.expect("symbol", ")")
+        return tuple(params)
+
+    def parse_const(self) -> ConstDecl:
+        self.expect("keyword", "const")
+        name = self.expect("ident").text
+        self.expect("symbol", "=")
+        value = self.parse_expr()
+        self.expect("symbol", ";")
+        return ConstDecl(name, value)
+
+    def parse_type(self) -> TypeDecl:
+        self.expect("keyword", "type")
+        name = self.expect("ident").text
+        self.expect("symbol", "=")
+        base = self.expect("ident").text
+        count: Optional[Expr] = None
+        if self.accept("symbol", "["):
+            count = self.parse_expr()
+            self.expect("symbol", "]")
+        self.expect("symbol", ";")
+        return TypeDecl(name, base, count)
+
+    def parse_task(self) -> TaskDecl:
+        self.expect("keyword", "task")
+        name = self.expect("ident").text
+        params = self.parse_param_list()
+        self.expect("symbol", ";")
+        return TaskDecl(name, params)
+
+    def parse_var_decl(self) -> VarDecl:
+        self.expect("keyword", "var")
+        names = [self.expect("ident").text]
+        while self.accept("symbol", ","):
+            names.append(self.expect("ident").text)
+        self.expect("symbol", ":")
+        type_name = self.expect("ident").text
+        self.expect("symbol", ";")
+        return VarDecl(tuple(names), type_name)
+
+    # -- module expressions ----------------------------------------------
+    def parse_arg(self) -> Arg:
+        name = self.expect("ident").text
+        index: Optional[Expr] = None
+        if self.accept("symbol", "["):
+            index = self.parse_expr()
+            self.expect("symbol", "]")
+        return Arg(name, index)
+
+    def parse_call(self) -> Call:
+        name = self.expect("ident").text
+        self.expect("symbol", "(")
+        args: List[Arg] = []
+        if not self.accept("symbol", ")"):
+            args.append(self.parse_arg())
+            while self.accept("symbol", ","):
+                args.append(self.parse_arg())
+            self.expect("symbol", ")")
+        self.expect("symbol", ";")
+        return Call(name, tuple(args))
+
+    def parse_block(self) -> Tuple[Stmt, ...]:
+        self.expect("symbol", "{")
+        stmts: List[Stmt] = []
+        while not self.accept("symbol", "}"):
+            stmts.append(self.parse_stmt())
+        return tuple(stmts)
+
+    def parse_stmt(self) -> Stmt:
+        if self.accept("keyword", "seq"):
+            return Seq(self.parse_block())
+        if self.accept("keyword", "par"):
+            return Par(self.parse_block())
+        if self.cur.kind == "keyword" and self.cur.text in ("for", "parfor"):
+            parallel = self.advance().text == "parfor"
+            self.expect("symbol", "(")
+            var = self.expect("ident").text
+            self.expect("symbol", "=")
+            lo = self.parse_expr()
+            self.expect("symbol", ":")
+            hi = self.parse_expr()
+            self.expect("symbol", ")")
+            body = self.parse_block()
+            return ForLoop(var, lo, hi, body, parallel)
+        if self.accept("keyword", "while"):
+            self.expect("symbol", "(")
+            cond = self.parse_compare()
+            self.expect("symbol", ")")
+            body = self.parse_block()
+            return WhileLoop(cond, body)
+        if self.cur.kind == "ident":
+            return self.parse_call()
+        raise self.error("expected statement")
+
+    def parse_cmmain(self) -> CMMain:
+        self.expect("keyword", "cmmain")
+        name = self.expect("ident").text
+        params = self.parse_param_list()
+        self.expect("symbol", "{")
+        variables: List[VarDecl] = []
+        while self.cur.kind == "keyword" and self.cur.text == "var":
+            variables.append(self.parse_var_decl())
+        body_stmts: List[Stmt] = []
+        while not self.accept("symbol", "}"):
+            body_stmts.append(self.parse_stmt())
+        body: Stmt = body_stmts[0] if len(body_stmts) == 1 else Seq(tuple(body_stmts))
+        return CMMain(name, params, tuple(variables), body)
+
+    # -- program ----------------------------------------------------------
+    def parse_program(self) -> Program:
+        prog = Program()
+        while self.cur.kind != "eof":
+            if self.cur.kind != "keyword":
+                raise self.error("expected declaration")
+            kw = self.cur.text
+            if kw == "const":
+                prog.consts.append(self.parse_const())
+            elif kw == "type":
+                prog.types.append(self.parse_type())
+            elif kw == "task":
+                prog.tasks.append(self.parse_task())
+            elif kw == "cmmain":
+                prog.mains.append(self.parse_cmmain())
+            else:
+                raise self.error(f"unexpected keyword {kw!r} at top level")
+        return prog
+
+
+def parse(source: str) -> Program:
+    """Parse a specification program into its AST."""
+    return _Parser(tokenize(source)).parse_program()

@@ -1,0 +1,124 @@
+"""Render a specification AST back to source text.
+
+``parse(unparse(program))`` reproduces the AST exactly (tested by a
+round-trip property test), which makes programmatically generated
+specifications inspectable and lets tools rewrite specification programs
+(e.g. constant substitution) without string surgery.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .ast_nodes import (
+    Arg,
+    BinOp,
+    Call,
+    CMMain,
+    Compare,
+    ConstDecl,
+    Expr,
+    ForLoop,
+    Name,
+    Num,
+    Par,
+    ParamDecl,
+    Program,
+    Seq,
+    Stmt,
+    TaskDecl,
+    TypeDecl,
+    VarDecl,
+    WhileLoop,
+)
+
+__all__ = ["unparse", "unparse_expr", "unparse_stmt"]
+
+_PRECEDENCE = {"+": 1, "-": 1, "*": 2, "/": 2}
+
+
+def unparse_expr(expr: Expr, parent_prec: int = 0) -> str:
+    if isinstance(expr, Num):
+        return str(expr.value)
+    if isinstance(expr, Name):
+        return expr.ident
+    if isinstance(expr, BinOp):
+        prec = _PRECEDENCE[expr.op]
+        left = unparse_expr(expr.left, prec)
+        # the grammar is left-associative, so a right-nested operand of the
+        # same precedence must keep its parentheses for an exact round trip
+        right = unparse_expr(expr.right, prec + 1)
+        text = f"{left} {expr.op} {right}"
+        return f"({text})" if prec < parent_prec else text
+    raise TypeError(f"not an expression: {expr!r}")
+
+
+def _unparse_param(p: ParamDecl) -> str:
+    return f"{p.name} : {p.type_name} : {p.mode} : {p.dist}"
+
+
+def _unparse_arg(a: Arg) -> str:
+    if a.index is None:
+        return a.name
+    return f"{a.name}[{unparse_expr(a.index)}]"
+
+
+def unparse_stmt(stmt: Stmt, indent: int = 0) -> List[str]:
+    pad = "  " * indent
+    if isinstance(stmt, Call):
+        args = ", ".join(_unparse_arg(a) for a in stmt.args)
+        return [f"{pad}{stmt.task}({args});"]
+    if isinstance(stmt, Seq):
+        return [f"{pad}seq {{", *_block(stmt.body, indent), f"{pad}}}"]
+    if isinstance(stmt, Par):
+        return [f"{pad}par {{", *_block(stmt.body, indent), f"{pad}}}"]
+    if isinstance(stmt, ForLoop):
+        kw = "parfor" if stmt.parallel else "for"
+        head = (
+            f"{pad}{kw} ({stmt.var} = {unparse_expr(stmt.lo)} : "
+            f"{unparse_expr(stmt.hi)}) {{"
+        )
+        return [head, *_block(stmt.body, indent), f"{pad}}}"]
+    if isinstance(stmt, WhileLoop):
+        c = stmt.cond
+        head = (
+            f"{pad}while ({unparse_expr(c.left)} {c.op} "
+            f"{unparse_expr(c.right)}) {{"
+        )
+        return [head, *_block(stmt.body, indent), f"{pad}}}"]
+    raise TypeError(f"not a statement: {stmt!r}")
+
+
+def _block(stmts, indent: int) -> List[str]:
+    out: List[str] = []
+    for s in stmts:
+        out.extend(unparse_stmt(s, indent + 1))
+    return out
+
+
+def unparse(program: Program) -> str:
+    """Source text of a whole specification program."""
+    lines: List[str] = []
+    for c in program.consts:
+        lines.append(f"const {c.name} = {unparse_expr(c.value)};")
+    for t in program.types:
+        if t.count is None:
+            lines.append(f"type {t.name} = {t.base};")
+        else:
+            lines.append(f"type {t.name} = {t.base}[{unparse_expr(t.count)}];")
+    if lines:
+        lines.append("")
+    for task in program.tasks:
+        params = ", ".join(_unparse_param(p) for p in task.params)
+        lines.append(f"task {task.name}({params});")
+    if program.tasks:
+        lines.append("")
+    for main in program.mains:
+        params = ", ".join(_unparse_param(p) for p in main.params)
+        lines.append(f"cmmain {main.name}({params}) {{")
+        for vd in main.variables:
+            lines.append(f"  var {', '.join(vd.names)} : {vd.type_name};")
+        lines.extend(unparse_stmt(main.body, 1))
+        lines.append("}")
+        lines.append("")
+    return "\n".join(lines)

@@ -1,0 +1,158 @@
+"""Tests for the cluster architecture model."""
+
+import pytest
+
+from repro.cluster import (
+    LEVEL_NETWORK,
+    LEVEL_NODE,
+    LEVEL_PROCESSOR,
+    CoreId,
+    Machine,
+    by_name,
+    chic,
+    generic_cluster,
+    juropa,
+    sgi_altix,
+)
+
+
+class TestCoreId:
+    def test_label_is_one_based(self):
+        assert CoreId(0, 0, 0).label == "1.1.1"
+        assert CoreId(2, 1, 3).label == "3.2.4"
+
+    def test_ordering_is_lexicographic(self):
+        assert CoreId(0, 1, 0) < CoreId(1, 0, 0)
+        assert CoreId(0, 0, 1) < CoreId(0, 1, 0)
+
+    def test_hashable_and_eq(self):
+        assert CoreId(1, 2, 3) == CoreId(1, 2, 3)
+        assert len({CoreId(0, 0, 0), CoreId(0, 0, 0), CoreId(0, 0, 1)}) == 2
+
+
+class TestMachine:
+    def test_homogeneous_construction(self):
+        m = Machine.homogeneous("t", nodes=3, procs_per_node=2, cores_per_proc=2, core_flops=1e9)
+        assert m.total_cores == 12
+        assert m.num_nodes == 3
+        assert m.cores_per_node(0) == 4
+        assert m.procs_per_node(0) == 2
+        assert m.cores_per_proc(0, 1) == 2
+
+    def test_cores_canonical_order(self):
+        m = Machine.homogeneous("t", 2, 2, 2, 1e9)
+        cores = m.cores()
+        assert cores == tuple(sorted(cores))
+        assert cores[0] == CoreId(0, 0, 0)
+        assert cores[-1] == CoreId(1, 1, 1)
+
+    def test_heterogeneous_shapes(self):
+        m = Machine("h", ((2, 2), (4,)), core_flops=1e9)
+        assert m.total_cores == 8
+        assert m.cores_per_node(1) == 4
+        assert m.procs_per_node(1) == 1
+
+    def test_invalid_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            Machine("bad", (), core_flops=1e9)
+        with pytest.raises(ValueError):
+            Machine("bad", ((0,),), core_flops=1e9)
+        with pytest.raises(ValueError):
+            Machine.homogeneous("bad", 0, 1, 1, 1e9)
+        with pytest.raises(ValueError):
+            Machine.homogeneous("bad", 1, 1, 1, core_flops=-1)
+
+    def test_contains_and_validate(self):
+        m = Machine.homogeneous("t", 2, 2, 2, 1e9)
+        assert CoreId(1, 1, 1) in m
+        assert CoreId(2, 0, 0) not in m
+        assert CoreId(0, 2, 0) not in m
+        with pytest.raises(ValueError):
+            m.validate_core(CoreId(5, 0, 0))
+
+    def test_comm_levels(self):
+        m = Machine.homogeneous("t", 2, 2, 2, 1e9)
+        a = CoreId(0, 0, 0)
+        assert m.comm_level(a, CoreId(0, 0, 1)) == LEVEL_PROCESSOR
+        assert m.comm_level(a, a) == LEVEL_PROCESSOR
+        assert m.comm_level(a, CoreId(0, 1, 0)) == LEVEL_NODE
+        assert m.comm_level(a, CoreId(1, 0, 0)) == LEVEL_NETWORK
+
+    def test_subset(self):
+        m = Machine.homogeneous("t", 8, 2, 2, 1e9)
+        s = m.subset(3)
+        assert s.num_nodes == 3
+        assert s.total_cores == 12
+        with pytest.raises(ValueError):
+            m.subset(0)
+        with pytest.raises(ValueError):
+            m.subset(9)
+
+    def test_nodes_used(self):
+        m = Machine.homogeneous("t", 4, 2, 2, 1e9)
+        cores = [CoreId(0, 0, 0), CoreId(2, 1, 1), CoreId(0, 1, 0)]
+        assert m.nodes_used(cores) == (0, 2)
+
+    def test_cores_of_node(self):
+        m = Machine.homogeneous("t", 2, 2, 2, 1e9)
+        node_cores = m.cores_of_node(1)
+        assert len(node_cores) == 4
+        assert all(c.node == 1 for c in node_cores)
+
+    def test_tree_lines_structure(self):
+        m = Machine.homogeneous("t", 1, 2, 2, 1e9)
+        lines = m.tree_lines()
+        assert lines[0].startswith("A ")
+        assert sum(1 for l in lines if l.strip().startswith("C ")) == 4
+        assert sum(1 for l in lines if l.strip().startswith("P ")) == 2
+
+
+class TestPlatforms:
+    def test_chic_parameters(self):
+        p = chic()
+        assert p.machine.num_nodes == 530
+        assert p.machine.cores_per_node(0) == 4
+        assert p.machine.core_flops == pytest.approx(5.2e9)
+        assert not p.machine.shared_memory_across_nodes
+
+    def test_juropa_parameters(self):
+        p = juropa()
+        assert p.machine.num_nodes == 2208
+        assert p.machine.cores_per_node(0) == 8
+        assert p.machine.core_flops == pytest.approx(11.72e9)
+
+    def test_altix_is_dsm(self):
+        p = sgi_altix()
+        assert p.machine.shared_memory_across_nodes
+        assert p.machine.num_nodes == 128
+
+    def test_with_cores_whole_nodes(self):
+        p = chic().with_cores(256)
+        assert p.total_cores == 256
+        assert p.machine.num_nodes == 64
+
+    def test_with_cores_rejects_partial_nodes(self):
+        with pytest.raises(ValueError):
+            chic().with_cores(255)
+        with pytest.raises(ValueError):
+            chic().with_cores(0)
+
+    def test_by_name(self):
+        assert by_name("CHiC").name == "CHiC"
+        assert by_name("altix").machine.shared_memory_across_nodes
+        with pytest.raises(ValueError):
+            by_name("does-not-exist")
+
+    def test_network_hierarchy_is_ordered(self):
+        """Bandwidth shrinks and latency grows towards the network level."""
+        for plat in (chic(), juropa(), sgi_altix(), generic_cluster()):
+            bws = [plat.network.level(i).bandwidth for i in range(3)]
+            lats = [plat.network.level(i).latency for i in range(3)]
+            assert bws[0] >= bws[1] >= bws[2]
+            assert lats[0] <= lats[1] <= lats[2]
+            assert plat.network.slowest_level == 2
+
+    def test_describe_mentions_levels(self):
+        text = chic().describe()
+        assert "InfiniBand" in text
+        assert "CHiC" in text

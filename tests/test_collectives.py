@@ -1,0 +1,185 @@
+"""Tests for collective cost models and communication patterns."""
+
+import pytest
+
+from repro.cluster import CoreId, generic_cluster
+from repro.comm import (
+    allgather_time,
+    allreduce_time,
+    alltoall_time,
+    barrier_time,
+    bcast_time,
+    classify,
+    collective_time,
+    collective_time_symbolic,
+    gather_time,
+    multi_group_time,
+    orthogonal_sets,
+    ptp_time,
+    scatter_time,
+)
+from repro.comm.collectives import alltoall_rounds, binomial_rounds, ring_edges
+
+
+@pytest.fixture
+def plat():
+    return generic_cluster(nodes=8, procs_per_node=2, cores_per_proc=2)
+
+
+def group_of(plat, n, scattered=False):
+    cores = plat.machine.cores()
+    if not scattered:
+        return list(cores[:n])
+    per_node = plat.machine.cores_per_node(0)
+    # one core per node round robin
+    ordered = sorted(cores, key=lambda c: (c.proc, c.core, c.node))
+    return list(ordered[:n])
+
+
+class TestRounds:
+    def test_ring_edges_cover_all_ranks(self):
+        g = [CoreId(0, 0, 0), CoreId(0, 0, 1), CoreId(1, 0, 0)]
+        edges = ring_edges(g)
+        assert len(edges) == 3
+        assert edges[0] == (g[0], g[1])
+        assert edges[-1] == (g[2], g[0])
+        assert ring_edges(g[:1]) == []
+
+    def test_binomial_rounds_reach_everyone(self):
+        g = [CoreId(0, 0, i % 2) if i < 2 else CoreId(i // 2, i % 2, 0) for i in range(7)]
+        rounds = binomial_rounds(g)
+        assert len(rounds) == 3  # ceil(log2 7)
+        reached = {g[0]}
+        for edges in rounds:
+            for u, v in edges:
+                assert u in reached
+                reached.add(v)
+        assert reached == set(g)
+
+    def test_alltoall_rounds_pair_everyone(self):
+        g = [CoreId(0, 0, 0), CoreId(0, 0, 1), CoreId(0, 1, 0), CoreId(0, 1, 1)]
+        rounds = alltoall_rounds(g)
+        assert len(rounds) == 3
+        sent = {(u, v) for edges in rounds for u, v in edges}
+        assert len(sent) == 12  # every ordered pair once
+
+
+class TestCollectiveCosts:
+    def test_single_core_is_free(self, plat):
+        m, n = plat.machine, plat.network
+        c = [CoreId(0, 0, 0)]
+        for op in ("allgather", "bcast", "allreduce", "scatter", "gather", "alltoall", "barrier"):
+            assert collective_time(op, m, n, c, 1e6) == 0.0
+
+    def test_monotone_in_message_size(self, plat):
+        m, n = plat.machine, plat.network
+        g = group_of(plat, 8)
+        for op in ("allgather", "bcast", "allreduce", "alltoall", "scatter"):
+            t1 = collective_time(op, m, n, g, 1e4)
+            t2 = collective_time(op, m, n, g, 1e6)
+            assert t2 > t1
+
+    def test_consecutive_cheaper_than_scattered_allgather(self, plat):
+        m, n = plat.machine, plat.network
+        cons = group_of(plat, 16)
+        scat = group_of(plat, 16, scattered=True)
+        big = 1 << 20
+        assert allgather_time(m, n, cons, big) < allgather_time(m, n, scat, big)
+
+    def test_allreduce_is_two_allgathers(self, plat):
+        m, n = plat.machine, plat.network
+        g = group_of(plat, 8)
+        assert allreduce_time(m, n, g, 1e5) == pytest.approx(
+            2 * allgather_time(m, n, g, 1e5)
+        )
+
+    def test_gather_equals_scatter(self, plat):
+        m, n = plat.machine, plat.network
+        g = group_of(plat, 8)
+        assert gather_time(m, n, g, 1e5) == pytest.approx(scatter_time(m, n, g, 1e5))
+
+    def test_ptp_levels(self, plat):
+        m, n = plat.machine, plat.network
+        a = CoreId(0, 0, 0)
+        assert ptp_time(m, n, a, CoreId(0, 0, 1), 1e6) < ptp_time(
+            m, n, a, CoreId(1, 0, 0), 1e6
+        )
+
+    def test_barrier_latency_only(self, plat):
+        m, n = plat.machine, plat.network
+        g = group_of(plat, 8)
+        assert barrier_time(m, n, g) == barrier_time(m, n, g, 1e9)
+        assert barrier_time(m, n, g) > 0
+
+    def test_unknown_op_rejected(self, plat):
+        with pytest.raises(ValueError):
+            collective_time("gossip", plat.machine, plat.network, group_of(plat, 4), 1)
+
+
+class TestMultiGroup:
+    def test_concurrent_groups_contend(self, plat):
+        m, n = plat.machine, plat.network
+        cores = plat.machine.cores()
+        # scattered-style groups: every group spans all nodes
+        g1 = [c for c in cores if c.proc == 0 and c.core == 0]
+        g2 = [c for c in cores if c.proc == 0 and c.core == 1]
+        alone = multi_group_time("allgather", m, n, [g1], 1 << 20)
+        both = multi_group_time("allgather", m, n, [g1, g2], 1 << 20)
+        assert both > alone
+
+    def test_empty(self, plat):
+        assert multi_group_time("allgather", plat.machine, plat.network, [], 1e5) == 0.0
+
+
+class TestSymbolic:
+    def test_symbolic_upper_bounds_contention_free_mapped(self, plat):
+        """Tsymb charges the slowest level, so it bounds any placement that
+        does not suffer NIC contention (here: a single-node group)."""
+        m, n = plat.machine, plat.network
+        g = group_of(plat, 4)  # exactly one node
+        assert len({c.node for c in g}) == 1
+        for op in ("allgather", "bcast", "allreduce", "scatter", "alltoall"):
+            sym = collective_time_symbolic(op, n, 4, 1 << 18)
+            mapped = collective_time(op, m, n, g, 1 << 18)
+            assert sym >= mapped * 0.999
+
+    def test_symbolic_q1_free(self, plat):
+        assert collective_time_symbolic("allgather", plat.network, 1, 1e6) == 0.0
+
+    def test_symbolic_unknown_op(self, plat):
+        with pytest.raises(ValueError):
+            collective_time_symbolic("gossip", plat.network, 4, 1.0)
+
+
+class TestPatterns:
+    def test_orthogonal_sets_shape(self):
+        groups = [
+            [CoreId(0, 0, 0), CoreId(0, 0, 1)],
+            [CoreId(1, 0, 0), CoreId(1, 0, 1)],
+        ]
+        sets = orthogonal_sets(groups, locality_order=False)
+        assert sets == [
+            [CoreId(0, 0, 0), CoreId(1, 0, 0)],
+            [CoreId(0, 0, 1), CoreId(1, 0, 1)],
+        ]
+
+    def test_orthogonal_locality_order_sorts(self):
+        groups = [
+            [CoreId(1, 0, 0), CoreId(1, 0, 1)],
+            [CoreId(0, 0, 0), CoreId(0, 0, 1)],
+        ]
+        sets = orthogonal_sets(groups)
+        assert sets[0][0] == CoreId(0, 0, 0)
+
+    def test_orthogonal_requires_equal_sizes(self):
+        with pytest.raises(ValueError):
+            orthogonal_sets([[CoreId(0, 0, 0)], [CoreId(1, 0, 0), CoreId(1, 0, 1)]])
+
+    def test_classify(self, plat):
+        cores = plat.machine.cores()
+        groups = [list(cores[:4]), list(cores[4:8])]
+        assert classify(cores, cores, groups) == "global"
+        assert classify(groups[0], cores, groups) == "group"
+        orth = [groups[0][0], groups[1][0]]
+        assert classify(sorted(orth), cores, groups) == "orthogonal"
+        assert classify(list(cores[1:3]), cores, groups) == "other"

@@ -1,0 +1,205 @@
+"""Tests for data distributions, including property-based invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distribution import (
+    BlockCyclic,
+    MeshDistribution,
+    Replicated,
+    block,
+    cyclic,
+    transfer_counts,
+)
+
+sizes = st.integers(min_value=0, max_value=200)
+procs = st.integers(min_value=1, max_value=16)
+blocks = st.integers(min_value=1, max_value=32)
+
+
+class TestBlockCyclic:
+    def test_block_distribution_contiguous(self):
+        d = block(10, 3)
+        np.testing.assert_array_equal(d.local_indices(0), [0, 1, 2, 3])
+        np.testing.assert_array_equal(d.local_indices(1), [4, 5, 6, 7])
+        np.testing.assert_array_equal(d.local_indices(2), [8, 9])
+        assert d.is_block
+
+    def test_cyclic_distribution(self):
+        d = cyclic(7, 3)
+        np.testing.assert_array_equal(d.local_indices(1), [1, 4])
+        assert d.is_cyclic
+        np.testing.assert_array_equal(d.owners(), [0, 1, 2, 0, 1, 2, 0])
+
+    def test_blockcyclic_owner_formula(self):
+        d = BlockCyclic(12, 2, 3)
+        np.testing.assert_array_equal(d.owners(), [0] * 3 + [1] * 3 + [0] * 3 + [1] * 3)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            BlockCyclic(-1, 2, 1)
+        with pytest.raises(ValueError):
+            BlockCyclic(4, 0, 1)
+        with pytest.raises(ValueError):
+            BlockCyclic(4, 2, 0)
+        with pytest.raises(ValueError):
+            block(4, 2).local_indices(2)
+
+    @given(n=sizes, p=procs, b=blocks)
+    @settings(max_examples=60, deadline=None)
+    def test_local_sizes_partition_everything(self, n, p, b):
+        d = BlockCyclic(n, p, b)
+        assert sum(d.local_size(r) for r in range(p)) == n
+
+    @given(n=sizes, p=procs, b=blocks)
+    @settings(max_examples=60, deadline=None)
+    def test_local_size_matches_indices(self, n, p, b):
+        d = BlockCyclic(n, p, b)
+        for r in range(p):
+            assert d.local_size(r) == len(d.local_indices(r))
+
+    @given(n=st.integers(1, 200), p=procs, b=blocks)
+    @settings(max_examples=60, deadline=None)
+    def test_owners_consistent_with_local_indices(self, n, p, b):
+        d = BlockCyclic(n, p, b)
+        owners = d.owners()
+        for r in range(p):
+            assert np.all(owners[d.local_indices(r)] == r)
+
+    @given(n=st.integers(1, 100), p=procs)
+    @settings(max_examples=40, deadline=None)
+    def test_block_sizes_balanced(self, n, p):
+        d = block(n, p)
+        ls = [d.local_size(r) for r in range(p)]
+        assert max(ls) - min(ls) <= int(np.ceil(n / p))
+
+
+class TestReplicated:
+    def test_everyone_owns_everything(self):
+        d = Replicated(5, 3)
+        for r in range(3):
+            assert d.local_size(r) == 5
+        assert d.is_replicated
+
+    def test_owners_undefined(self):
+        with pytest.raises(TypeError):
+            Replicated(5, 3).owners()
+
+
+class TestMeshDistribution:
+    def test_2d_block_block(self):
+        m = MeshDistribution(
+            shape=(4, 4), mesh=(2, 2), dims=(block(4, 2), block(4, 2))
+        )
+        assert m.size == 16
+        assert m.nprocs == 4
+        owners = m.owners().reshape(4, 4)
+        # top-left quadrant on rank 0, bottom-right on rank 3
+        assert owners[0, 0] == 0 and owners[3, 3] == 3
+        assert owners[0, 3] == 1 and owners[3, 0] == 2
+
+    def test_local_size_product(self):
+        m = MeshDistribution((6, 4), (3, 2), (block(6, 3), cyclic(4, 2)))
+        total = sum(m.local_size(r) for r in range(m.nprocs))
+        assert total == 24
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            MeshDistribution((4,), (2, 2), (block(4, 2), block(4, 2)))
+        with pytest.raises(ValueError):
+            MeshDistribution((4, 4), (2, 2), (block(5, 2), block(4, 2)))
+
+    def test_replicated_mesh(self):
+        m = MeshDistribution((3, 3), (2, 2), (Replicated(3, 2), Replicated(3, 2)))
+        assert m.is_replicated
+        with pytest.raises(TypeError):
+            m.owners()
+
+
+class TestTransferCounts:
+    def test_identity_is_diagonal(self):
+        d = block(12, 4)
+        c = transfer_counts(d, d)
+        assert np.all(c == np.diag(np.diag(c)))
+        assert c.sum() == 12
+
+    def test_block_to_cyclic_row_col_sums(self):
+        src, dst = block(20, 4), cyclic(20, 5)
+        c = transfer_counts(src, dst)
+        np.testing.assert_array_equal(c.sum(axis=1), [src.local_size(r) for r in range(4)])
+        np.testing.assert_array_equal(c.sum(axis=0), [dst.local_size(r) for r in range(5)])
+
+    def test_replicated_source_balanced(self):
+        src, dst = Replicated(12, 3), block(12, 4)
+        c = transfer_counts(src, dst)
+        np.testing.assert_array_equal(c.sum(axis=0), [3, 3, 3, 3])
+
+    def test_replicated_target_is_allgather_like(self):
+        src, dst = block(12, 3), Replicated(12, 2)
+        c = transfer_counts(src, dst)
+        assert np.all(c == 4)  # each source rank feeds its 4 elements to both
+
+    def test_both_replicated_free(self):
+        c = transfer_counts(Replicated(10, 2), Replicated(10, 3))
+        assert c.sum() == 0
+
+    def test_size_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            transfer_counts(block(10, 2), block(11, 2))
+
+    @given(
+        n=st.integers(1, 120),
+        ps=st.integers(1, 8),
+        pd=st.integers(1, 8),
+        bs=st.integers(1, 16),
+        bd=st.integers(1, 16),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_counts_conserve_elements(self, n, ps, pd, bs, bd):
+        src = BlockCyclic(n, ps, bs)
+        dst = BlockCyclic(n, pd, bd)
+        c = transfer_counts(src, dst)
+        assert c.shape == (ps, pd)
+        assert c.sum() == n
+        assert np.all(c >= 0)
+
+
+class TestMeshTransferCounts:
+    def test_matches_flat_owner_computation(self):
+        import numpy as np
+        from repro.distribution import mesh_transfer_counts
+
+        src = MeshDistribution((6, 4), (2, 2), (block(6, 2), cyclic(4, 2)))
+        dst = MeshDistribution((6, 4), (4, 1), (cyclic(6, 4), block(4, 1)))
+        got = mesh_transfer_counts(src, dst)
+        # brute force via flat owner arrays
+        so, do = src.owners(), dst.owners()
+        want = np.zeros((src.nprocs, dst.nprocs), dtype=np.int64)
+        for s, d in zip(so, do):
+            want[s, d] += 1
+        np.testing.assert_array_equal(got, want)
+
+    def test_conserves_elements(self):
+        from repro.distribution import mesh_transfer_counts
+
+        src = MeshDistribution((8, 8), (2, 4), (block(8, 2), block(8, 4)))
+        dst = MeshDistribution((8, 8), (4, 2), (cyclic(8, 4), cyclic(8, 2)))
+        assert mesh_transfer_counts(src, dst).sum() == 64
+
+    def test_shape_mismatch_rejected(self):
+        from repro.distribution import mesh_transfer_counts
+
+        a = MeshDistribution((4, 4), (2, 2), (block(4, 2), block(4, 2)))
+        b = MeshDistribution((4, 5), (2, 2), (block(4, 2), block(5, 2)))
+        with pytest.raises(ValueError):
+            mesh_transfer_counts(a, b)
+
+    def test_replicated_axes(self):
+        from repro.distribution import mesh_transfer_counts
+
+        src = MeshDistribution((4, 4), (2, 1), (block(4, 2), Replicated(4, 1)))
+        dst = MeshDistribution((4, 4), (2, 1), (cyclic(4, 2), Replicated(4, 1)))
+        c = mesh_transfer_counts(src, dst)
+        assert c.sum() == 16

@@ -1,0 +1,96 @@
+"""Tests for the dynamic (Tlib-style) runtime scheduler."""
+
+import pytest
+
+from repro.cluster import generic_cluster
+from repro.core import CostModel, MTask
+from repro.scheduling import DynamicScheduler
+
+
+@pytest.fixture
+def cost():
+    return CostModel(generic_cluster(nodes=4, procs_per_node=2, cores_per_proc=2))
+
+
+class TestDynamicScheduler:
+    def test_single_task(self, cost):
+        dyn = DynamicScheduler(cost)
+        dyn.submit(MTask("a", work=1e9))
+        trace = dyn.run()
+        assert len(trace) == 1
+        assert trace.makespan == pytest.approx(cost.tcomp(MTask("x", work=1e9), 16))
+
+    def test_dependencies_respected(self, cost):
+        dyn = DynamicScheduler(cost)
+        a = dyn.submit(MTask("a", work=1e8))
+        b = dyn.submit(MTask("b", work=1e8), deps=[a])
+        trace = dyn.run()
+        assert trace[b.task].start >= trace[a.task].finish - 1e-12
+
+    def test_independent_tasks_share_machine(self, cost):
+        dyn = DynamicScheduler(cost)
+        t1 = dyn.submit(MTask("a", work=1e9), preferred_width=8)
+        t2 = dyn.submit(MTask("b", work=1e9), preferred_width=8)
+        trace = dyn.run()
+        assert trace[t1.task].start == trace[t2.task].start == 0.0
+        assert set(trace[t1.task].cores).isdisjoint(trace[t2.task].cores)
+
+    def test_moldable_shrink_when_busy(self, cost):
+        dyn = DynamicScheduler(cost)
+        dyn.submit(MTask("wide", work=1e10), preferred_width=12)
+        small = dyn.submit(MTask("small", work=1e6), preferred_width=8)
+        trace = dyn.run()
+        # the small task runs immediately on the leftover 4 cores
+        assert trace[small.task].start == 0.0
+        assert len(trace[small.task].cores) == 4
+
+    def test_min_procs_waits_for_room(self, cost):
+        dyn = DynamicScheduler(cost)
+        first = dyn.submit(MTask("big", work=1e9), preferred_width=16)
+        second = dyn.submit(MTask("needs8", work=1e8, min_procs=8))
+        trace = dyn.run()
+        assert trace[second.task].start >= trace[first.task].finish - 1e-12
+
+    def test_recursive_spawning(self, cost):
+        """Divide-and-conquer: the root splits into two halves which each
+        split again; leaves carry the work."""
+        dyn = DynamicScheduler(cost)
+        executed = []
+
+        def make_splitter(name, depth):
+            def on_start(ctx):
+                executed.append(name)
+                if depth < 2:
+                    for i in range(2):
+                        ctx.spawn(
+                            MTask(f"{name}.{i}", work=1e8),
+                            on_start=make_splitter(f"{name}.{i}", depth + 1),
+                        )
+            return on_start
+
+        dyn.submit(MTask("root", work=1e6), on_start=make_splitter("root", 0))
+        trace = dyn.run()
+        assert len(trace) == 1 + 2 + 4
+        assert len(executed) == 7
+
+    def test_longest_work_first(self, cost):
+        dyn = DynamicScheduler(cost)
+        short = dyn.submit(MTask("short", work=1e6), preferred_width=16)
+        long_ = dyn.submit(MTask("long", work=1e10), preferred_width=16)
+        trace = dyn.run()
+        assert trace[long_.task].start == 0.0  # long one dispatched first
+        assert trace[short.task].start >= trace[long_.task].finish - 1e-12
+
+    def test_run_only_once(self, cost):
+        dyn = DynamicScheduler(cost)
+        dyn.submit(MTask("a", work=1e6))
+        dyn.run()
+        with pytest.raises(RuntimeError):
+            dyn.run()
+
+    def test_trace_utilization_positive(self, cost):
+        dyn = DynamicScheduler(cost)
+        for i in range(5):
+            dyn.submit(MTask(f"t{i}", work=1e8), preferred_width=4)
+        trace = dyn.run()
+        assert trace.utilization() > 0.5

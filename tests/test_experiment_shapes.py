@@ -1,0 +1,247 @@
+"""Integration tests: the qualitative shapes of every paper figure.
+
+These run the experiment runners at reduced scale and assert the
+paper's findings -- who wins, by roughly what factor, where optima sit.
+The full-scale tables live in the benchmark suite.
+"""
+
+import math
+
+import pytest
+
+from repro.cluster import chic, juropa
+from repro.experiments import (
+    run_epol_times,
+    run_fig14_left,
+    run_fig14_right,
+    run_fig18,
+    run_fig19,
+    run_npb_sweep,
+    run_pabm_speedups,
+    run_table1,
+)
+from repro.experiments.fig13_scheduling import schedule_and_simulate
+from repro.experiments.common import simulate_ode_step
+from repro.mapping import consecutive, mixed, scattered
+from repro.ode import MethodConfig, bruss2d, schroed
+
+
+@pytest.fixture(scope="module")
+def sparse_small():
+    return bruss2d(180)  # n = 64800
+
+
+class TestTable1Shapes:
+    def test_all_ten_rows_match(self):
+        rows = run_table1()
+        assert len(rows) == 10
+        mismatches = [f"{r.method}({r.version})" for r in rows if not r.matches]
+        assert mismatches == []
+
+
+class TestFig13Shapes:
+    def test_pabm_scheduler_ranking(self):
+        res = run_pabm_speedups(cores=(256,), N=250)
+        at = 0
+        tp = res.get("task parallel").y[at]
+        cpa = res.get("CPA").y[at]
+        cpr = res.get("CPR").y[at]
+        dp = res.get("data parallel").y[at]
+        # CPR lands close to the task-parallel schedule; CPA over-allocates;
+        # data parallelism collapses under global communication
+        assert cpr >= 0.6 * tp
+        assert cpr > cpa
+        assert cpa < 0.8 * tp
+        assert dp < cpa
+
+    def test_epol_cpa_competitive_dp_not(self):
+        res = run_epol_times(cores=(256,), N=250)
+        tp = res.get("task parallel").y[0]
+        cpa = res.get("CPA").y[0]
+        dp = res.get("data parallel").y[0]
+        assert cpa <= 1.7 * tp  # CPA finds a competitive mixed schedule
+        assert dp > 2.0 * cpa  # plain data parallelism is far behind
+
+    def test_unknown_scheduler_rejected(self, sparse_small):
+        with pytest.raises(ValueError):
+            schedule_and_simulate(
+                sparse_small, MethodConfig("pab", K=4), chic(16), "magic"
+            )
+
+
+class TestFig14Shapes:
+    def test_global_allgather_consecutive_wins_big_messages(self):
+        res = run_fig14_left(chic().with_cores(256), sizes=[1 << 20])
+        cons = res.get("consecutive").y[0]
+        mix = res.get("mixed(d=2)").y[0]
+        scat = res.get("scattered").y[0]
+        assert cons < mix < scat
+        # NIC sharing costs scattered about a node-width factor
+        assert scat / cons > 2.5
+
+    def test_group_based_consecutive_wins(self):
+        group_res, orth_res = run_fig14_right(
+            chic().with_cores(256), sizes=[1 << 20]
+        )
+        assert group_res.best_label_at(0) == "consecutive"
+
+    def test_orthogonal_scattered_wins(self):
+        _group, orth = run_fig14_right(chic().with_cores(256), sizes=[1 << 20])
+        assert orth.best_label_at(0) == "scattered"
+        assert orth.get("consecutive").y[0] / orth.get("scattered").y[0] > 2
+
+
+class TestFig15Shapes:
+    @pytest.mark.parametrize("method,cfg", [
+        ("irk", MethodConfig("irk", K=4, m=7)),
+        ("diirk", MethodConfig("diirk", K=4, m=3, I=2)),
+        ("epol", MethodConfig("epol", K=8)),
+    ])
+    def test_consecutive_best_scattered_clearly_worst(self, sparse_small, method, cfg):
+        plat = chic().with_cores(256)
+        times = {
+            s.name: simulate_ode_step(sparse_small, cfg, plat, s, "tp").makespan
+            for s in (consecutive(), mixed(2), scattered())
+        }
+        assert min(times, key=times.get) == "consecutive"
+        assert times["scattered"] > 1.5 * times["consecutive"]
+
+    def test_diirk_tp_much_faster_than_dp(self, sparse_small):
+        cfg = MethodConfig("diirk", K=4, m=3, I=2)
+        plat = chic().with_cores(256)
+        tp = simulate_ode_step(sparse_small, cfg, plat, consecutive(), "tp").makespan
+        dp = simulate_ode_step(sparse_small, cfg, plat, consecutive(), "dp").makespan
+        assert dp > 2.0 * tp
+
+    def test_dp_prefers_consecutive(self, sparse_small):
+        cfg = MethodConfig("irk", K=4, m=7)
+        plat = chic().with_cores(256)
+        cons = simulate_ode_step(sparse_small, cfg, plat, consecutive(), "dp").makespan
+        scat = simulate_ode_step(sparse_small, cfg, plat, scattered(), "dp").makespan
+        assert cons < scat
+
+
+class TestFig16Shapes:
+    def test_pab_mixed_wins_chic(self, sparse_small):
+        cfg = MethodConfig("pab", K=8)
+        plat = chic().with_cores(256)
+        times = {
+            s.name: simulate_ode_step(sparse_small, cfg, plat, s, "tp").makespan
+            for s in (consecutive(), mixed(2), scattered())
+        }
+        assert min(times, key=times.get) == "mixed(d=2)"
+
+    def test_pab_mixed4_wins_juropa(self, sparse_small):
+        cfg = MethodConfig("pab", K=8)
+        plat = juropa().with_cores(256)
+        times = {
+            s.name: simulate_ode_step(sparse_small, cfg, plat, s, "tp").makespan
+            for s in (consecutive(), mixed(4), mixed(2), scattered())
+        }
+        assert min(times, key=times.get) == "mixed(d=4)"
+
+    def test_pabm_consecutive_best_and_beats_dp(self, sparse_small):
+        cfg = MethodConfig("pabm", K=8, m=2)
+        plat = chic().with_cores(256)
+        times = {
+            s.name: simulate_ode_step(sparse_small, cfg, plat, s, "tp").makespan
+            for s in (consecutive(), mixed(2), scattered())
+        }
+        dp = simulate_ode_step(sparse_small, cfg, plat, consecutive(), "dp").makespan
+        assert min(times, key=times.get) == "consecutive"
+        assert all(dp > t for t in times.values())
+
+    def test_pabm_dense_dp_stops_scaling(self):
+        dense = schroed(1500)
+        cfg = MethodConfig("pabm", K=8, m=2)
+        dp_256 = simulate_ode_step(dense, cfg, chic().with_cores(256), consecutive(), "dp").makespan
+        dp_1024 = simulate_ode_step(dense, cfg, chic().with_cores(1024), consecutive(), "dp").makespan
+        tp_256 = simulate_ode_step(dense, cfg, chic().with_cores(256), consecutive(), "tp").makespan
+        tp_1024 = simulate_ode_step(dense, cfg, chic().with_cores(1024), consecutive(), "tp").makespan
+        assert dp_1024 > 0.8 * dp_256          # dp saturates / degrades
+        # tp degrades far more gracefully than dp ...
+        assert tp_1024 / tp_256 < 0.5 * (dp_1024 / dp_256)
+        assert tp_1024 < dp_1024 / 2           # ... and wins by a wide margin
+
+
+class TestFig17Shapes:
+    @pytest.fixture(scope="class")
+    def sp(self):
+        return run_npb_sweep("SP", "C", chic().with_cores(256))
+
+    def test_medium_group_count_wins(self, sp):
+        best = max(
+            (max(s.y[i] for s in sp.series), sp.x[i]) for i in range(len(sp.x))
+        )[1]
+        assert 16 <= best <= 128  # neither 4 nor one-group-per-zone
+
+    def test_scattered_best_at_its_optimum(self, sp):
+        scat = sp.get("scattered")
+        i = max(range(len(sp.x)), key=scat.y.__getitem__)
+        assert scat.y[i] == max(s.y[i] for s in sp.series)
+        # and that is the global optimum of the panel
+        assert scat.y[i] == max(v for s in sp.series for v in s.y)
+
+    def test_small_g_uncompetitive(self, sp):
+        peak = max(v for s in sp.series for v in s.y)
+        at_g4 = max(s.y[0] for s in sp.series)
+        assert at_g4 < 0.5 * peak
+
+    def test_btmz_imbalance_at_max_groups(self):
+        bt = run_npb_sweep(
+            "BT", "C", chic().with_cores(256), group_counts=[16, 256]
+        )
+        for s in bt.series:
+            assert s.y[1] < 0.6 * s.y[0]  # one group per zone collapses
+
+
+class TestFig18Shapes:
+    @pytest.fixture(scope="class")
+    def panels(self):
+        return run_fig18(quick=False)
+
+    def test_irk_hybrid_helps_dp(self, panels):
+        irk = panels[0]
+        i = irk.x.index(512)
+        assert irk.get("dp/hybrid").y[i] < irk.get("dp/pure MPI").y[i]
+        assert irk.get("tp/hybrid").y[i] < irk.get("tp/pure MPI").y[i]
+
+    def test_diirk_hybrid_hurts_dp_helps_tp(self, panels):
+        diirk = panels[1]
+        i = diirk.x.index(512)
+        assert diirk.get("dp/hybrid").y[i] > diirk.get("dp/pure MPI").y[i]
+        assert diirk.get("tp/hybrid").y[i] < diirk.get("tp/pure MPI").y[i]
+
+    def test_diirk_tp_beats_dp_everywhere(self, panels):
+        diirk = panels[1]
+        for i in range(len(diirk.x)):
+            assert diirk.get("tp/pure MPI").y[i] < diirk.get("dp/pure MPI").y[i]
+
+
+class TestFig19Shapes:
+    @pytest.fixture(scope="class")
+    def res(self):
+        return run_fig19()
+
+    def test_dp_pure_mpi_worst(self, res):
+        dp = res.get("data-parallel")
+        assert dp.y[res.x.index("256x1")] == max(dp.y)
+
+    def test_dp_prefers_many_threads(self, res):
+        dp = res.get("data-parallel")
+        best = res.x[dp.min_index()]
+        procs = int(best.split("x")[0])
+        assert procs <= 16
+
+    def test_tp_best_around_one_process_per_node(self, res):
+        tp = res.get("task-parallel")
+        valid = [(v, res.x[i]) for i, v in enumerate(tp.y) if not math.isnan(v)]
+        best = min(valid)[1]
+        threads = int(best.split("x")[1])
+        assert threads in (2, 4, 8)  # node width is 4 on the Altix
+
+    def test_tp_beats_dp(self, res):
+        tp = res.get("task-parallel")
+        dp = res.get("data-parallel")
+        valid = [v for v in tp.y if not math.isnan(v)]
+        assert min(valid) < min(dp.y)

@@ -1,0 +1,93 @@
+"""Tests for the hybrid MPI+OpenMP cost model."""
+
+import pytest
+
+from repro.cluster import chic, generic_cluster, sgi_altix
+from repro.core import CollectiveSpec, CostModel, MTask
+from repro.hybrid import HybridCostModel, process_leaders
+
+
+@pytest.fixture
+def plat():
+    return generic_cluster(nodes=8, procs_per_node=2, cores_per_proc=2)
+
+
+class TestProcessLeaders:
+    def test_every_h_th_core(self, plat):
+        cores = plat.machine.cores()[:8]
+        leaders = process_leaders(cores, 4)
+        assert leaders == [cores[0], cores[4]]
+
+    def test_incomplete_team_keeps_leader(self, plat):
+        cores = plat.machine.cores()[:6]
+        assert len(process_leaders(cores, 4)) == 2
+
+    def test_h1_identity(self, plat):
+        cores = plat.machine.cores()[:4]
+        assert process_leaders(cores, 1) == list(cores)
+
+    def test_invalid_h(self, plat):
+        with pytest.raises(ValueError):
+            process_leaders(plat.machine.cores()[:4], 0)
+
+
+class TestHybridCostModel:
+    def test_h1_equals_pure(self, plat):
+        t = MTask("a", work=1e9, comm=(CollectiveSpec("allgather", 1 << 18),))
+        cores = plat.machine.cores()
+        pure = CostModel(plat)
+        hyb = HybridCostModel(plat, threads_per_process=1)
+        assert hyb.tcomm_mapped(t, cores) == pytest.approx(pure.tcomm_mapped(t, cores))
+
+    def test_collectives_shrink_to_leaders(self, plat):
+        t = MTask("a", comm=(CollectiveSpec("allgather", 1 << 20),))
+        cores = plat.machine.cores()
+        pure = HybridCostModel(plat, threads_per_process=1)
+        hyb = HybridCostModel(plat, threads_per_process=4, tau_omp=0.0, tau_mpi=0.0)
+        assert hyb.tcomm_mapped(t, cores) < pure.tcomm_mapped(t, cores)
+
+    def test_many_small_ops_pay_barriers(self, plat):
+        t = MTask("a", comm=(CollectiveSpec("bcast", 64, count=10000),))
+        cores = plat.machine.cores()
+        cheap = HybridCostModel(plat, threads_per_process=4, tau_omp=0.0, tau_mpi=0.0)
+        costly = HybridCostModel(plat, threads_per_process=4, tau_omp=5e-6, tau_mpi=2e-6)
+        assert costly.tcomm_mapped(t, cores) > cheap.tcomm_mapped(t, cores)
+
+    def test_sync_points_charged(self, plat):
+        quiet = MTask("a", work=1e6)
+        noisy = MTask("b", work=1e6, sync_points=1000)
+        cores = plat.machine.cores()[:8]
+        hyb = HybridCostModel(plat, threads_per_process=4)
+        assert hyb.tcomm_mapped(noisy, cores) > hyb.tcomm_mapped(quiet, cores)
+
+    def test_cluster_rejects_cross_node_teams(self):
+        plat = chic(4)  # 4 cores per node
+        hyb = HybridCostModel(plat, threads_per_process=8)
+        t = MTask("a", comm=(CollectiveSpec("allgather", 1 << 16),))
+        with pytest.raises(ValueError):
+            hyb.tcomm_mapped(t, plat.machine.cores())
+
+    def test_dsm_allows_cross_node_teams(self):
+        plat = sgi_altix(4)
+        hyb = HybridCostModel(plat, threads_per_process=8)
+        t = MTask("a", comm=(CollectiveSpec("allgather", 1 << 16),))
+        assert hyb.tcomm_mapped(t, plat.machine.cores()) >= 0.0
+
+    def test_numa_penalty_on_spanning_teams(self):
+        plat = sgi_altix(4)
+        t = MTask("a", comm=(CollectiveSpec("allgather", 64, count=100),))
+        cores = plat.machine.cores()
+        local = HybridCostModel(plat, threads_per_process=4)   # node-local teams
+        spanning = HybridCostModel(plat, threads_per_process=8)  # spans 2 nodes
+        assert spanning.sync_cost(True) > local.sync_cost(False)
+
+    def test_sync_cost_h1_free(self, plat):
+        assert HybridCostModel(plat, threads_per_process=1).sync_cost() == 0.0
+
+    def test_parameter_validation(self, plat):
+        with pytest.raises(ValueError):
+            HybridCostModel(plat, threads_per_process=0)
+        with pytest.raises(ValueError):
+            HybridCostModel(plat, tau_omp=-1.0)
+        with pytest.raises(ValueError):
+            HybridCostModel(plat, numa_penalty=0.5)

@@ -1,0 +1,175 @@
+"""Tests for link models and NIC contention."""
+
+import pytest
+
+from repro.cluster import CoreId, HierarchicalNetwork, LinkLevel, Machine, generic_cluster
+from repro.comm import ContentionContext, build_context, edge_cost
+from repro.comm.contention import round_cost
+
+
+def simple_setup():
+    plat = generic_cluster(nodes=4, procs_per_node=2, cores_per_proc=2)
+    return plat.machine, plat.network
+
+
+class TestLinkLevel:
+    def test_ptp_time_linear_in_size(self):
+        link = LinkLevel("l", latency=1e-6, bandwidth=1e9)
+        assert link.ptp_time(0) == pytest.approx(1e-6)
+        assert link.ptp_time(1e9) == pytest.approx(1.000001)
+
+    def test_beta_is_inverse_bandwidth(self):
+        link = LinkLevel("l", 0.0, 2e9)
+        assert link.beta == pytest.approx(0.5e-9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LinkLevel("l", -1e-6, 1e9)
+        with pytest.raises(ValueError):
+            LinkLevel("l", 1e-6, 0)
+        with pytest.raises(ValueError):
+            LinkLevel("l", 0, 1).ptp_time(-1)
+
+
+class TestHierarchicalNetwork:
+    def test_nic_defaults_to_internode_bandwidth(self):
+        net = HierarchicalNetwork(
+            (LinkLevel("a", 0, 4e9), LinkLevel("b", 0, 2e9), LinkLevel("c", 0, 1e9))
+        )
+        assert net.nic_bandwidth == pytest.approx(1e9)
+
+    def test_level_bounds(self):
+        _, net = simple_setup()
+        with pytest.raises(ValueError):
+            net.level(3)
+        with pytest.raises(ValueError):
+            net.alpha(-1)
+
+    def test_contention_scales_bandwidth_only(self):
+        _, net = simple_setup()
+        t1 = net.ptp_time(2, 1e6, contention=1.0)
+        t2 = net.ptp_time(2, 1e6, contention=2.0)
+        assert t2 - net.alpha(2) == pytest.approx(2 * (t1 - net.alpha(2)))
+        with pytest.raises(ValueError):
+            net.ptp_time(2, 1e6, contention=0.5)
+
+
+class TestContention:
+    def test_self_message_is_free(self):
+        machine, net = simple_setup()
+        c = CoreId(0, 0, 0)
+        assert edge_cost(machine, net, c, c, 1e6, ContentionContext.none()) == 0.0
+
+    def test_intra_node_ignores_nic(self):
+        machine, net = simple_setup()
+        a, b = CoreId(0, 0, 0), CoreId(0, 1, 0)
+        ctx = ContentionContext(out_per_node={0: 100}, in_per_node={0: 100})
+        free = edge_cost(machine, net, a, b, 1e6, ContentionContext.none())
+        loaded = edge_cost(machine, net, a, b, 1e6, ctx)
+        assert loaded == pytest.approx(free)
+
+    def test_inter_node_shares_nic(self):
+        machine, net = simple_setup()
+        a, b = CoreId(0, 0, 0), CoreId(1, 0, 0)
+        base = edge_cost(machine, net, a, b, 1e6, ContentionContext.none())
+        ctx = ContentionContext(out_per_node={0: 4})
+        loaded = edge_cost(machine, net, a, b, 1e6, ctx)
+        assert loaded > base
+        # 4 concurrent senders -> ~4x the bandwidth term
+        alpha = net.alpha(2)
+        assert (loaded - alpha) == pytest.approx(4 * (base - alpha), rel=0.01)
+
+    def test_receiver_side_contention_counts(self):
+        machine, net = simple_setup()
+        a, b = CoreId(0, 0, 0), CoreId(1, 0, 0)
+        ctx = ContentionContext(in_per_node={1: 3})
+        base = edge_cost(machine, net, a, b, 1e6, ContentionContext.none())
+        assert edge_cost(machine, net, a, b, 1e6, ctx) > base
+
+    def test_build_context_counts_internode_edges_only(self):
+        machine, _ = simple_setup()
+        edges = [
+            (CoreId(0, 0, 0), CoreId(1, 0, 0)),  # inter
+            (CoreId(0, 0, 0), CoreId(0, 1, 0)),  # intra node
+            (CoreId(2, 0, 0), CoreId(1, 0, 1)),  # inter
+        ]
+        ctx = build_context(machine, [edges])
+        assert ctx.out_per_node == {0: 1, 2: 1}
+        assert ctx.in_per_node == {1: 2}
+
+    def test_build_context_aggregates_concurrent_lists(self):
+        machine, _ = simple_setup()
+        e1 = [(CoreId(0, 0, 0), CoreId(1, 0, 0))]
+        e2 = [(CoreId(0, 0, 1), CoreId(2, 0, 0))]
+        ctx = build_context(machine, [e1, e2])
+        assert ctx.out_count(0) == 2
+
+    def test_round_cost_is_max_edge(self):
+        machine, net = simple_setup()
+        edges = [
+            (CoreId(0, 0, 0), CoreId(0, 0, 1)),  # cheap intra-socket
+            (CoreId(0, 0, 0), CoreId(3, 0, 0)),  # expensive inter-node
+        ]
+        ctx = ContentionContext.none()
+        expensive = edge_cost(machine, net, *edges[1], 1e5, ctx)
+        assert round_cost(machine, net, edges, 1e5, ctx) == pytest.approx(expensive)
+
+    def test_round_cost_empty(self):
+        machine, net = simple_setup()
+        assert round_cost(machine, net, [], 1e5, ContentionContext.none()) == 0.0
+
+
+class TestCalibration:
+    def test_recovers_known_parameters(self):
+        import numpy as np
+        from repro.cluster import fit_link
+
+        alpha, bw = 2e-6, 1.5e9
+        sizes = np.array([1e3, 1e4, 1e5, 1e6, 4e6])
+        times = alpha + sizes / bw
+        link = fit_link(sizes, times)
+        assert link.latency == pytest.approx(alpha, rel=1e-6)
+        assert link.bandwidth == pytest.approx(bw, rel=1e-6)
+
+    def test_robust_to_noise(self):
+        import numpy as np
+        from repro.cluster import fit_link
+
+        rng = np.random.default_rng(7)
+        sizes = np.logspace(3, 7, 24)
+        times = 3e-6 + sizes / 2e9
+        times *= 1 + 0.05 * rng.standard_normal(len(sizes))
+        link = fit_link(sizes, times)
+        assert link.bandwidth == pytest.approx(2e9, rel=0.15)
+
+    def test_negative_latency_clamped(self):
+        from repro.cluster import fit_link
+
+        # two points with a tiny negative intercept after extrapolation
+        link = fit_link([100.0, 200.0], [1.0e-7, 2.1e-7])
+        assert link.latency >= 0.0
+
+    def test_validation(self):
+        from repro.cluster import fit_link
+
+        with pytest.raises(ValueError):
+            fit_link([100.0], [1e-6])
+        with pytest.raises(ValueError):
+            fit_link([100.0, 100.0], [1e-6, 2e-6])
+        with pytest.raises(ValueError):
+            fit_link([100.0, 200.0], [2e-6, 1e-6])  # shrinking times
+
+    def test_fit_network(self):
+        import numpy as np
+        from repro.cluster import fit_network
+
+        sizes = np.array([1e3, 1e5, 1e6])
+        meas = {
+            lvl: (sizes, (1 + lvl) * 1e-6 + sizes / ((3 - lvl) * 1e9))
+            for lvl in (0, 1, 2)
+        }
+        net = fit_network(meas)
+        assert net.level(0).bandwidth > net.level(2).bandwidth
+        assert net.level(0).latency < net.level(2).latency
+        with pytest.raises(ValueError):
+            fit_network({0: meas[0]})

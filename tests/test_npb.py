@@ -1,0 +1,158 @@
+"""Tests for the NAS multi-zone benchmark substrate."""
+
+import pytest
+
+from repro.npb import (
+    BTMZ_RATIO,
+    CLASS_PARAMS,
+    NPBConfig,
+    btmz_zones,
+    build_npb_step_graph,
+    npb_zone_grid,
+    spmz_zones,
+)
+
+
+class TestZoneGrids:
+    @pytest.mark.parametrize("cls,zones", [("S", 4), ("A", 16), ("C", 256), ("D", 1024)])
+    def test_zone_counts(self, cls, zones):
+        assert spmz_zones(cls).num_zones == zones
+        assert btmz_zones(cls).num_zones == zones
+
+    def test_spmz_zones_equal(self):
+        grid = spmz_zones("C")
+        assert grid.imbalance() < 1.1
+
+    def test_btmz_zones_graded(self):
+        grid = btmz_zones("C")
+        # the published ~20x size imbalance between largest and smallest zone
+        assert 8 <= grid.imbalance() <= 60
+        widths = sorted({z.nx for z in grid.zones})
+        assert widths[-1] / widths[0] == pytest.approx(BTMZ_RATIO**0.5, rel=0.5)
+
+    @pytest.mark.parametrize("cls", ["S", "W", "A", "B", "C", "D"])
+    def test_points_conserved(self, cls):
+        nx, ny, nz, gx, gy, _steps = CLASS_PARAMS[cls]
+        for grid in (spmz_zones(cls), btmz_zones(cls)):
+            assert grid.total_points() == nx * ny * nz
+
+    def test_unknown_class(self):
+        with pytest.raises(ValueError):
+            spmz_zones("Z")
+
+    def test_neighbours_periodic(self):
+        grid = spmz_zones("A")  # 4x4 zones
+        corner = grid.zone_at(0, 0)
+        nbs = grid.neighbours(corner)
+        assert len(nbs) == 4
+        coords = {(z.ix, z.iy) for z, _axis in nbs}
+        assert (3, 0) in coords  # wrap-around in x
+        assert (0, 3) in coords  # wrap-around in y
+
+    def test_zone_geometry(self):
+        grid = spmz_zones("A")
+        z = grid.zones[0]
+        assert z.points == z.nx * z.ny * z.nz
+        assert z.face_points("x") == z.ny * z.nz
+        assert z.face_points("y") == z.nx * z.nz
+        with pytest.raises(ValueError):
+            z.face_points("z")
+
+
+class TestPrograms:
+    def test_one_task_per_zone(self):
+        cfg = NPBConfig("SP", "A")
+        graph, grid = build_npb_step_graph(cfg)
+        assert len(graph) == grid.num_zones
+
+    def test_all_tasks_independent(self):
+        graph, _ = build_npb_step_graph(NPBConfig("SP", "S"))
+        tasks = graph.tasks
+        for i, a in enumerate(tasks):
+            for b in tasks[i + 1:]:
+                assert graph.independent(a, b)
+
+    def test_work_proportional_to_zone_size(self):
+        graph, grid = build_npb_step_graph(NPBConfig("BT", "A"))
+        tasks = {t.meta["zone"].id: t for t in graph}
+        big = max(grid.zones, key=lambda z: z.points)
+        small = min(grid.zones, key=lambda z: z.points)
+        ratio = tasks[big.id].work / tasks[small.id].work
+        assert ratio == pytest.approx(big.points / small.points)
+
+    def test_bt_heavier_than_sp(self):
+        sp, _ = build_npb_step_graph(NPBConfig("SP", "A"))
+        bt, _ = build_npb_step_graph(NPBConfig("BT", "A"))
+        assert sum(t.work for t in bt) > sum(t.work for t in sp)
+
+    def test_comm_scopes(self):
+        graph, _ = build_npb_step_graph(NPBConfig("SP", "S"))
+        t = graph.tasks[0]
+        scopes = {c.scope for c in t.comm}
+        assert scopes == {"group", "orthogonal"}
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            NPBConfig("LU", "C")
+
+    def test_grid_factory(self):
+        assert npb_zone_grid(NPBConfig("SP", "A")).name == "SP-MZ.A"
+        assert npb_zone_grid(NPBConfig("BT", "A")).name == "BT-MZ.A"
+
+
+class TestFunctionalMultizone:
+    """Numerical validation of the zone decomposition: a multi-zone
+    Jacobi sweep with border exchanges equals the global operator."""
+
+    def _grid_and_array(self, maker, cls="S"):
+        import numpy as np
+
+        grid = maker(cls)
+        nx = sum(grid.zone_at(ix, 0).nx for ix in range(grid.grid_x))
+        ny = sum(grid.zone_at(0, iy).ny for iy in range(grid.grid_y))
+        rng = np.random.default_rng(42)
+        return grid, rng.standard_normal((nx, ny))
+
+    @pytest.mark.parametrize("maker", [spmz_zones, btmz_zones])
+    def test_matches_global_reference(self, maker):
+        import numpy as np
+        from repro.npb.functional import (
+            assemble_field,
+            global_smooth,
+            multizone_smooth,
+            split_field,
+        )
+
+        grid, arr = self._grid_and_array(maker)
+        field = split_field(grid, arr)
+        out, _ = multizone_smooth(field, steps=3)
+        np.testing.assert_allclose(
+            assemble_field(out), global_smooth(arr, steps=3), atol=1e-12
+        )
+
+    def test_split_assemble_roundtrip(self):
+        import numpy as np
+        from repro.npb.functional import assemble_field, split_field
+
+        grid, arr = self._grid_and_array(btmz_zones)
+        np.testing.assert_array_equal(assemble_field(split_field(grid, arr)), arr)
+
+    def test_border_bytes_match_face_model(self):
+        from repro.npb.functional import multizone_smooth, split_field
+
+        grid, arr = self._grid_and_array(spmz_zones)
+        field = split_field(grid, arr)
+        _, nbytes = multizone_smooth(field, steps=1)
+        # every zone receives its four ghost lines (periodic grid)
+        expected = sum(
+            (2 * z.nx + 2 * z.ny) * 8 for z in grid.zones
+        )
+        assert nbytes == expected
+
+    def test_shape_validation(self):
+        import numpy as np
+        from repro.npb.functional import split_field
+
+        grid, arr = self._grid_and_array(spmz_zones)
+        with pytest.raises(ValueError):
+            split_field(grid, arr[:-1, :])

@@ -1,0 +1,124 @@
+"""Property-based tests of the whole schedule-map-simulate pipeline.
+
+Random moldable task DAGs are scheduled with the layer-based algorithm,
+mapped with every strategy and simulated; the resulting trace must always
+respect precedence, core exclusivity and completeness, and the symbolic
+schedule invariants must hold.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import generic_cluster
+from repro.core import CollectiveSpec, CostModel, MTask, TaskGraph
+from repro.mapping import consecutive, mixed, place_layered, scattered
+from repro.scheduling import LayerBasedScheduler, build_layers, contract_chains
+from repro.sim import simulate
+
+
+@st.composite
+def random_dag(draw):
+    """A random layered DAG of 2..12 moldable tasks."""
+    n = draw(st.integers(2, 12))
+    tasks = []
+    g = TaskGraph()
+    for i in range(n):
+        work = draw(st.floats(1e6, 1e9))
+        has_comm = draw(st.booleans())
+        comm = (
+            (CollectiveSpec("allgather", draw(st.integers(1, 100_000))),)
+            if has_comm
+            else ()
+        )
+        t = MTask(f"t{i}", work=work, comm=comm)
+        g.add_task(t)
+        tasks.append(t)
+    # edges only forward in index order => acyclic by construction
+    for j in range(1, n):
+        npred = draw(st.integers(0, min(3, j)))
+        preds = draw(
+            st.lists(st.integers(0, j - 1), min_size=npred, max_size=npred, unique=True)
+        )
+        for p in preds:
+            g.add_dependency(tasks[p], tasks[j])
+    return g
+
+
+@pytest.fixture(scope="module")
+def plat():
+    return generic_cluster(nodes=4, procs_per_node=2, cores_per_proc=2)
+
+
+@pytest.fixture(scope="module")
+def cost(plat):
+    return CostModel(plat)
+
+
+class TestPipelineInvariants:
+    @given(g=random_dag())
+    @settings(max_examples=25, deadline=None)
+    def test_simulated_trace_is_consistent(self, g):
+        plat = generic_cluster(nodes=4, procs_per_node=2, cores_per_proc=2)
+        cost = CostModel(plat)
+        sched = LayerBasedScheduler(cost).schedule(g)
+        for strat in (consecutive(), scattered(), mixed(2)):
+            placement = place_layered(sched, plat.machine, strat)
+            trace = simulate(g, placement, cost)
+            # completeness
+            assert len(trace) == len(g)
+            # precedence
+            for u, v, _f in g.edges():
+                assert trace[v].start >= trace[u].finish - 1e-9
+            # core exclusivity
+            busy = {}
+            for e in trace.entries:
+                for c in e.cores:
+                    busy.setdefault(c, []).append((e.start, e.finish))
+            for intervals in busy.values():
+                intervals.sort()
+                for (s1, f1), (s2, f2) in zip(intervals, intervals[1:]):
+                    assert s2 >= f1 - 1e-9
+
+    @given(g=random_dag())
+    @settings(max_examples=25, deadline=None)
+    def test_layers_partition_contracted_graph(self, g):
+        cg, expansion = contract_chains(g)
+        layers = build_layers(cg)
+        seen = [t for layer in layers for t in layer]
+        assert len(seen) == len(cg)
+        assert len(set(seen)) == len(seen)
+        # expansion covers exactly the original tasks
+        originals = []
+        for t in cg:
+            originals.extend(expansion.get(t, [t]))
+        assert sorted(t.name for t in originals) == sorted(t.name for t in g)
+
+    @given(g=random_dag())
+    @settings(max_examples=15, deadline=None)
+    def test_more_cores_never_hurt_compute_bound_graphs(self, g):
+        """With communication-free tasks, doubling the machine never
+        increases the simulated makespan."""
+        quiet = TaskGraph()
+        clones = {}
+        for t in g.topological_order():
+            c = MTask(t.name, work=t.work)
+            quiet.add_task(c)
+            clones[t] = c
+        for u, v, _f in g.edges():
+            quiet.add_dependency(clones[u], clones[v])
+
+        def makespan(nodes):
+            plat = generic_cluster(nodes=nodes, procs_per_node=2, cores_per_proc=2)
+            cost = CostModel(plat)
+            sched = LayerBasedScheduler(cost).schedule(quiet)
+            pl = place_layered(sched, plat.machine, consecutive())
+            return simulate(quiet, pl, cost).makespan
+
+        assert makespan(4) <= makespan(2) * 1.0001
+
+    @given(g=random_dag())
+    @settings(max_examples=15, deadline=None)
+    def test_chain_contraction_preserves_total_work(self, g):
+        cg, _ = contract_chains(g)
+        assert cg.total_work() == pytest.approx(g.total_work())

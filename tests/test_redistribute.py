@@ -1,0 +1,94 @@
+"""Tests for functional re-distribution of numpy data."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distribution import (
+    BlockCyclic,
+    Replicated,
+    assemble,
+    block,
+    cyclic,
+    redistribute,
+    split,
+)
+
+
+class TestSplitAssemble:
+    def test_roundtrip_block(self):
+        arr = np.arange(13.0)
+        d = block(13, 4)
+        np.testing.assert_array_equal(assemble(split(arr, d), d), arr)
+
+    def test_roundtrip_cyclic(self):
+        arr = np.arange(10.0) * 2
+        d = cyclic(10, 3)
+        np.testing.assert_array_equal(assemble(split(arr, d), d), arr)
+
+    def test_split_replicated(self):
+        arr = np.arange(5.0)
+        d = Replicated(5, 3)
+        chunks = split(arr, d)
+        assert len(chunks) == 3
+        for c in chunks:
+            np.testing.assert_array_equal(c, arr)
+
+    def test_split_validates(self):
+        with pytest.raises(ValueError):
+            split(np.zeros(5), block(6, 2))
+        with pytest.raises(ValueError):
+            split(np.zeros((2, 2)), block(4, 2))
+
+    def test_assemble_validates_chunks(self):
+        d = block(6, 2)
+        with pytest.raises(ValueError):
+            assemble([np.zeros(3)], d)
+        with pytest.raises(ValueError):
+            assemble([np.zeros(2), np.zeros(3)], d)
+
+
+class TestRedistribute:
+    def test_block_to_cyclic_preserves_data(self):
+        arr = np.arange(12.0)
+        src, dst = block(12, 3), cyclic(12, 4)
+        res = redistribute(split(arr, src), src, dst)
+        np.testing.assert_array_equal(assemble(res.chunks, dst), arr)
+
+    def test_moved_matches_transfer_counts(self):
+        from repro.distribution import transfer_counts
+
+        src, dst = block(20, 4), cyclic(20, 4)
+        res = redistribute(split(np.arange(20.0), src), src, dst)
+        np.testing.assert_array_equal(res.moved, transfer_counts(src, dst))
+
+    def test_to_replicated(self):
+        arr = np.arange(6.0)
+        src, dst = block(6, 2), Replicated(6, 3)
+        res = redistribute(split(arr, src), src, dst)
+        assert len(res.chunks) == 3
+        for c in res.chunks:
+            np.testing.assert_array_equal(c, arr)
+
+    def test_identity_moves_only_diagonal(self):
+        src = block(10, 2)
+        res = redistribute(split(np.arange(10.0), src), src, src)
+        off_diag = res.moved.sum() - np.trace(res.moved)
+        assert off_diag == 0
+
+    @given(
+        n=st.integers(1, 80),
+        ps=st.integers(1, 6),
+        pd=st.integers(1, 6),
+        bs=st.integers(1, 9),
+        bd=st.integers(1, 9),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_any_redistribution_is_lossless(self, n, ps, pd, bs, bd):
+        arr = np.random.default_rng(0).standard_normal(n)
+        src = BlockCyclic(n, ps, bs)
+        dst = BlockCyclic(n, pd, bd)
+        res = redistribute(split(arr, src), src, dst)
+        np.testing.assert_array_equal(assemble(res.chunks, dst), arr)
+        assert res.total_elements_moved == n

@@ -1,0 +1,201 @@
+"""Tests for the discrete-event kernel and the mapped-program executor."""
+
+import pytest
+
+from repro.cluster import generic_cluster
+from repro.core import (
+    CollectiveSpec,
+    CostModel,
+    DataFlow,
+    DistributionSpec,
+    MTask,
+    Placement,
+    TaskGraph,
+)
+from repro.sim import CoreResource, SimulationOptions, Simulator, simulate
+
+
+class TestEngine:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        log = []
+        sim.at(2.0, lambda: log.append("b"))
+        sim.at(1.0, lambda: log.append("a"))
+        sim.at(2.0, lambda: log.append("c"))  # ties by insertion order
+        end = sim.run()
+        assert log == ["a", "b", "c"]
+        assert end == 2.0
+        assert sim.events_processed == 3
+
+    def test_after_relative(self):
+        sim = Simulator()
+        out = []
+        sim.after(1.0, lambda: sim.after(2.0, lambda: out.append(sim.now)))
+        sim.run()
+        assert out == [3.0]
+
+    def test_past_scheduling_rejected(self):
+        sim = Simulator()
+        sim.at(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.at(1.0, lambda: None)
+        with pytest.raises(ValueError):
+            sim.after(-1.0, lambda: None)
+
+    def test_run_until(self):
+        sim = Simulator()
+        hits = []
+        for t in (1.0, 2.0, 3.0):
+            sim.at(t, lambda t=t: hits.append(t))
+        sim.run(until=2.5)
+        assert hits == [1.0, 2.0]
+        assert sim.now == 2.5
+
+    def test_core_resource_booking(self):
+        c = CoreResource()
+        assert c.earliest_start(0.5) == 0.5
+        end = c.book(0.5, 2.0)
+        assert end == 2.5
+        assert c.earliest_start(1.0) == 2.5
+        with pytest.raises(ValueError):
+            c.book(1.0, 1.0)  # overlaps the existing booking
+        assert c.busy_time == 2.0
+
+
+@pytest.fixture
+def plat():
+    return generic_cluster(nodes=4, procs_per_node=2, cores_per_proc=2)
+
+
+@pytest.fixture
+def cost(plat):
+    return CostModel(plat)
+
+
+def place_all(graph, plat, width=None, order=None):
+    cores = plat.machine.cores()
+    width = width or len(cores)
+    pl = {}
+    pr = {}
+    for i, t in enumerate(order or graph.topological_order()):
+        pl[t] = cores[:width]
+        pr[t] = float(i)
+    return Placement(task_cores=pl, priority=pr, all_cores=cores)
+
+
+class TestSimulate:
+    def test_serial_chain_timing(self, plat, cost):
+        g = TaskGraph()
+        a = g.add_task(MTask("a", work=1e9))
+        b = g.add_task(MTask("b", work=1e9))
+        g.add_dependency(a, b)
+        tr = simulate(g, place_all(g, plat), cost)
+        expected = 2 * cost.tcomp(a, plat.total_cores)
+        assert tr.makespan == pytest.approx(expected)
+        assert tr[b].start == pytest.approx(tr[a].finish)
+
+    def test_disjoint_tasks_run_concurrently(self, plat, cost):
+        g = TaskGraph()
+        a = g.add_task(MTask("a", work=1e9))
+        b = g.add_task(MTask("b", work=1e9))
+        cores = plat.machine.cores()
+        pl = Placement(
+            task_cores={a: cores[:8], b: cores[8:]},
+            priority={a: 0, b: 1},
+            all_cores=cores,
+        )
+        tr = simulate(g, pl, cost)
+        assert tr[a].start == tr[b].start == 0.0
+        assert tr.makespan == pytest.approx(cost.tcomp(a, 8))
+
+    def test_shared_cores_serialise_by_priority(self, plat, cost):
+        g = TaskGraph()
+        a = g.add_task(MTask("a", work=1e9))
+        b = g.add_task(MTask("b", work=1e9))
+        pl = place_all(g, plat, order=[b, a])
+        tr = simulate(g, pl, cost)
+        assert tr[b].start < tr[a].start  # b had higher priority
+
+    def test_precedence_always_respected(self, plat, cost):
+        g = TaskGraph()
+        tasks = [g.add_task(MTask(f"t{i}", work=1e8)) for i in range(6)]
+        for i in range(5):
+            if i % 2 == 0:
+                g.add_dependency(tasks[i], tasks[i + 1])
+        tr = simulate(g, place_all(g, plat, width=4), cost)
+        for u, v, _f in g.edges():
+            assert tr[v].start >= tr[u].finish - 1e-12
+
+    def test_redistribution_delays_successor(self, plat, cost):
+        g = TaskGraph()
+        a = g.add_task(MTask("a", work=1e8))
+        b = g.add_task(MTask("b", work=1e8))
+        g.add_dependency(
+            a, b,
+            [DataFlow("x", 100000, src_dist=DistributionSpec("block"),
+                      dst_dist=DistributionSpec("block"))],
+        )
+        cores = plat.machine.cores()
+        pl = Placement(
+            task_cores={a: cores[:4], b: cores[4:8]},
+            priority={a: 0, b: 1},
+            all_cores=cores,
+        )
+        with_rd = simulate(g, pl, cost)
+        without = simulate(g, pl, cost, SimulationOptions(redistribution=False))
+        assert with_rd.makespan > without.makespan
+        assert with_rd[b].redist_wait > 0
+
+    def test_contention_pass_refines(self, plat, cost):
+        """Two scattered groups talking concurrently get slower once the
+        second pass accounts for their shared NICs."""
+        g = TaskGraph()
+        comm = (CollectiveSpec("allgather", 1 << 20),)
+        a = g.add_task(MTask("a", work=1e6, comm=comm))
+        b = g.add_task(MTask("b", work=1e6, comm=comm))
+        cores = plat.machine.cores()
+        g1 = [c for c in cores if c.proc == 0 and c.core == 0]
+        g2 = [c for c in cores if c.proc == 0 and c.core == 1]
+        pl = Placement(task_cores={a: tuple(g1), b: tuple(g2)},
+                       priority={a: 0, b: 1}, all_cores=cores)
+        t1 = simulate(g, pl, cost, SimulationOptions(contention_passes=1))
+        t2 = simulate(g, pl, cost, SimulationOptions(contention_passes=2))
+        assert t2.makespan > t1.makespan
+
+    def test_trace_accounting(self, plat, cost):
+        g = TaskGraph()
+        a = g.add_task(MTask("a", work=1e9, comm=(CollectiveSpec("allgather", 1 << 16),)))
+        tr = simulate(g, place_all(g, plat), cost)
+        e = tr[a]
+        assert e.comp_time > 0 and e.comm_time > 0
+        assert e.duration == pytest.approx(e.comp_time + e.comm_time)
+        assert 0 < tr.utilization() <= 1
+        assert 0 < tr.comm_fraction() < 1
+        assert "makespan" in tr.summary()
+
+    def test_validation_errors(self, plat, cost):
+        g = TaskGraph()
+        a = g.add_task(MTask("a", min_procs=4))
+        cores = plat.machine.cores()
+        pl = Placement(task_cores={a: cores[:2]}, priority={a: 0})
+        with pytest.raises(ValueError):
+            simulate(g, pl, cost)
+        with pytest.raises(ValueError):
+            simulate(g, place_all(g, plat), cost, SimulationOptions(contention_passes=0))
+
+    def test_all_tasks_traced(self, plat, cost):
+        g = TaskGraph()
+        ts = [g.add_task(MTask(f"t{i}", work=1e7)) for i in range(10)]
+        for i in range(9):
+            g.add_dependency(ts[i], ts[i + 1])
+        tr = simulate(g, place_all(g, plat, width=2), cost)
+        assert len(tr) == 10
+
+    def test_per_node_busy(self, plat, cost):
+        g = TaskGraph()
+        a = g.add_task(MTask("a", work=1e9))
+        cores = plat.machine.cores()
+        pl = Placement(task_cores={a: cores[:4]}, priority={a: 0}, all_cores=cores)
+        busy = simulate(g, pl, cost).per_node_busy()
+        assert set(busy) == {0}

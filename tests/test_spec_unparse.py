@@ -1,0 +1,64 @@
+"""Round-trip tests for the specification unparser."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.spec import parse, unparse
+from repro.spec.ast_nodes import BinOp, Name, Num
+from repro.spec.unparse import unparse_expr
+
+from .test_spec_language import EPOL_SPEC
+
+
+class TestUnparse:
+    def test_epol_round_trip(self):
+        prog = parse(EPOL_SPEC)
+        again = parse(unparse(prog))
+        assert again == prog
+
+    def test_round_trip_is_fixed_point(self):
+        text = unparse(parse(EPOL_SPEC))
+        assert unparse(parse(text)) == text
+
+    def test_expression_precedence_preserved(self):
+        # (a + b) * c needs the parentheses, a + b * c does not
+        e1 = BinOp("*", BinOp("+", Name("a"), Name("b")), Name("c"))
+        assert unparse_expr(e1) == "(a + b) * c"
+        e2 = BinOp("+", Name("a"), BinOp("*", Name("b"), Name("c")))
+        assert unparse_expr(e2) == "a + b * c"
+
+    def test_left_associative_subtraction(self):
+        # a - (b - c) must keep its parentheses
+        e = BinOp("-", Name("a"), BinOp("-", Name("b"), Name("c")))
+        src = unparse_expr(e)
+        assert parse(f"const X = {src};").consts[0].value == e
+
+    @given(
+        st.recursive(
+            st.one_of(
+                st.integers(0, 99).map(Num),
+                st.sampled_from(["a", "b", "R"]).map(Name),
+            ),
+            lambda children: st.builds(
+                BinOp, st.sampled_from(["+", "-", "*", "/"]), children, children
+            ),
+            max_leaves=12,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_expression_round_trip_property(self, expr):
+        src = unparse_expr(expr)
+        parsed = parse(f"const X = {src};").consts[0].value
+        assert parsed == expr
+
+    def test_par_and_alias_types(self):
+        spec = """
+        type alias = vector;
+        task f(x : alias : in : replic);
+        cmmain M(x : alias : inout : replic) {
+          par { f(x); f(x); }
+        }
+        """
+        prog = parse(spec)
+        assert parse(unparse(prog)) == prog

@@ -1,0 +1,84 @@
+"""Failure-injection tests: per-node speed factors (stragglers)."""
+
+import pytest
+
+from repro.cluster import generic_cluster
+from repro.core import CostModel, MTask, TaskGraph
+from repro.mapping import consecutive, place_layered, scattered
+from repro.scheduling import LayerBasedScheduler, fixed_group_scheduler
+from repro.sim import simulate
+
+
+@pytest.fixture
+def plat():
+    return generic_cluster(nodes=4, procs_per_node=2, cores_per_proc=2)
+
+
+def four_stage_graph():
+    g = TaskGraph()
+    for i in range(4):
+        g.add_task(MTask(f"stage{i}", work=4e9))
+    return g
+
+
+class TestStragglerModel:
+    def test_validation(self, plat):
+        with pytest.raises(ValueError):
+            CostModel(plat, node_speed={0: 0.0})
+
+    def test_compute_speed_is_group_minimum(self, plat):
+        cost = CostModel(plat, node_speed={1: 0.5})
+        cores = plat.machine.cores()
+        assert cost.compute_speed(cores[:4]) == 1.0  # node 0 only
+        assert cost.compute_speed(cores[:8]) == 0.5  # touches node 1
+
+    def test_tcomp_mapped_scales(self, plat):
+        cost = CostModel(plat, node_speed={0: 0.25})
+        t = MTask("a", work=1e9)
+        cores = plat.machine.cores()[:4]
+        assert cost.tcomp_mapped(t, cores) == pytest.approx(4 * cost.tcomp(t, 4))
+
+    def test_no_factors_is_identity(self, plat):
+        cost = CostModel(plat)
+        t = MTask("a", work=1e9)
+        cores = plat.machine.cores()[:4]
+        assert cost.tcomp_mapped(t, cores) == pytest.approx(cost.tcomp(t, 4))
+
+    def test_straggler_slows_only_its_group_under_consecutive(self, plat):
+        """With the consecutive mapping each group is one node, so a
+        single slow node delays one stage while the others finish on
+        time."""
+        graph = four_stage_graph()
+        healthy = CostModel(plat)
+        degraded = CostModel(plat, node_speed={0: 0.5})
+        sched = fixed_group_scheduler(healthy, 4).schedule(graph)
+        placement = place_layered(sched, plat.machine, consecutive())
+        t_h = simulate(graph, placement, healthy)
+        t_d = simulate(graph, placement, degraded)
+        slowed = [e.task.name for e in t_d.entries
+                  if e.duration > 1.5 * t_h[e.task].duration]
+        assert len(slowed) == 1
+        assert t_d.makespan == pytest.approx(2 * t_h.makespan, rel=0.01)
+
+    def test_scattered_mapping_spreads_the_pain(self, plat):
+        """Scattered groups all touch the slow node, so every stage runs
+        at the straggler's pace -- same makespan, no skew."""
+        graph = four_stage_graph()
+        degraded = CostModel(plat, node_speed={0: 0.5})
+        sched = fixed_group_scheduler(CostModel(plat), 4).schedule(graph)
+        placement = place_layered(sched, plat.machine, scattered())
+        trace = simulate(graph, placement, degraded)
+        durations = [e.duration for e in trace.entries]
+        assert max(durations) == pytest.approx(min(durations), rel=1e-6)
+
+    def test_dynamic_scheduler_honours_stragglers(self, plat):
+        from repro.scheduling import DynamicScheduler
+
+        degraded = CostModel(plat, node_speed={n: 0.5 for n in range(4)})
+        dyn = DynamicScheduler(degraded)
+        t = dyn.submit(MTask("a", work=1e9))
+        trace = dyn.run()
+        healthy = DynamicScheduler(CostModel(plat))
+        healthy.submit(MTask("a", work=1e9))
+        ref = healthy.run()
+        assert trace.makespan == pytest.approx(2 * ref.makespan, rel=0.01)
