@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Benchmark the scheduling pipeline on the five ODE solvers.
+
+For each solver (IRK, DIIRK, EPOL, PAB, PABM) the script runs the full
+scheduling->mapping->validation->simulation pipeline on CHiC and reports
+
+* scheduling wall-time (the pipeline's ``schedule`` stage),
+* total pipeline wall-time,
+* cost-cache hit rate and the evaluation-reduction factor of the
+  memoized :class:`~repro.core.costmodel.CachedCostEvaluator`,
+* the simulated makespan (so regressions in either speed or numbers
+  show up in the same artefact).
+
+Run:  PYTHONPATH=src python benchmarks/bench_pipeline.py [output.json]
+
+Writes ``BENCH_pipeline.json`` next to the repository root by default.
+"""
+
+from __future__ import annotations
+
+import json
+import platform as _platform
+import sys
+from pathlib import Path
+
+from repro.cluster import chic
+from repro.core import CachedCostEvaluator, CostModel
+from repro.experiments.common import paper_group_count
+from repro.mapping import consecutive
+from repro.obs import Instrumentation
+from repro.ode import MethodConfig, bruss2d, step_graph
+from repro.pipeline import SchedulingPipeline
+from repro.scheduling import fixed_group_scheduler
+
+SOLVERS = (
+    MethodConfig("irk", K=4, m=7),
+    MethodConfig("diirk", K=4, m=3, I=2),
+    MethodConfig("epol", K=8),
+    MethodConfig("pab", K=8),
+    MethodConfig("pabm", K=8, m=2),
+)
+
+CORES = 256
+N = 500
+
+
+def bench_solver(cfg: MethodConfig) -> dict:
+    plat = chic().with_cores(CORES)
+    graph = step_graph(bruss2d(N), cfg)
+    scheduler = fixed_group_scheduler(CostModel(plat), paper_group_count(cfg))
+    pipe = SchedulingPipeline(scheduler, strategy=consecutive())
+    obs = Instrumentation()
+    result = pipe.run(graph, obs)
+    stats = result.cache
+    # isolate the g-search: run just the scheduling stage on a fresh cache
+    gsearch_cost = CachedCostEvaluator(CostModel(plat))
+    fixed_group_scheduler(gsearch_cost, paper_group_count(cfg)).schedule(graph)
+    gstats = gsearch_cost.stats
+    return {
+        "solver": cfg.method,
+        "tasks": len(graph),
+        "cores": CORES,
+        "schedule_seconds": obs.span_seconds("schedule"),
+        "pipeline_seconds": obs.span_seconds("pipeline"),
+        "simulate_seconds": obs.span_seconds("simulate"),
+        "gsearch_probes": obs.counter("gsearch.probes"),
+        "cache_requests": stats.requests,
+        "cache_hit_rate": stats.hit_rate,
+        "evaluation_reduction": stats.evaluation_reduction,
+        "gsearch_cache_hit_rate": gstats.hit_rate,
+        "gsearch_evaluation_reduction": gstats.evaluation_reduction,
+        "predicted_makespan": result.predicted_makespan,
+        "simulated_makespan": result.trace.makespan,
+    }
+
+
+def main(argv: list) -> int:
+    out_path = Path(argv[1]) if len(argv) > 1 else Path(__file__).resolve().parent.parent / "BENCH_pipeline.json"
+    rows = [bench_solver(cfg) for cfg in SOLVERS]
+    payload = {
+        "benchmark": "scheduling pipeline, five ODE solvers on CHiC",
+        "python": _platform.python_version(),
+        "results": rows,
+    }
+    out_path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"{'solver':>8s} | {'sched [ms]':>10s} | {'total [ms]':>10s} | "
+          f"{'hit rate':>8s} | {'evals saved':>11s} | {'g-search':>10s} | "
+          f"{'makespan [s]':>12s}")
+    for r in rows:
+        print(f"{r['solver']:>8s} | {r['schedule_seconds'] * 1e3:10.2f} | "
+              f"{r['pipeline_seconds'] * 1e3:10.2f} | "
+              f"{r['cache_hit_rate'] * 100:7.1f}% | "
+              f"{r['evaluation_reduction']:10.2f}x | "
+              f"{r['gsearch_evaluation_reduction']:9.2f}x | "
+              f"{r['simulated_makespan']:12.6g}")
+    print(f"\nwrote {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

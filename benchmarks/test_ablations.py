@@ -27,7 +27,7 @@ def plat():
 def run_layered(problem, cfg, plat, strategy, scheduler, options=SimulationOptions()):
     cost = CostModel(plat)
     graph = step_graph(problem, cfg)
-    sched = scheduler(cost).schedule(graph)
+    sched = scheduler(cost).schedule(graph).layered
     placement = place_layered(sched, plat.machine, strategy)
     return simulate(graph, placement, cost, options).makespan
 

@@ -16,9 +16,8 @@ Run:  python examples/divide_and_conquer.py
 
 from repro.cluster import generic_cluster
 from repro.core import CostModel, MTask, TaskGraph
-from repro.mapping import consecutive, place_layered
+from repro.pipeline import SchedulingPipeline
 from repro.scheduling import DynamicScheduler, LayerBasedScheduler
-from repro.sim import simulate
 
 LEAF_WORK = 2e9
 MERGE_WORK = 2e8
@@ -61,9 +60,7 @@ def run_static(cost, platform) -> float:
         return merge
 
     build("", 0)
-    schedule = LayerBasedScheduler(cost).schedule(graph)
-    placement = place_layered(schedule, platform.machine, consecutive())
-    trace = simulate(graph, placement, cost)
+    trace = SchedulingPipeline(LayerBasedScheduler(cost)).run(graph).trace
     print(f"  static  : makespan {trace.makespan * 1e3:7.2f} ms, "
           f"utilisation {trace.utilization() * 100:5.1f}%, tasks {len(trace)}")
     return trace.makespan

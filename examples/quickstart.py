@@ -21,9 +21,9 @@ from repro.core import (
     Parameter,
     TaskGraph,
 )
-from repro.mapping import consecutive, mixed, place_layered, scattered
-from repro.scheduling import LayerBasedScheduler, data_parallel_scheduler, symbolic_timeline
-from repro.sim import simulate
+from repro.mapping import consecutive, mixed, scattered
+from repro.pipeline import SchedulingPipeline
+from repro.scheduling import LayerBasedScheduler, data_parallel_scheduler
 
 
 def build_program(n: int = 200_000, stages: int = 4) -> TaskGraph:
@@ -73,28 +73,34 @@ def main() -> None:
     print(f"program:  {graph}\n")
 
     # 1. schedule: the layer-based algorithm picks groups per layer
-    schedule = LayerBasedScheduler(cost).schedule(graph)
-    print(schedule.describe())
+    result = LayerBasedScheduler(cost).schedule(graph)
+    print(result.layered.describe())
 
     # 2. the symbolic timeline the scheduler reasoned about
-    timeline = symbolic_timeline(schedule, cost)
+    timeline = result.symbolic_timeline(cost)
     print(f"\nsymbolic makespan estimate: {timeline.makespan * 1e3:.2f} ms")
     for line in timeline.gantt_lines(width=60)[:8]:
         print(" ", line)
     print("  ...")
 
-    # 3. map with each strategy and simulate
+    # 3. run the full pipeline (schedule -> map -> validate -> simulate)
+    #    with each mapping strategy
     print("\nsimulated time per step:")
+    last = None
     for strategy in (consecutive(), mixed(2), scattered()):
-        placement = place_layered(schedule, platform.machine, strategy)
-        trace = simulate(graph, placement, cost)
+        pipe = SchedulingPipeline(LayerBasedScheduler(cost), strategy=strategy)
+        last = pipe.run(graph)
+        trace = last.trace
         print(f"  {strategy.name:<12s} {trace.makespan * 1e3:8.2f} ms   ({trace.summary()})")
 
     # 4. compare with plain data parallelism
-    dp = data_parallel_scheduler(cost).schedule(graph)
-    placement = place_layered(dp, platform.machine, consecutive())
-    trace = simulate(graph, placement, cost)
-    print(f"  {'data-parallel':<12s} {trace.makespan * 1e3:8.2f} ms")
+    dp = SchedulingPipeline(data_parallel_scheduler(cost)).run(graph)
+    print(f"  {'data-parallel':<12s} {dp.trace.makespan * 1e3:8.2f} ms")
+
+    # 5. per-stage diagnostics of the last pipeline run
+    print("\npipeline diagnostics:")
+    for line in last.report().splitlines():
+        print(" ", line)
 
 
 if __name__ == "__main__":

@@ -91,13 +91,13 @@ def main() -> None:
         ("task parallel (g=R/2)", 2, False),
         ("task parallel (g=R, adjusted sizes)", 4, True),
     ):
-        sched = fixed_group_scheduler(cost, g, adjust=adjust).schedule(body)
-        makespan = symbolic_timeline(sched, cost).makespan
-        mid = sched.layers[1]
+        result = fixed_group_scheduler(cost, g, adjust=adjust).schedule(body)
+        makespan = result.symbolic_timeline(cost).makespan
+        mid = result.layered.layers[1]
         print(f"  {label:<38s} groups={mid.group_sizes}  "
               f"est. step time {makespan * 1e3:7.2f} ms")
 
-    auto = LayerBasedScheduler(cost).schedule(body)
+    auto = LayerBasedScheduler(cost).schedule(body).layered
     makespan = symbolic_timeline(auto, cost).makespan
     print(f"  {'Algorithm 1 (searched g)':<38s} "
           f"groups={auto.layers[1].group_sizes}  est. step time {makespan * 1e3:7.2f} ms")
@@ -105,7 +105,7 @@ def main() -> None:
     # the compiler back end: the schedule as a pseudo-MPI program
     from repro.spec import generate_mpi_pseudocode
 
-    sched = fixed_group_scheduler(cost, 2).schedule(body)
+    sched = fixed_group_scheduler(cost, 2).schedule(body).layered
     code = generate_mpi_pseudocode(body, sched, cost, program_name="epol_step")
     print("\n=== generated pseudo-MPI program (first 24 lines) ===")
     for line in code.splitlines()[:24]:

@@ -15,23 +15,23 @@ hierarchical multi-core clusters, including:
 
 Typical use::
 
-    from repro import cluster, ode, scheduling, mapping, sim
+    from repro import cluster, ode, scheduling
     from repro.core import CostModel
+    from repro.pipeline import SchedulingPipeline
 
     platform = cluster.chic(64)                       # 256 cores
     cost = CostModel(platform)
     graph = ode.step_graph(ode.bruss2d(64), ode.default_config("irk", 4))
-    schedule = scheduling.LayerBasedScheduler(cost).schedule(graph)
-    placement = mapping.place_layered(schedule, platform.machine,
-                                      mapping.consecutive())
-    trace = sim.simulate(graph, placement, cost)
-    print(trace.summary())
+    pipe = SchedulingPipeline(scheduling.LayerBasedScheduler(cost))
+    result = pipe.run(graph)
+    print(result.trace.summary())
+    print(result.report())    # per-stage timings + cost-cache hit rate
 """
 
-from . import cluster, comm, core, distribution, hybrid, mapping, npb, ode
-from . import runtime, scheduling, sim, spec
+from . import cluster, comm, core, distribution, hybrid, mapping, npb, obs, ode
+from . import pipeline, runtime, scheduling, sim, spec
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "cluster",
@@ -41,7 +41,9 @@ __all__ = [
     "hybrid",
     "mapping",
     "npb",
+    "obs",
     "ode",
+    "pipeline",
     "runtime",
     "scheduling",
     "sim",

@@ -1,8 +1,15 @@
 """Core M-task model: tasks, graphs, cost model, schedules."""
 
-from .costmodel import CostModel
+from .costmodel import CachedCostEvaluator, CacheStats, CostModel
 from .graph import DataFlow, TaskGraph
-from .schedule import Layer, LayeredSchedule, Placement, Schedule, ScheduledTask
+from .schedule import (
+    Layer,
+    LayeredSchedule,
+    Placement,
+    Schedule,
+    ScheduledTask,
+    validate,
+)
 from .task import (
     COLLECTIVE_OPS,
     AccessMode,
@@ -22,9 +29,12 @@ __all__ = [
     "TaskGraph",
     "DataFlow",
     "CostModel",
+    "CachedCostEvaluator",
+    "CacheStats",
     "Schedule",
     "ScheduledTask",
     "Layer",
     "LayeredSchedule",
     "Placement",
+    "validate",
 ]

@@ -21,7 +21,7 @@ edge and the two placements.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping, Optional, Sequence
+from typing import Dict, Mapping, Optional, Sequence
 
 from ..cluster.architecture import CoreId
 from ..cluster.platforms import Platform
@@ -32,7 +32,7 @@ from ..comm.redistribution import redistribution_time as _redist_time
 from .graph import DataFlow
 from .task import MTask
 
-__all__ = ["CostModel"]
+__all__ = ["CostModel", "CachedCostEvaluator", "CacheStats"]
 
 
 @dataclass(frozen=True)
@@ -287,3 +287,173 @@ class CostModel:
             # every receiver gets its part, senders work concurrently
             total += alpha + per_receiver * beta * max(1.0, q_dst / max(1, q_src))
         return total
+
+
+# ----------------------------------------------------------------------
+# Memoized evaluation
+# ----------------------------------------------------------------------
+@dataclass
+class CacheStats:
+    """Hit/miss accounting of a :class:`CachedCostEvaluator`.
+
+    ``hits``/``misses`` are per cached method; a *miss* is one real
+    cost-model evaluation, a *hit* is one evaluation the cache saved.
+    """
+
+    hits: Dict[str, int] = field(default_factory=dict)
+    misses: Dict[str, int] = field(default_factory=dict)
+
+    def _bump(self, table: Dict[str, int], key: str) -> None:
+        table[key] = table.get(key, 0) + 1
+
+    @property
+    def total_hits(self) -> int:
+        return sum(self.hits.values())
+
+    @property
+    def total_misses(self) -> int:
+        return sum(self.misses.values())
+
+    @property
+    def requests(self) -> int:
+        return self.total_hits + self.total_misses
+
+    @property
+    def hit_rate(self) -> float:
+        n = self.requests
+        return self.total_hits / n if n else 0.0
+
+    @property
+    def evaluation_reduction(self) -> float:
+        """Factor by which real evaluations shrank (requests / misses)."""
+        m = self.total_misses
+        return self.requests / m if m else float("inf") if self.total_hits else 1.0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "hits": dict(self.hits),
+            "misses": dict(self.misses),
+            "requests": self.requests,
+            "hit_rate": self.hit_rate,
+            "evaluation_reduction": self.evaluation_reduction,
+        }
+
+
+class CachedCostEvaluator:
+    """Memoizing proxy around a :class:`CostModel`.
+
+    The layer-based ``g``-search and the CPA/CPR allocation loops probe
+    ``Tsymb(M, q)`` for the same ``(task, q)`` pairs over and over; the
+    simulator re-costs the same re-distribution edges on every contention
+    pass.  This wrapper caches those pure evaluations keyed on the task
+    identity, the core count / core tuple and (for re-distributions) the
+    flow tuple, and counts hits and misses per method.
+
+    Cached results are the stored return values of the wrapped model, so
+    they are bitwise-identical to uncached evaluation.  Everything not
+    cached (``tcomp_mapped``, ``tcomm_mapped`` with their contention
+    contexts, properties such as ``platform``) delegates transparently,
+    which makes the evaluator a drop-in ``CostModel`` for every scheduler
+    and the simulator.
+    """
+
+    #: methods whose results are memoized
+    CACHED = (
+        "sequential_time",
+        "tsymb",
+        "tcomm_symbolic",
+        "redistribution_time_symbolic",
+        "redistribution_time",
+    )
+
+    def __init__(self, model: CostModel) -> None:
+        if isinstance(model, CachedCostEvaluator):
+            model = model.model
+        self.model = model
+        self.stats = CacheStats()
+        self._cache: Dict[tuple, float] = {}
+
+    # ------------------------------------------------------------------
+    def _memo(self, key: tuple, compute) -> float:
+        try:
+            value = self._cache[key]
+        except KeyError:
+            self.stats._bump(self.stats.misses, key[0])
+            value = self._cache[key] = compute()
+        else:
+            self.stats._bump(self.stats.hits, key[0])
+        return value
+
+    def sequential_time(self, task: MTask) -> float:
+        return self._memo(
+            ("sequential_time", task), lambda: self.model.sequential_time(task)
+        )
+
+    def tcomp(self, task: MTask, q: int) -> float:
+        # same arithmetic as CostModel.tcomp, on the memoized Tcomp(M)
+        if q <= 0:
+            raise ValueError("q must be positive")
+        return self.sequential_time(task) / q
+
+    def tcomm_symbolic(self, task: MTask, q: int) -> float:
+        return self._memo(
+            ("tcomm_symbolic", task, q), lambda: self.model.tcomm_symbolic(task, q)
+        )
+
+    def tsymb(self, task: MTask, q: int) -> float:
+        return self._memo(("tsymb", task, q), lambda: self.model.tsymb(task, q))
+
+    def best_symbolic_width(self, task: MTask, max_q: int) -> int:
+        # re-implemented over the memoized tsymb so every probe is cached
+        lo = task.min_procs
+        hi = task.clamp_procs(max_q)
+        best_q, best_t = lo, self.tsymb(task, lo)
+        for q in range(lo + 1, hi + 1):
+            t = self.tsymb(task, q)
+            if t < best_t:
+                best_q, best_t = q, t
+        return best_q
+
+    def redistribution_time_symbolic(
+        self, flows: Sequence[DataFlow], q_src: int, q_dst: int
+    ) -> float:
+        key = ("redistribution_time_symbolic", tuple(flows), q_src, q_dst)
+        return self._memo(
+            key, lambda: self.model.redistribution_time_symbolic(flows, q_src, q_dst)
+        )
+
+    def redistribution_time(
+        self,
+        flows: Sequence[DataFlow],
+        src_cores: Sequence[CoreId],
+        dst_cores: Sequence[CoreId],
+    ) -> float:
+        key = (
+            "redistribution_time",
+            tuple(flows),
+            tuple(src_cores),
+            tuple(dst_cores),
+        )
+        return self._memo(
+            key,
+            lambda: self.model.redistribution_time(flows, src_cores, dst_cores),
+        )
+
+    # ------------------------------------------------------------------
+    def clear(self) -> None:
+        """Drop all cached values (counters keep accumulating)."""
+        self._cache.clear()
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    def __getattr__(self, name: str):
+        # everything un-cached (platform, tcomp_mapped, tcomm_mapped,
+        # time_mapped, compute_speed, ...) delegates to the wrapped model
+        return getattr(self.model, name)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CachedCostEvaluator({self.model!r}, entries={len(self._cache)}, "
+            f"hit_rate={self.stats.hit_rate:.2f})"
+        )

@@ -24,7 +24,14 @@ from ..cluster.architecture import CoreId
 from .graph import TaskGraph
 from .task import MTask
 
-__all__ = ["ScheduledTask", "Schedule", "Layer", "LayeredSchedule", "Placement"]
+__all__ = [
+    "ScheduledTask",
+    "Schedule",
+    "Layer",
+    "LayeredSchedule",
+    "Placement",
+    "validate",
+]
 
 
 @dataclass(frozen=True)
@@ -268,3 +275,117 @@ class Placement:
 
     def __len__(self) -> int:
         return len(self.task_cores)
+
+
+# ----------------------------------------------------------------------
+# Schedule validation
+# ----------------------------------------------------------------------
+def validate(schedule, platform, graph: Optional[TaskGraph] = None, tol: float = 1e-9) -> None:
+    """Check a schedule against a platform (and optionally its graph).
+
+    Accepts both schedule artefacts:
+
+    * a :class:`Schedule` -- rejects core counts that do not match the
+      platform, overlapping occupations of one symbolic core, and (with
+      ``graph``) precedence violations;
+    * a :class:`LayeredSchedule` -- rejects group partitions that do not
+      cover the platform's cores, tasks assigned to two groups of one
+      layer (overlapping core assignments within a layer), groups
+      narrower than a member task's ``min_procs``, duplicate task
+      assignments across layers, and (with ``graph``) edges that point
+      backwards or sideways across the layer order.
+
+    Raises :class:`ValueError` on the first violation; returns ``None``
+    when the schedule is consistent.
+    """
+    P = platform.total_cores
+    if isinstance(schedule, Schedule):
+        if schedule.nprocs != P:
+            raise ValueError(
+                f"schedule spans {schedule.nprocs} symbolic cores but the "
+                f"platform has {P}"
+            )
+        schedule.validate(graph, tol)
+        return
+    if isinstance(schedule, LayeredSchedule):
+        _validate_layered(schedule, P, graph)
+        return
+    raise TypeError(
+        f"cannot validate {type(schedule).__name__}; expected Schedule or "
+        "LayeredSchedule (unwrap a SchedulingResult via .layered/.timeline)"
+    )
+
+
+def _validate_layered(
+    schedule: LayeredSchedule, P: int, graph: Optional[TaskGraph]
+) -> None:
+    if schedule.nprocs != P:
+        raise ValueError(
+            f"layered schedule is for {schedule.nprocs} cores, platform has {P}"
+        )
+    layer_of: Dict[MTask, int] = {}
+    for li, layer in enumerate(schedule.layers):
+        if sum(layer.group_sizes) != P:
+            raise ValueError(
+                f"layer {li}: group sizes {layer.group_sizes} do not cover "
+                f"the {P} platform cores"
+            )
+        ranges = layer.symbolic_ranges()
+        claimed: Dict[int, int] = {}
+        for gi, r in enumerate(ranges):
+            for c in r:
+                if c in claimed:
+                    raise ValueError(
+                        f"layer {li}: groups {claimed[c]} and {gi} overlap on "
+                        f"symbolic core {c}"
+                    )
+                claimed[c] = gi
+        for gi, tasks in enumerate(layer.groups):
+            width = layer.group_sizes[gi]
+            for t in tasks:
+                for member in schedule.expand(t):
+                    if member.min_procs > width:
+                        raise ValueError(
+                            f"layer {li}, group {gi}: task {member.name!r} "
+                            f"needs >= {member.min_procs} cores, group has "
+                            f"{width}"
+                        )
+                if t in layer_of:
+                    raise ValueError(
+                        f"task {t.name!r} assigned to layers {layer_of[t]} "
+                        f"and {li}"
+                    )
+                layer_of[t] = li
+    if graph is None:
+        return
+    # precedence: an edge must cross from an earlier layer to a strictly
+    # later one.  Graph tasks may appear contracted, so resolve members
+    # to their contracted node's layer first.
+    member_layer: Dict[MTask, int] = dict(layer_of)
+    member_pos: Dict[MTask, int] = {}
+    for node, members in schedule.expansion.items():
+        if node in layer_of:
+            for pos, m in enumerate(members):
+                member_layer[m] = layer_of[node]
+                member_pos[m] = pos
+    for u, v, _flows in graph.edges():
+        if u not in member_layer or v not in member_layer:
+            continue
+        lu, lv = member_layer[u], member_layer[v]
+        if lu > lv:
+            raise ValueError(
+                f"precedence violated: {u.name!r} (layer {lu}) precedes "
+                f"{v.name!r} (layer {lv})"
+            )
+        if lu == lv:
+            # legal only inside one contracted chain, in chain order
+            same_chain = any(
+                u in members and v in members
+                and members.index(u) < members.index(v)
+                for members in schedule.expansion.values()
+            )
+            if not same_chain:
+                raise ValueError(
+                    f"precedence violated: dependent tasks {u.name!r} and "
+                    f"{v.name!r} share layer {lu} outside a contracted chain"
+                )

@@ -14,18 +14,19 @@ from typing import Callable, Dict, List, Optional, Sequence
 from ..cluster.platforms import Platform
 from ..core.costmodel import CostModel
 from ..core.graph import TaskGraph
-from ..core.schedule import LayeredSchedule, Placement, Schedule
-from ..mapping.mapper import place_layered, place_timeline
+from ..obs import Instrumentation
 from ..mapping.strategies import MappingStrategy
 from ..ode.problems import ODEProblem
 from ..ode.programs import MethodConfig, step_graph
+from ..pipeline import PipelineResult, SchedulingPipeline
 from ..scheduling.baselines import data_parallel_scheduler, fixed_group_scheduler
-from ..sim.executor import SimulationOptions, simulate
+from ..sim.executor import SimulationOptions
 
 __all__ = [
     "Series",
     "ExperimentResult",
     "sequential_step_time",
+    "ode_pipeline",
     "simulate_ode_step",
     "paper_group_count",
 ]
@@ -111,6 +112,37 @@ def paper_group_count(cfg: MethodConfig) -> int:
     return cfg.K
 
 
+def ode_pipeline(
+    problem: ODEProblem,
+    cfg: MethodConfig,
+    platform: Platform,
+    strategy: MappingStrategy,
+    version: str = "tp",
+    cost: Optional[CostModel] = None,
+    groups: Optional[int] = None,
+    options: SimulationOptions = SimulationOptions(),
+    obs: Optional[Instrumentation] = None,
+) -> PipelineResult:
+    """Run one ODE time step through the scheduling pipeline.
+
+    ``version`` is ``"tp"`` (task parallel, paper group counts unless
+    ``groups`` given) or ``"dp"`` (data parallel).  Returns the full
+    :class:`~repro.pipeline.PipelineResult` with schedule, placement,
+    trace and per-stage diagnostics.
+    """
+    if cost is None:
+        cost = CostModel(platform)
+    graph = step_graph(problem, cfg)
+    if version == "dp":
+        scheduler = data_parallel_scheduler(cost)
+    elif version == "tp":
+        scheduler = fixed_group_scheduler(cost, groups or paper_group_count(cfg))
+    else:
+        raise ValueError("version must be 'dp' or 'tp'")
+    pipe = SchedulingPipeline(scheduler, strategy=strategy, options=options)
+    return pipe.run(graph, obs)
+
+
 def simulate_ode_step(
     problem: ODEProblem,
     cfg: MethodConfig,
@@ -123,19 +155,10 @@ def simulate_ode_step(
 ):
     """Schedule, map and simulate one ODE time step.
 
-    Returns the :class:`~repro.sim.trace.ExecutionTrace`.  ``version`` is
-    ``"tp"`` (task parallel, paper group counts unless ``groups`` given)
-    or ``"dp"`` (data parallel).
+    Returns the :class:`~repro.sim.trace.ExecutionTrace` (the pipeline's
+    simulation-stage output; see :func:`ode_pipeline` for the full
+    result).
     """
-    if cost is None:
-        cost = CostModel(platform)
-    graph = step_graph(problem, cfg)
-    if version == "dp":
-        scheduler = data_parallel_scheduler(cost)
-    elif version == "tp":
-        scheduler = fixed_group_scheduler(cost, groups or paper_group_count(cfg))
-    else:
-        raise ValueError("version must be 'dp' or 'tp'")
-    schedule = scheduler.schedule(graph)
-    placement = place_layered(schedule, platform.machine, strategy)
-    return simulate(graph, placement, cost, options)
+    return ode_pipeline(
+        problem, cfg, platform, strategy, version, cost, groups, options
+    ).trace

@@ -18,23 +18,22 @@ graph keeps the comparison about allocation policy, not chain handling).
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import List, Sequence
 
 from ..cluster.platforms import Platform, chic
 from ..core.costmodel import CostModel
-from ..core.schedule import Placement, Schedule
-from ..mapping.mapper import place_layered, place_timeline
 from ..mapping.strategies import MappingStrategy, consecutive
 from ..ode.problems import ODEProblem, bruss2d
 from ..ode.programs import MethodConfig, step_graph
+from ..pipeline import SchedulingPipeline
+from ..scheduling.base import Scheduler
 from ..scheduling.baselines import data_parallel_scheduler, fixed_group_scheduler
-from ..scheduling.chains import contract_chains
 from ..scheduling.cpa import CPAScheduler
 from ..scheduling.cpr import CPRScheduler
+from ..scheduling.mcpa import MCPAScheduler
 from .common import ExperimentResult, paper_group_count, sequential_step_time
-from ..sim.executor import simulate
 
-__all__ = ["SCHEDULERS", "schedule_and_simulate", "run_pabm_speedups", "run_epol_times", "run_fig13"]
+__all__ = ["SCHEDULERS", "make_scheduler", "schedule_and_simulate", "run_pabm_speedups", "run_epol_times", "run_fig13"]
 
 #: the four scheduling decisions the paper compares; ``"MCPA"`` (the
 #: allocation-bounded CPA variant of reference [4]) is additionally
@@ -42,23 +41,25 @@ __all__ = ["SCHEDULERS", "schedule_and_simulate", "run_pabm_speedups", "run_epol
 SCHEDULERS = ("task parallel", "CPA", "CPR", "data parallel")
 
 
-def _expand_timeline_placement(
-    schedule: Schedule,
-    expansion: Dict,
-    platform: Platform,
-    strategy: MappingStrategy,
-) -> Placement:
-    """Placement for the *original* graph from a contracted timeline."""
-    base = place_timeline(schedule, platform.machine, strategy)
-    task_cores = {}
-    priority = {}
-    for node, cores in base.task_cores.items():
-        members = expansion.get(node, [node])
-        for k, member in enumerate(members):
-            width = member.clamp_procs(len(cores))
-            task_cores[member] = cores[:width]
-            priority[member] = base.priority[node] + k * 1e-9
-    return Placement(task_cores=task_cores, priority=priority, all_cores=base.all_cores)
+def make_scheduler(name: str, cost: CostModel, cfg: MethodConfig) -> Scheduler:
+    """Scheduler instance behind one of Fig. 13's scheduling decisions.
+
+    CPA/CPR/MCPA do not handle linear chains themselves; the pipeline's
+    contraction stage hands them the chain-contracted step graph, which
+    keeps the comparison about allocation policy, not chain handling.
+    """
+    if name == "task parallel":
+        return fixed_group_scheduler(cost, paper_group_count(cfg))
+    if name == "data parallel":
+        return data_parallel_scheduler(cost)
+    gran = max(1, cost.platform.total_cores // 128)
+    if name == "CPA":
+        return CPAScheduler(cost, granularity=gran)
+    if name == "MCPA":
+        return MCPAScheduler(cost, granularity=gran)
+    if name == "CPR":
+        return CPRScheduler(cost, granularity=gran)
+    raise ValueError(f"unknown scheduler {name!r}")
 
 
 def schedule_and_simulate(
@@ -71,27 +72,8 @@ def schedule_and_simulate(
     """Time per step under one of the four scheduling decisions."""
     cost = CostModel(platform)
     graph = step_graph(problem, cfg)
-    if scheduler == "task parallel":
-        sched = fixed_group_scheduler(cost, paper_group_count(cfg)).schedule(graph)
-        placement = place_layered(sched, platform.machine, strategy)
-    elif scheduler == "data parallel":
-        sched = data_parallel_scheduler(cost).schedule(graph)
-        placement = place_layered(sched, platform.machine, strategy)
-    elif scheduler in ("CPA", "CPR", "MCPA"):
-        contracted, expansion = contract_chains(graph)
-        gran = max(1, platform.total_cores // 128)
-        if scheduler == "CPA":
-            timeline = CPAScheduler(cost, granularity=gran).schedule(contracted)
-        elif scheduler == "MCPA":
-            from ..scheduling.mcpa import MCPAScheduler
-
-            timeline = MCPAScheduler(cost, granularity=gran).schedule(contracted)
-        else:
-            timeline = CPRScheduler(cost, granularity=gran).schedule(contracted)
-        placement = _expand_timeline_placement(timeline, expansion, platform, strategy)
-    else:
-        raise ValueError(f"unknown scheduler {scheduler!r}")
-    return simulate(graph, placement, cost).makespan
+    pipe = SchedulingPipeline(make_scheduler(scheduler, cost, cfg), strategy=strategy)
+    return pipe.run(graph).makespan
 
 
 def run_pabm_speedups(

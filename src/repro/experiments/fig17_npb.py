@@ -22,11 +22,10 @@ from typing import List, Optional, Sequence
 
 from ..cluster.platforms import Platform, chic, sgi_altix
 from ..core.costmodel import CostModel
-from ..mapping.mapper import place_layered
 from ..mapping.strategies import MappingStrategy, consecutive, mixed, scattered
 from ..npb.programs import NPBConfig, build_npb_step_graph
+from ..pipeline import SchedulingPipeline
 from ..scheduling.baselines import fixed_group_scheduler
-from ..sim.executor import simulate
 from .common import ExperimentResult
 
 __all__ = ["npb_rate", "run_npb_sweep", "run_fig17"]
@@ -43,9 +42,8 @@ def npb_rate(
     cost = CostModel(platform)
     graph, grid = build_npb_step_graph(cfg)
     scheduler = fixed_group_scheduler(cost, groups, adjust=adjust)
-    schedule = scheduler.schedule(graph)
-    placement = place_layered(schedule, platform.machine, strategy)
-    trace = simulate(graph, placement, cost)
+    pipe = SchedulingPipeline(scheduler, strategy=strategy)
+    trace = pipe.run(graph).trace
     total_flops = sum(t.work for t in graph)
     return total_flops / trace.makespan / 1e9
 

@@ -67,8 +67,8 @@ def run_table1(
         rows.append(
             Table1Row(cfg.method, "dp", dp, table1_expected(cfg, problem.n, "dp"))
         )
-        sched = fixed_group_scheduler(cost, paper_group_count(cfg)).schedule(graph)
-        tp = counts_from_step_graph(graph, schedule=sched)
+        result = fixed_group_scheduler(cost, paper_group_count(cfg)).schedule(graph)
+        tp = counts_from_step_graph(graph, schedule=result.layered)
         rows.append(
             Table1Row(cfg.method, "tp", tp, table1_expected(cfg, problem.n, "tp"))
         )

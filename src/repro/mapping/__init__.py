@@ -1,6 +1,6 @@
 """Architecture-aware mapping of symbolic cores to physical cores."""
 
-from .mapper import map_layer, place_layered, place_timeline
+from .mapper import map_layer, place_layered, place_result, place_timeline
 from .strategies import (
     MappingStrategy,
     consecutive,
@@ -20,4 +20,5 @@ __all__ = [
     "map_layer",
     "place_layered",
     "place_timeline",
+    "place_result",
 ]

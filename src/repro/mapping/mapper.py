@@ -13,14 +13,27 @@ the simulator can execute.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..cluster.architecture import CoreId, Machine
 from ..core.schedule import Layer, LayeredSchedule, Placement, Schedule
 from ..core.task import MTask
 from .strategies import MappingStrategy
 
-__all__ = ["map_layer", "place_layered", "place_timeline"]
+__all__ = ["map_layer", "place_layered", "place_timeline", "place_result"]
+
+
+def _reject_result(obj, fn: str) -> None:
+    # SchedulingResult is not imported here (layering); detect by name to
+    # give migrating callers a targeted error instead of an attribute
+    # failure deep inside the mapping arithmetic.
+    if type(obj).__name__ == "SchedulingResult":
+        raise TypeError(
+            f"{fn} expects a raw schedule artefact; you passed a "
+            "SchedulingResult -- use place_result(result, machine, strategy), "
+            "unwrap result.layered / result.timeline, or run a "
+            "repro.pipeline.SchedulingPipeline"
+        )
 
 
 def map_layer(
@@ -53,6 +66,7 @@ def place_layered(
     increasing priorities, and contracted chains expand into their member
     tasks on the same cores.
     """
+    _reject_result(schedule, "place_layered")
     if schedule.nprocs != machine.total_cores:
         raise ValueError(
             f"schedule is for {schedule.nprocs} cores, machine has "
@@ -82,12 +96,19 @@ def place_timeline(
     schedule: Schedule,
     machine: Machine,
     strategy: MappingStrategy,
+    expansion: Optional[Mapping[MTask, Sequence[MTask]]] = None,
 ) -> Placement:
     """Map a symbolic-core timeline (e.g. from CPA/CPR).
 
     Symbolic core ``i`` is backed by the ``i``-th physical core of the
     strategy sequence; priorities follow the scheduled start times.
+
+    When the timeline was computed on a chain-contracted graph,
+    ``expansion`` (contracted node -> members in chain order) expands
+    each node into its member tasks on the same cores, with fractional
+    priority offsets preserving the chain order.
     """
+    _reject_result(schedule, "place_timeline")
     if schedule.nprocs != machine.total_cores:
         raise ValueError(
             f"schedule is for {schedule.nprocs} cores, machine has "
@@ -97,6 +118,29 @@ def place_timeline(
     task_cores: Dict[MTask, Tuple[CoreId, ...]] = {}
     priority: Dict[MTask, float] = {}
     for e in schedule.entries:
-        task_cores[e.task] = tuple(seq[c] for c in e.cores)
-        priority[e.task] = e.start
+        cores = tuple(seq[c] for c in e.cores)
+        members = list(expansion.get(e.task, [e.task])) if expansion else [e.task]
+        for k, member in enumerate(members):
+            width = member.clamp_procs(len(cores))
+            task_cores[member] = cores[:width]
+            priority[member] = e.start + k * 1e-9
     return Placement(task_cores=task_cores, priority=priority, all_cores=tuple(seq))
+
+
+def place_result(result, machine: Machine, strategy: MappingStrategy) -> Placement:
+    """Map a :class:`~repro.scheduling.base.SchedulingResult`.
+
+    Dispatches on the artefact kind: layered schedules go through
+    :func:`place_layered`, timelines through :func:`place_timeline` with
+    the result's chain-expansion map.
+    """
+    if result.layered is not None:
+        return place_layered(result.layered, machine, strategy)
+    if result.timeline is not None:
+        return place_timeline(
+            result.timeline, machine, strategy, expansion=result.expansion
+        )
+    raise ValueError(
+        f"result of {result.scheduler or 'scheduler'} carries no mappable "
+        "schedule (a dynamic-scheduler trace is already placed)"
+    )

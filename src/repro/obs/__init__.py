@@ -1,0 +1,5 @@
+"""Lightweight structured-event observability for pipeline runs."""
+
+from .events import Instrumentation, SpanRecord
+
+__all__ = ["Instrumentation", "SpanRecord"]

@@ -1,0 +1,137 @@
+"""Structured-event instrumentation for the scheduling pipeline.
+
+One :class:`Instrumentation` object travels through a pipeline run and
+collects three kinds of observations:
+
+* **spans** -- named wall-clock timers (``with obs.span("schedule"):``),
+  nested spans record their parent for later tree reconstruction;
+* **counters** -- monotonically accumulated numeric totals
+  (``obs.count("gsearch.probes")``);
+* **records** -- structured per-event dictionaries, e.g. one record per
+  scheduled layer with the chosen group count.
+
+Everything is in-memory, dependency-free and cheap enough to stay
+enabled by default; :meth:`Instrumentation.to_json` exports a run for
+offline analysis and the benchmark harness.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+__all__ = ["SpanRecord", "Instrumentation"]
+
+
+@dataclass
+class SpanRecord:
+    """One completed (or still open) named timer."""
+
+    name: str
+    start: float
+    duration: float = 0.0
+    parent: Optional[str] = None
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "name": self.name,
+            "start": self.start,
+            "duration": self.duration,
+        }
+        if self.parent is not None:
+            out["parent"] = self.parent
+        if self.meta:
+            out["meta"] = dict(self.meta)
+        return out
+
+
+class Instrumentation:
+    """Collector for spans, counters and structured records.
+
+    The default clock is :func:`time.perf_counter`; tests inject a fake
+    clock for deterministic durations.
+    """
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter) -> None:
+        self._clock = clock
+        self.spans: List[SpanRecord] = []
+        self.counters: Dict[str, float] = {}
+        self.records: List[Dict[str, Any]] = []
+        self._stack: List[SpanRecord] = []
+
+    # ------------------------------------------------------------------
+    # spans
+    # ------------------------------------------------------------------
+    @contextmanager
+    def span(self, name: str, **meta: Any) -> Iterator[SpanRecord]:
+        """Time a named stage; spans nest and record their parent."""
+        rec = SpanRecord(
+            name=name,
+            start=self._clock(),
+            parent=self._stack[-1].name if self._stack else None,
+            meta=dict(meta),
+        )
+        self.spans.append(rec)
+        self._stack.append(rec)
+        try:
+            yield rec
+        finally:
+            rec.duration = self._clock() - rec.start
+            self._stack.pop()
+
+    def span_seconds(self, name: str) -> float:
+        """Total duration of all spans with ``name``."""
+        return sum(s.duration for s in self.spans if s.name == name)
+
+    def span_names(self) -> List[str]:
+        """Names of the recorded spans, in completion-start order."""
+        return [s.name for s in self.spans]
+
+    # ------------------------------------------------------------------
+    # counters
+    # ------------------------------------------------------------------
+    def count(self, name: str, inc: float = 1) -> None:
+        """Accumulate ``inc`` into counter ``name``."""
+        self.counters[name] = self.counters.get(name, 0) + inc
+
+    def set_counter(self, name: str, value: float) -> None:
+        """Overwrite counter ``name`` (gauges, e.g. final cache stats)."""
+        self.counters[name] = value
+
+    def counter(self, name: str, default: float = 0) -> float:
+        return self.counters.get(name, default)
+
+    # ------------------------------------------------------------------
+    # structured records
+    # ------------------------------------------------------------------
+    def record(self, kind: str, **fields: Any) -> None:
+        """Append one structured event of ``kind``."""
+        entry: Dict[str, Any] = {"kind": kind}
+        entry.update(fields)
+        self.records.append(entry)
+
+    def records_of(self, kind: str) -> List[Dict[str, Any]]:
+        return [r for r in self.records if r.get("kind") == kind]
+
+    # ------------------------------------------------------------------
+    # export
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "spans": [s.to_dict() for s in self.spans],
+            "counters": dict(self.counters),
+            "records": [dict(r) for r in self.records],
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, default=str)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Instrumentation(spans={len(self.spans)}, "
+            f"counters={len(self.counters)}, records={len(self.records)})"
+        )

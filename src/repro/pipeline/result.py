@@ -1,0 +1,103 @@
+"""The result object a pipeline run produces."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from ..core.costmodel import CacheStats
+from ..core.graph import TaskGraph
+from ..core.schedule import Placement
+from ..obs import Instrumentation
+from ..scheduling.base import SchedulingResult
+from ..sim.trace import ExecutionTrace
+
+__all__ = ["PipelineResult"]
+
+
+@dataclass
+class PipelineResult:
+    """Everything one scheduling→mapping→simulation run produced.
+
+    * ``scheduling`` -- the normalized scheduler output (layered schedule
+      or timeline plus expansion map and stats);
+    * ``placement`` -- the physical pinning of every task (``None`` for
+      dynamic-scheduler runs, whose dispatch decisions *are* placements);
+    * ``trace`` -- the simulated execution (``None`` when the pipeline
+      ran with ``simulate=False``);
+    * ``predicted_makespan`` -- the symbolic estimate the scheduling
+      phase reasoned about; ``makespan`` is the simulated one;
+    * ``obs`` -- spans, counters and per-stage records of the run;
+    * ``cache`` -- hit/miss statistics of the memoized cost evaluator.
+    """
+
+    graph: TaskGraph
+    scheduling: SchedulingResult
+    placement: Optional[Placement]
+    trace: Optional[ExecutionTrace]
+    predicted_makespan: float
+    obs: Instrumentation
+    cache: Optional[CacheStats] = None
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def makespan(self) -> float:
+        """Simulated makespan (falls back to the prediction pre-sim)."""
+        if self.trace is not None:
+            return self.trace.makespan
+        return self.predicted_makespan
+
+    @property
+    def speedup_estimate(self) -> float:
+        """Predicted over simulated makespan (model optimism factor)."""
+        if self.trace is None or self.trace.makespan <= 0:
+            return 1.0
+        return self.predicted_makespan / self.trace.makespan
+
+    # ------------------------------------------------------------------
+    def stage_seconds(self) -> Dict[str, float]:
+        """Wall-clock seconds per top-level pipeline stage."""
+        out: Dict[str, float] = {}
+        for s in self.obs.spans:
+            if s.parent == "pipeline":
+                out[s.name] = out.get(s.name, 0.0) + s.duration
+        return out
+
+    def report(self) -> str:
+        """Human-readable one-run summary."""
+        lines = [
+            f"pipeline run: {self.scheduling.scheduler or 'scheduler'} on "
+            f"{self.scheduling.nprocs} cores, {len(self.graph)} tasks",
+            f"  predicted makespan: {self.predicted_makespan:.6g} s",
+        ]
+        if self.trace is not None:
+            lines.append(f"  simulated makespan: {self.trace.makespan:.6g} s")
+        for name, secs in self.stage_seconds().items():
+            lines.append(f"  stage {name:<10s} {secs * 1e3:9.3f} ms")
+        if self.cache is not None and self.cache.requests:
+            lines.append(
+                f"  cost cache: {self.cache.requests} requests, "
+                f"hit rate {self.cache.hit_rate:.1%}, "
+                f"{self.cache.evaluation_reduction:.2f}x fewer evaluations"
+            )
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-friendly export of diagnostics (not the artefacts)."""
+        return {
+            "scheduler": self.scheduling.scheduler,
+            "kind": self.scheduling.kind,
+            "nprocs": self.scheduling.nprocs,
+            "tasks": len(self.graph),
+            "predicted_makespan": self.predicted_makespan,
+            "simulated_makespan": self.trace.makespan if self.trace else None,
+            "stage_seconds": self.stage_seconds(),
+            "scheduling_stats": dict(self.scheduling.stats),
+            "cache": self.cache.to_dict() if self.cache else None,
+            "obs": self.obs.to_dict(),
+            "meta": dict(self.meta),
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, default=str)

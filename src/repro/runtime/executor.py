@@ -27,6 +27,7 @@ import numpy as np
 from ..core.graph import TaskGraph
 from ..core.task import AccessMode, MTask
 from ..distribution import transfer_counts
+from ..obs import Instrumentation
 from .context import RuntimeContext
 
 __all__ = ["RunStats", "RunResult", "run_program"]
@@ -66,6 +67,7 @@ def run_program(
     inputs: Mapping[str, np.ndarray],
     group_sizes: Optional[Mapping[MTask, int]] = None,
     default_group_size: int = 4,
+    obs: Optional[Instrumentation] = None,
 ) -> RunResult:
     """Execute an M-task graph functionally.
 
@@ -81,7 +83,12 @@ def run_program(
     group_sizes:
         Ranks per task for re-distribution accounting (e.g. derived from
         a schedule).  Defaults to ``default_group_size`` each.
+    obs:
+        Optional :class:`~repro.obs.Instrumentation`: records one span
+        per executed task and totals for tasks executed and bytes
+        re-distributed.
     """
+    obs = obs if obs is not None else Instrumentation()
     store: Dict[str, np.ndarray] = {
         k: np.atleast_1d(np.asarray(v, dtype=float)).copy() for k, v in inputs.items()
     }
@@ -119,7 +126,8 @@ def run_program(
         env = task.meta.get("env", {})
         ctx = RuntimeContext(task.name, q, env=dict(env) if isinstance(env, dict) else {})
         if task.func is not None:
-            produced = task.func(ctx, values)
+            with obs.span("task", task=task.name, q=q):
+                produced = task.func(ctx, values)
             if produced is None:
                 produced = {}
             if not isinstance(produced, dict):
@@ -149,4 +157,11 @@ def run_program(
                 producer_dist[name] = (p.dist.instantiate(p.elements, q), q)
             stats.tasks_executed += 1
         stats.contexts[task] = ctx
+    obs.count("runtime.tasks_executed", stats.tasks_executed)
+    obs.count("runtime.redistributed_bytes", stats.redistributed_bytes)
+    obs.record(
+        "run_program",
+        tasks=stats.tasks_executed,
+        redistributed_bytes=stats.redistributed_bytes,
+    )
     return RunResult(variables=store, stats=stats)

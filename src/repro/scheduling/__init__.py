@@ -7,7 +7,7 @@ from .allocation import (
     lpt_assign,
     round_robin_assign,
 )
-from .base import Scheduler, symbolic_timeline
+from .base import Scheduler, SchedulingResult, symbolic_timeline
 from .baselines import (
     data_parallel_scheduler,
     fixed_group_scheduler,
@@ -24,6 +24,7 @@ from .listsched import bottom_levels, list_schedule
 
 __all__ = [
     "Scheduler",
+    "SchedulingResult",
     "symbolic_timeline",
     "LayerBasedScheduler",
     "CPAScheduler",

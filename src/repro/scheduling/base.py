@@ -1,22 +1,217 @@
-"""Scheduler interface and symbolic-timeline utilities."""
+"""Scheduler interface, normalized results and symbolic timelines.
+
+Historically every scheduler returned its own artefact -- the layer-based
+algorithm a :class:`~repro.core.schedule.LayeredSchedule`, CPA/CPR a
+symbolic-core :class:`~repro.core.schedule.Schedule` -- and every caller
+had to know which it got (the old ``Union[LayeredSchedule, Schedule]``
+contract).  That union is gone: every :class:`Scheduler` now returns a
+:class:`SchedulingResult` that carries whichever artefact the algorithm
+produced plus the chain-expansion map and per-run statistics, and exposes
+uniform accessors (:meth:`SchedulingResult.symbolic_timeline`,
+:meth:`SchedulingResult.predicted_makespan`) the pipeline builds on.
+
+Code that still treats a :class:`SchedulingResult` like the old raw
+artefacts gets a targeted error message instead of an ``AttributeError``
+puzzle -- see :meth:`SchedulingResult.__getattr__`.
+"""
 
 from __future__ import annotations
 
-from typing import List, Protocol, Union
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
 
 from ..core.costmodel import CostModel
 from ..core.graph import TaskGraph
 from ..core.schedule import LayeredSchedule, Schedule, ScheduledTask
+from ..core.task import MTask
+from ..obs import Instrumentation
 
-__all__ = ["Scheduler", "symbolic_timeline"]
+__all__ = ["Scheduler", "SchedulingResult", "symbolic_timeline"]
 
 
-class Scheduler(Protocol):
-    """A scheduling algorithm for M-task graphs."""
+#: old attribute -> migration hint, used by the misuse guard below
+_MIGRATION_HINTS = {
+    "layers": ".layered.layers",
+    "num_layers": ".layered.num_layers",
+    "describe": ".layered.describe()",
+    "expand": ".expand_task(task)",
+    "all_original_tasks": ".layered.all_original_tasks()",
+    "entries": ".timeline.entries",
+    "makespan": ".timeline.makespan (or .predicted_makespan(cost))",
+    "add": ".timeline.add",
+    "work_area": ".timeline.work_area()",
+    "idle_fraction": ".timeline.idle_fraction()",
+    "gantt_lines": ".timeline.gantt_lines()",
+}
 
-    def schedule(self, graph: TaskGraph) -> Union[LayeredSchedule, Schedule]:
+
+@dataclass
+class SchedulingResult:
+    """Normalized output of every scheduling algorithm.
+
+    Exactly one of ``layered`` / ``timeline`` is set for static
+    schedulers (``kind`` tells which); the dynamic scheduler additionally
+    attaches the :class:`~repro.sim.trace.ExecutionTrace` it produced
+    while scheduling, since its decisions *are* the execution.
+
+    ``expansion`` maps contracted chain nodes to their member tasks in
+    chain order (identity for non-chain tasks); it is filled by the
+    scheduler when it contracts internally (layer-based algorithm) or by
+    the pipeline's contraction stage (CPA/CPR and friends).
+    """
+
+    nprocs: int
+    scheduler: str = ""
+    layered: Optional[LayeredSchedule] = None
+    timeline: Optional[Schedule] = None
+    expansion: Dict[MTask, List[MTask]] = field(default_factory=dict)
+    #: per-task core allocation of the allocation-based baselines
+    allocation: Optional[Dict[MTask, int]] = None
+    #: simulated trace, when the scheduler executed while scheduling
+    trace: Optional[object] = None
+    #: free-form per-run statistics (probe counts, iterations, ...)
+    stats: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.layered is None and self.timeline is None and self.trace is None:
+            raise ValueError(
+                "SchedulingResult needs a layered schedule, a timeline or a trace"
+            )
+        if self.layered is not None and self.timeline is not None:
+            raise ValueError(
+                "SchedulingResult carries either a layered schedule or a "
+                "timeline, not both"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def kind(self) -> str:
+        """``"layered"``, ``"timeline"`` or ``"trace"``."""
+        if self.layered is not None:
+            return "layered"
+        if self.timeline is not None:
+            return "timeline"
+        return "trace"
+
+    def expand_task(self, task: MTask) -> List[MTask]:
+        """Member tasks of a (possibly contracted) node, in chain order."""
+        return self.expansion.get(task, [task])
+
+    def scheduled_tasks(self) -> List[MTask]:
+        """All *original* tasks the result covers (chains expanded)."""
+        if self.layered is not None:
+            return self.layered.all_original_tasks()
+        if self.timeline is not None:
+            return [
+                m for e in self.timeline.entries for m in self.expand_task(e.task)
+            ]
+        return [e.task for e in self.trace.entries]  # type: ignore[union-attr]
+
+    # ------------------------------------------------------------------
+    def symbolic_timeline(self, cost: CostModel, expand_chains: bool = True) -> Schedule:
+        """The symbolic-core timeline the scheduling phase reasoned about.
+
+        For layered results this runs :func:`symbolic_timeline`; timeline
+        results already are one (chains expanded on request); dynamic
+        results rebuild a symbolic view from the trace's physical cores.
+        """
+        if self.layered is not None:
+            return symbolic_timeline(self.layered, cost, expand_chains)
+        if self.timeline is not None:
+            if not expand_chains or not self.expansion:
+                return self.timeline
+            return self._expanded_timeline(cost)
+        return self._timeline_from_trace()
+
+    def _expanded_timeline(self, cost: CostModel) -> Schedule:
+        out = Schedule(self.timeline.nprocs)
+        for e in self.timeline.entries:
+            members = self.expand_task(e.task)
+            if len(members) == 1 and members[0] is e.task:
+                out.add(e)
+                continue
+            t = e.start
+            for m in members:
+                width = m.clamp_procs(len(e.cores))
+                dur = cost.tsymb(m, width)
+                out.add(ScheduledTask(m, t, t + dur, e.cores[:width]))
+                t += dur
+        return out
+
+    def _timeline_from_trace(self) -> Schedule:
+        index = {c: i for i, c in enumerate(self.trace.machine.cores())}
+        out = Schedule(len(index))
+        for e in self.trace.entries:
+            out.add(
+                ScheduledTask(
+                    e.task, e.start, e.finish, tuple(index[c] for c in e.cores)
+                )
+            )
+        return out
+
+    def predicted_makespan(self, cost: CostModel) -> float:
+        """Makespan of the symbolic timeline (the scheduler's estimate)."""
+        return self.symbolic_timeline(cost).makespan
+
+    # ------------------------------------------------------------------
+    def __getattr__(self, name: str):
+        if name in _MIGRATION_HINTS:
+            raise AttributeError(
+                f"SchedulingResult has no attribute {name!r}: schedulers no "
+                f"longer return raw LayeredSchedule/Schedule objects (the old "
+                f"Union contract is gone). Use result{_MIGRATION_HINTS[name]} "
+                f"instead, or run the schedule through "
+                f"repro.pipeline.SchedulingPipeline."
+            )
+        raise AttributeError(
+            f"{type(self).__name__!r} object has no attribute {name!r}"
+        )
+
+
+class Scheduler(abc.ABC):
+    """A scheduling algorithm for M-task graphs.
+
+    Concrete schedulers implement :meth:`_plan` and set ``cost`` (the
+    cost model binding the target platform).  :meth:`schedule` wraps the
+    run in an instrumentation span and normalizes the contract: every
+    scheduler returns a :class:`SchedulingResult`, never a raw
+    ``LayeredSchedule`` or ``Schedule``.
+    """
+
+    #: cost model bound to the target platform (set by subclasses)
+    cost: CostModel
+
+    #: True when the algorithm performs (or deliberately skips) chain
+    #: contraction itself; the pipeline then leaves the graph alone.
+    handles_contraction: bool = False
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__
+
+    @property
+    def nprocs(self) -> int:
+        return self.cost.platform.total_cores
+
+    def schedule(
+        self, graph: TaskGraph, obs: Optional[Instrumentation] = None
+    ) -> SchedulingResult:
         """Compute a schedule for ``graph`` on the scheduler's platform."""
-        ...
+        obs = obs if obs is not None else Instrumentation()
+        with obs.span("schedule", scheduler=self.name):
+            result = self._plan(graph, obs)
+        if not isinstance(result, SchedulingResult):
+            raise TypeError(
+                f"{self.name}._plan returned {type(result).__name__}; "
+                "returning raw LayeredSchedule/Schedule objects is no longer "
+                "supported -- wrap the artefact in a SchedulingResult"
+            )
+        return result
+
+    @abc.abstractmethod
+    def _plan(self, graph: TaskGraph, obs: Instrumentation) -> SchedulingResult:
+        """Algorithm body; must return a :class:`SchedulingResult`."""
 
 
 def symbolic_timeline(
@@ -31,6 +226,11 @@ def symbolic_timeline(
     This is the makespan the *scheduling* phase reasons about -- the
     simulator recomputes the real timeline after mapping.
     """
+    if isinstance(schedule, SchedulingResult):
+        raise TypeError(
+            "symbolic_timeline expects a LayeredSchedule; you passed a "
+            "SchedulingResult -- call result.symbolic_timeline(cost) instead"
+        )
     out = Schedule(schedule.nprocs)
     t_layer = 0.0
     for layer in schedule.layers:

@@ -24,15 +24,16 @@ from typing import Dict
 
 from ..core.costmodel import CostModel
 from ..core.graph import TaskGraph
-from ..core.schedule import Schedule
 from ..core.task import MTask
+from ..obs import Instrumentation
+from .base import Scheduler, SchedulingResult
 from .listsched import list_schedule
 
 __all__ = ["CPAScheduler"]
 
 
 @dataclass
-class CPAScheduler:
+class CPAScheduler(Scheduler):
     """The CPA two-phase M-task scheduler."""
 
     cost: CostModel
@@ -70,6 +71,15 @@ class CPAScheduler:
             )
         return alloc
 
-    def schedule(self, graph: TaskGraph) -> Schedule:
-        alloc = self.allocate(graph)
-        return list_schedule(graph, alloc, self.cost)
+    def _plan(self, graph: TaskGraph, obs: Instrumentation) -> SchedulingResult:
+        with obs.span("allocate"):
+            alloc = self.allocate(graph)
+        with obs.span("listsched"):
+            timeline = list_schedule(graph, alloc, self.cost)
+        return SchedulingResult(
+            nprocs=self.nprocs,
+            scheduler=self.name,
+            timeline=timeline,
+            allocation=alloc,
+            stats={"allocated_cores": float(sum(alloc.values()))},
+        )

@@ -19,13 +19,15 @@ from ..core.costmodel import CostModel
 from ..core.graph import TaskGraph
 from ..core.schedule import Schedule
 from ..core.task import MTask
+from ..obs import Instrumentation
+from .base import Scheduler, SchedulingResult
 from .listsched import list_schedule
 
 __all__ = ["CPRScheduler"]
 
 
 @dataclass
-class CPRScheduler:
+class CPRScheduler(Scheduler):
     """The CPR one-phase (coupled) M-task scheduler."""
 
     cost: CostModel
@@ -35,8 +37,16 @@ class CPRScheduler:
     #: machines (a performance knob, not part of the original algorithm)
     granularity: int = 1
 
-    def schedule(self, graph: TaskGraph) -> Schedule:
-        return self.schedule_with_allocation(graph)[0]
+    def _plan(self, graph: TaskGraph, obs: Instrumentation) -> SchedulingResult:
+        with obs.span("widen"):
+            timeline, alloc = self.schedule_with_allocation(graph)
+        return SchedulingResult(
+            nprocs=self.nprocs,
+            scheduler=self.name,
+            timeline=timeline,
+            allocation=alloc,
+            stats={"allocated_cores": float(sum(alloc.values()))},
+        )
 
     @staticmethod
     def _objective(schedule: Schedule) -> Tuple[float, float]:

@@ -33,9 +33,12 @@ from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..cluster.architecture import CoreId
 from ..core.costmodel import CostModel
+from ..core.graph import TaskGraph
 from ..core.task import MTask
+from ..obs import Instrumentation
 from ..sim.engine import Simulator
 from ..sim.trace import ExecutionTrace, TraceEntry
+from .base import Scheduler, SchedulingResult
 
 __all__ = ["DynamicTask", "DynamicScheduler", "SpawnContext"]
 
@@ -81,7 +84,7 @@ class SpawnContext:
         )
 
 
-class DynamicScheduler:
+class DynamicScheduler(Scheduler):
     """Runtime scheduler with dynamic task creation.
 
     Usage::
@@ -89,7 +92,17 @@ class DynamicScheduler:
         dyn = DynamicScheduler(cost)
         root = dyn.submit(task, on_start=decompose)   # decompose spawns more
         trace = dyn.run()
+
+    A *static* graph can also be handed to :meth:`schedule` (the common
+    :class:`~repro.scheduling.base.Scheduler` contract): every task is
+    submitted with its graph dependencies and the run's trace is returned
+    inside the :class:`~repro.scheduling.base.SchedulingResult`, making
+    dynamic and static scheduling directly comparable through the
+    pipeline.
     """
+
+    #: dynamic dispatch works on the original tasks; no contraction.
+    handles_contraction = True
 
     def __init__(self, cost: CostModel) -> None:
         self.cost = cost
@@ -199,6 +212,28 @@ class DynamicScheduler:
             if waiter._remaining == 0:
                 self._enqueue(waiter)
         self._dispatch()
+
+    # ------------------------------------------------------------------
+    def _plan(self, graph: TaskGraph, obs: Instrumentation) -> SchedulingResult:
+        """Dispatch a static graph dynamically (one-shot per instance)."""
+        if self._ran:
+            raise RuntimeError(
+                "a DynamicScheduler instance runs only once; create a fresh "
+                "one per schedule() call"
+            )
+        handles: Dict[MTask, DynamicTask] = {}
+        for t in graph.topological_order():
+            deps = tuple(handles[p] for p in graph.predecessors(t))
+            handles[t] = self.submit(t, deps=deps)
+        with obs.span("dispatch"):
+            trace = self.run()
+        obs.count("dynamic.tasks", len(trace))
+        return SchedulingResult(
+            nprocs=self.nprocs,
+            scheduler=self.name,
+            trace=trace,
+            stats={"tasks": float(len(trace))},
+        )
 
     # ------------------------------------------------------------------
     def run(self) -> ExecutionTrace:

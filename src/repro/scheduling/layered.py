@@ -15,19 +15,23 @@ The scheduler proceeds in three steps (Section 3.2):
 
 All decisions use symbolic cores interconnected by the slowest network
 level; the separate mapping step (:mod:`repro.mapping`) later pins the
-groups to physical cores.
+groups to physical cores.  The ``g``-search re-probes ``Tsymb`` heavily;
+running the scheduler through the pipeline's
+:class:`~repro.core.costmodel.CachedCostEvaluator` memoizes those probes.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
 
 from ..core.costmodel import CostModel
 from ..core.graph import TaskGraph
 from ..core.schedule import Layer, LayeredSchedule
 from ..core.task import MTask
+from ..obs import Instrumentation
 from .allocation import adjust_group_sizes, equal_partition, lpt_assign, round_robin_assign
+from .base import Scheduler, SchedulingResult
 from .chains import contract_chains
 from .layers import build_layers
 
@@ -35,7 +39,7 @@ __all__ = ["LayerBasedScheduler"]
 
 
 @dataclass
-class LayerBasedScheduler:
+class LayerBasedScheduler(Scheduler):
     """Layer-based M-task scheduler with group adjustment.
 
     Parameters
@@ -63,15 +67,15 @@ class LayerBasedScheduler:
     candidate_groups: Optional[Sequence[int]] = None
     wide_layer_limit: int = 64
 
+    #: chain handling is part of the algorithm itself (step 1); the
+    #: pipeline must not pre-contract, even for the ablation variant.
+    handles_contraction = True
+
     def __post_init__(self) -> None:
         if self.assignment not in ("lpt", "roundrobin"):
             raise ValueError("assignment must be 'lpt' or 'roundrobin'")
 
     # ------------------------------------------------------------------
-    @property
-    def nprocs(self) -> int:
-        return self.cost.platform.total_cores
-
     def _assign(self, tasks, time_of, g):
         fn = lpt_assign if self.assignment == "lpt" else round_robin_assign
         return fn(tasks, time_of, g)
@@ -95,13 +99,17 @@ class LayerBasedScheduler:
         min_size = min(equal_partition(self.nprocs, g))
         return all(t.min_procs <= min_size for t in tasks)
 
-    def schedule_layer(self, tasks: Sequence[MTask]) -> Tuple[Layer, float]:
+    def schedule_layer(
+        self, tasks: Sequence[MTask], obs: Optional[Instrumentation] = None
+    ) -> Tuple[Layer, float]:
         """Schedule one layer; returns the layer and its ``Tmin``."""
+        obs = obs if obs is not None else Instrumentation()
         P = self.nprocs
         best: Optional[Tuple[float, int, List[List[MTask]], List[int]]] = None
         for g in self._candidates(len(tasks)):
             if not self._layer_feasible(tasks, g):
                 continue
+            obs.count("gsearch.probes")
             sizes = equal_partition(P, g)
             q_est = P // g  # the equal subset size the paper assumes
             time_of = lambda t, q=q_est: self.cost.tsymb(t, t.clamp_procs(max(q, t.min_procs)))
@@ -130,22 +138,46 @@ class LayerBasedScheduler:
         if lost > 0 and sizes:
             sizes[0] += lost  # give cores of dropped groups to the largest
         if self.adjust and len(groups) > 1:
-            sizes = adjust_group_sizes(groups, self.cost.sequential_time, self.nprocs)
+            with obs.span("adjust"):
+                sizes = adjust_group_sizes(groups, self.cost.sequential_time, self.nprocs)
         return Layer(groups=groups, group_sizes=sizes), tact
 
-    def schedule(self, graph: TaskGraph) -> LayeredSchedule:
+    def _plan(self, graph: TaskGraph, obs: Instrumentation) -> SchedulingResult:
         """Run the complete three-step algorithm on an M-task graph."""
-        if self.contract:
-            work_graph, expansion = contract_chains(graph)
-        else:
-            work_graph, expansion = graph, {}
-        raw_layers = build_layers(work_graph)
+        with obs.span("contract"):
+            if self.contract:
+                work_graph, expansion = contract_chains(graph)
+            else:
+                work_graph, expansion = graph, {}
+        obs.count("contract.chains", len(expansion))
+        with obs.span("layers"):
+            raw_layers = build_layers(work_graph)
         layers: List[Layer] = []
-        for tasks in raw_layers:
-            layer, _ = self.schedule_layer(tasks)
-            layers.append(layer)
-        return LayeredSchedule(
+        with obs.span("gsearch"):
+            for i, tasks in enumerate(raw_layers):
+                layer, tact = self.schedule_layer(tasks, obs)
+                obs.record(
+                    "layer",
+                    index=i,
+                    tasks=len(tasks),
+                    groups=layer.num_groups,
+                    group_sizes=list(layer.group_sizes),
+                    tact=tact,
+                )
+                layers.append(layer)
+        layered = LayeredSchedule(
             nprocs=self.nprocs,
             layers=layers,
             expansion={k: list(v) for k, v in expansion.items()},
+        )
+        return SchedulingResult(
+            nprocs=self.nprocs,
+            scheduler=self.name,
+            layered=layered,
+            expansion=layered.expansion,
+            stats={
+                "layers": len(layers),
+                "gsearch_probes": obs.counter("gsearch.probes"),
+                "contracted_chains": len(expansion),
+            },
         )

@@ -16,8 +16,9 @@ from typing import Dict
 
 from ..core.costmodel import CostModel
 from ..core.graph import TaskGraph
-from ..core.schedule import Schedule
 from ..core.task import MTask
+from ..obs import Instrumentation
+from .base import Scheduler, SchedulingResult
 from .layers import layer_index
 from .listsched import list_schedule
 
@@ -25,7 +26,7 @@ __all__ = ["MCPAScheduler"]
 
 
 @dataclass
-class MCPAScheduler:
+class MCPAScheduler(Scheduler):
     """CPA with level-parallelism-bounded allocation."""
 
     cost: CostModel
@@ -67,5 +68,15 @@ class MCPAScheduler:
             alloc[best_task] = min(caps[best_task], alloc[best_task] + step)
         return alloc
 
-    def schedule(self, graph: TaskGraph) -> Schedule:
-        return list_schedule(graph, self.allocate(graph), self.cost)
+    def _plan(self, graph: TaskGraph, obs: Instrumentation) -> SchedulingResult:
+        with obs.span("allocate"):
+            alloc = self.allocate(graph)
+        with obs.span("listsched"):
+            timeline = list_schedule(graph, alloc, self.cost)
+        return SchedulingResult(
+            nprocs=self.nprocs,
+            scheduler=self.name,
+            timeline=timeline,
+            allocation=alloc,
+            stats={"allocated_cores": float(sum(alloc.values()))},
+        )

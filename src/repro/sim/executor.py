@@ -33,6 +33,7 @@ from ..core.costmodel import CostModel
 from ..core.graph import TaskGraph
 from ..core.schedule import Placement
 from ..core.task import MTask
+from ..obs import Instrumentation
 from .engine import CoreResource, Simulator
 from .trace import ExecutionTrace, TraceEntry
 
@@ -66,36 +67,49 @@ def simulate(
     placement: Placement,
     cost: CostModel,
     options: SimulationOptions = SimulationOptions(),
+    obs: Optional[Instrumentation] = None,
 ) -> ExecutionTrace:
-    """Simulate one execution of ``graph`` under ``placement``."""
+    """Simulate one execution of ``graph`` under ``placement``.
+
+    ``obs`` (optional) collects per-pass spans and counters: number of
+    contention passes, tasks simulated and the final makespan.
+    """
     machine = cost.platform.machine
     placement.validate(graph)
     if options.contention_passes < 1:
         raise ValueError("contention_passes must be >= 1")
+    obs = obs if obs is not None else Instrumentation()
 
     intervals: Dict[MTask, Tuple[float, float]] = {}
     trace = ExecutionTrace(machine)
-    for pass_no in range(options.contention_passes):
-        last_pass = pass_no == options.contention_passes - 1
-        ctxs: Dict[MTask, Optional[ContentionContext]] = {}
-        peers: Dict[MTask, List[Tuple[CoreId, ...]]] = {}
-        if pass_no == 0:
-            for t in graph:
-                ctxs[t] = None  # own edges only
-                peers[t] = []
-        else:
-            for t in graph:
-                mine = intervals[t]
-                concurrent = [
-                    o for o in graph if o is t or _overlaps(intervals[o], mine)
-                ]
-                ctxs[t] = build_context(
-                    machine,
-                    [_phase_edges(o, placement.cores_of(o)) for o in concurrent],
+    with obs.span("simulate", tasks=len(graph)):
+        for pass_no in range(options.contention_passes):
+            last_pass = pass_no == options.contention_passes - 1
+            ctxs: Dict[MTask, Optional[ContentionContext]] = {}
+            peers: Dict[MTask, List[Tuple[CoreId, ...]]] = {}
+            if pass_no == 0:
+                for t in graph:
+                    ctxs[t] = None  # own edges only
+                    peers[t] = []
+            else:
+                for t in graph:
+                    mine = intervals[t]
+                    concurrent = [
+                        o for o in graph if o is t or _overlaps(intervals[o], mine)
+                    ]
+                    ctxs[t] = build_context(
+                        machine,
+                        [_phase_edges(o, placement.cores_of(o)) for o in concurrent],
+                    )
+                    peers[t] = [tuple(placement.cores_of(o)) for o in concurrent]
+            with obs.span("contention_pass", index=pass_no):
+                trace = _run_once(
+                    graph, placement, cost, ctxs, peers, options, last_pass
                 )
-                peers[t] = [tuple(placement.cores_of(o)) for o in concurrent]
-        trace = _run_once(graph, placement, cost, ctxs, peers, options, last_pass)
-        intervals = {e.task: (e.start, e.finish) for e in trace.entries}
+            obs.count("sim.passes")
+            intervals = {e.task: (e.start, e.finish) for e in trace.entries}
+    obs.count("sim.tasks", len(trace))
+    obs.record("simulate", tasks=len(trace), makespan=trace.makespan)
     return trace
 
 

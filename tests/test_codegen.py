@@ -21,7 +21,7 @@ def setup():
 class TestCodegen:
     def test_every_activation_emitted_once(self, setup):
         cost, graph = setup
-        sched = fixed_group_scheduler(cost, 2).schedule(graph)
+        sched = fixed_group_scheduler(cost, 2).schedule(graph).layered
         code = generate_mpi_pseudocode(graph, sched)
         steps = re.findall(r"^\s*step\(", code, re.MULTILINE)
         assert len(steps) == 10  # R(R+1)/2 micro-steps for R=4
@@ -29,7 +29,7 @@ class TestCodegen:
 
     def test_structure(self, setup):
         cost, graph = setup
-        sched = fixed_group_scheduler(cost, 2).schedule(graph)
+        sched = fixed_group_scheduler(cost, 2).schedule(graph).layered
         code = generate_mpi_pseudocode(graph, sched, cost)
         assert code.count("MPI_Init") == 1
         assert code.count("MPI_Finalize") == 1
@@ -43,7 +43,7 @@ class TestCodegen:
 
     def test_redistributions_for_cross_group_flows(self, setup):
         cost, graph = setup
-        sched = fixed_group_scheduler(cost, 2).schedule(graph)
+        sched = fixed_group_scheduler(cost, 2).schedule(graph).layered
         code = generate_mpi_pseudocode(graph, sched)
         # the block-distributed approximation vectors must be moved to
         # the full-width combine group
@@ -52,13 +52,13 @@ class TestCodegen:
 
     def test_data_parallel_has_no_redistributions(self, setup):
         cost, graph = setup
-        sched = data_parallel_scheduler(cost).schedule(graph)
+        sched = data_parallel_scheduler(cost).schedule(graph).layered
         code = generate_mpi_pseudocode(graph, sched)
         assert "redistribute_" not in code  # same group, same distribution
 
     def test_group_guards_match_sizes(self, setup):
         cost, graph = setup
-        sched = fixed_group_scheduler(cost, 4).schedule(graph)
+        sched = fixed_group_scheduler(cost, 4).schedule(graph).layered
         code = generate_mpi_pseudocode(graph, sched)
         mid = sched.layers[1]
         for rng in mid.symbolic_ranges():

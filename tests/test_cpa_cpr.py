@@ -84,7 +84,7 @@ class TestCPA:
 
     def test_schedule_is_valid(self, cost):
         g, _ = fork_join()
-        s = CPAScheduler(cost).schedule(g)
+        s = CPAScheduler(cost).schedule(g).timeline
         s.validate(g)
 
     def test_granularity_coarsens(self, cost):
@@ -117,12 +117,12 @@ class TestCPR:
 
     def test_never_exceeds_increment_budget(self, cost):
         g, _ = fork_join()
-        s = CPRScheduler(cost, max_increments=3).schedule(g)
+        s = CPRScheduler(cost, max_increments=3).schedule(g).timeline
         s.validate(g)
 
     def test_granularity(self, cost):
         g, _ = fork_join()
-        s = CPRScheduler(cost, granularity=4).schedule(g)
+        s = CPRScheduler(cost, granularity=4).schedule(g).timeline
         s.validate(g)
 
     def test_matches_layer_based_for_pabm_shape(self, cost):
@@ -134,10 +134,10 @@ class TestCPR:
 
         g, _ = fork_join(k=4)
         plat = cost.platform
-        layered = fixed_group_scheduler(cost, 4).schedule(g)
+        layered = fixed_group_scheduler(cost, 4).schedule(g).layered
         p1 = place_layered(layered, plat.machine, consecutive())
         t1 = simulate(g, p1, cost).makespan
-        cpr = CPRScheduler(cost).schedule(g)
+        cpr = CPRScheduler(cost).schedule(g).timeline
         p2 = place_timeline(cpr, plat.machine, consecutive())
         t2 = simulate(g, p2, cost).makespan
         assert t2 == pytest.approx(t1, rel=0.05)
@@ -155,15 +155,15 @@ class TestMCPA:
         from repro.scheduling import MCPAScheduler
 
         g, _ = fork_join(k=4)
-        t_cpa = CPAScheduler(cost).schedule(g).makespan
-        t_mcpa = MCPAScheduler(cost).schedule(g).makespan
+        t_cpa = CPAScheduler(cost).schedule(g).timeline.makespan
+        t_mcpa = MCPAScheduler(cost).schedule(g).timeline.makespan
         assert t_mcpa < t_cpa
 
     def test_schedule_valid(self, cost):
         from repro.scheduling import MCPAScheduler
 
         g, _ = fork_join(k=3)
-        s = MCPAScheduler(cost).schedule(g)
+        s = MCPAScheduler(cost).schedule(g).timeline
         s.validate(g)
         assert len(s) == len(g)
 

@@ -42,7 +42,7 @@ class TestTraceCsv:
         a = g.add_task(MTask("a", work=1e8))
         b = g.add_task(MTask("b", work=1e8))
         g.add_dependency(a, b)
-        sched = LayerBasedScheduler(cost).schedule(g)
+        sched = LayerBasedScheduler(cost).schedule(g).layered
         trace = simulate(g, place_layered(sched, plat.machine, consecutive()), cost)
         rows = list(csv.reader(io.StringIO(trace.to_csv())))
         assert rows[0][0] == "task"

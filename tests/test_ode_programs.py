@@ -108,7 +108,7 @@ class TestTable1:
         problem = schroed(64)
         cfg = CONFIGS[method]
         g = step_graph(problem, cfg)
-        sched = fixed_group_scheduler(cost, paper_group_count(cfg)).schedule(g)
+        sched = fixed_group_scheduler(cost, paper_group_count(cfg)).schedule(g).layered
         assert counts_from_step_graph(g, schedule=sched) == table1_expected(
             cfg, problem.n, "tp"
         )
@@ -177,7 +177,7 @@ class TestSchedulingOfPrograms:
     @pytest.mark.parametrize("method", ODE_METHODS)
     def test_auto_scheduler_handles_every_method(self, method, cost, lin):
         g = step_graph(bruss2d(16), CONFIGS[method])
-        sched = LayerBasedScheduler(cost).schedule(g)
+        sched = LayerBasedScheduler(cost).schedule(g).layered
         assert sched.num_layers >= 3
         names_scheduled = sorted(t.name for t in sched.all_original_tasks())
         assert names_scheduled == sorted(t.name for t in g)

@@ -63,7 +63,7 @@ class TestTraceGantt:
         g = TaskGraph()
         for i in range(4):
             g.add_task(MTask(f"s{i}", work=2e9))
-        sched = fixed_group_scheduler(cost, 4).schedule(g)
+        sched = fixed_group_scheduler(cost, 4).schedule(g).layered
         return simulate(g, place_layered(sched, plat.machine, consecutive()), cost)
 
     def test_by_node(self, trace, plat):

@@ -13,7 +13,12 @@ from hypothesis import strategies as st
 from repro.cluster import generic_cluster
 from repro.core import CollectiveSpec, CostModel, MTask, TaskGraph
 from repro.mapping import consecutive, mixed, place_layered, scattered
-from repro.scheduling import LayerBasedScheduler, build_layers, contract_chains
+from repro.scheduling import (
+    LayerBasedScheduler,
+    build_layers,
+    contract_chains,
+    find_linear_chains,
+)
 from repro.sim import simulate
 
 
@@ -61,7 +66,7 @@ class TestPipelineInvariants:
     def test_simulated_trace_is_consistent(self, g):
         plat = generic_cluster(nodes=4, procs_per_node=2, cores_per_proc=2)
         cost = CostModel(plat)
-        sched = LayerBasedScheduler(cost).schedule(g)
+        sched = LayerBasedScheduler(cost).schedule(g).layered
         for strat in (consecutive(), scattered(), mixed(2)):
             placement = place_layered(sched, plat.machine, strat)
             trace = simulate(g, placement, cost)
@@ -111,7 +116,7 @@ class TestPipelineInvariants:
         def makespan(nodes):
             plat = generic_cluster(nodes=nodes, procs_per_node=2, cores_per_proc=2)
             cost = CostModel(plat)
-            sched = LayerBasedScheduler(cost).schedule(quiet)
+            sched = LayerBasedScheduler(cost).schedule(quiet).layered
             pl = place_layered(sched, plat.machine, consecutive())
             return simulate(quiet, pl, cost).makespan
 
@@ -122,3 +127,45 @@ class TestPipelineInvariants:
     def test_chain_contraction_preserves_total_work(self, g):
         cg, _ = contract_chains(g)
         assert cg.total_work() == pytest.approx(g.total_work())
+
+
+class TestChainContractionRoundTrip:
+    """contract_chains must be losslessly reversible via its expansion
+    map and idempotent (no chains left to contract)."""
+
+    @given(g=random_dag())
+    @settings(max_examples=50, deadline=None)
+    def test_expansion_recovers_every_task_once(self, g):
+        cg, expansion = contract_chains(g)
+        expanded = [m for t in cg for m in expansion.get(t, [t])]
+        assert sorted(t.name for t in expanded) == sorted(t.name for t in g)
+
+    @given(g=random_dag())
+    @settings(max_examples=50, deadline=None)
+    def test_chain_members_form_paths(self, g):
+        _, expansion = contract_chains(g)
+        for members in expansion.values():
+            assert len(members) >= 2
+            for u, v in zip(members, members[1:]):
+                assert list(g.successors(u)) == [v]
+                assert list(g.predecessors(v)) == [u]
+
+    @given(g=random_dag())
+    @settings(max_examples=50, deadline=None)
+    def test_projected_edges_preserved(self, g):
+        cg, expansion = contract_chains(g)
+        node_of = {m: n for n, members in expansion.items() for m in members}
+        cg_edges = {(u.name, v.name) for u, v, _f in cg.edges()}
+        for u, v, _f in g.edges():
+            cu, cv = node_of.get(u, u), node_of.get(v, v)
+            if cu is not cv:
+                assert (cu.name, cv.name) in cg_edges
+
+    @given(g=random_dag())
+    @settings(max_examples=50, deadline=None)
+    def test_contraction_is_idempotent(self, g):
+        cg, _ = contract_chains(g)
+        assert find_linear_chains(cg) == []
+        cg2, expansion2 = contract_chains(cg)
+        assert expansion2 == {}
+        assert len(cg2) == len(cg)

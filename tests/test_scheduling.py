@@ -187,13 +187,13 @@ class TestLayerBasedScheduler:
 
     def test_schedules_all_tasks(self, cost):
         g = self.epol_like()
-        sched = LayerBasedScheduler(cost).schedule(g)
+        sched = LayerBasedScheduler(cost).schedule(g).layered
         assert sorted(t.name for t in sched.all_original_tasks()) == sorted(
             t.name for t in g
         )
 
     def test_group_sizes_sum_to_P(self, cost):
-        sched = LayerBasedScheduler(cost).schedule(self.epol_like())
+        sched = LayerBasedScheduler(cost).schedule(self.epol_like()).layered
         for layer in sched.layers:
             assert sum(layer.group_sizes) == cost.platform.total_cores
 
@@ -201,7 +201,7 @@ class TestLayerBasedScheduler:
         """With compute-dominated chains of lengths 1..4, pairing (1,4),
         (2,3) on two groups is the balanced choice."""
         g = self.epol_like()
-        sched = fixed_group_scheduler(cost, 2).schedule(g)
+        sched = fixed_group_scheduler(cost, 2).schedule(g).layered
         mid = sched.layers[1]
         works = sorted(sum(t.work for t in grp) for grp in mid.groups)
         assert works == [50.0, 50.0]
@@ -210,17 +210,17 @@ class TestLayerBasedScheduler:
         g = TaskGraph()
         a = g.add_task(MTask("a", work=3e9))
         b = g.add_task(MTask("b", work=1e9))
-        sched = fixed_group_scheduler(cost, 2, adjust=True).schedule(g)
+        sched = fixed_group_scheduler(cost, 2, adjust=True).schedule(g).layered
         layer = sched.layers[0]
         heavy = layer.group_of(a)
         assert layer.group_sizes[heavy] > layer.group_sizes[1 - heavy]
 
     def test_dp_baseline_single_group(self, cost):
-        sched = data_parallel_scheduler(cost).schedule(self.epol_like())
+        sched = data_parallel_scheduler(cost).schedule(self.epol_like()).layered
         assert all(layer.num_groups == 1 for layer in sched.layers)
 
     def test_max_task_parallel(self, cost):
-        sched = max_task_parallel_scheduler(cost).schedule(self.epol_like())
+        sched = max_task_parallel_scheduler(cost).schedule(self.epol_like()).layered
         mid = sched.layers[1]
         assert mid.num_groups == 4
 
@@ -234,20 +234,20 @@ class TestLayerBasedScheduler:
         # a single-task layer with fixed g=4 must still schedule
         g = TaskGraph()
         g.add_task(MTask("only", work=1e9))
-        sched = fixed_group_scheduler(cost, 4).schedule(g)
+        sched = fixed_group_scheduler(cost, 4).schedule(g).layered
         assert sched.layers[0].num_groups == 1
 
     def test_roundrobin_ablation_not_better(self, cost):
         g = self.epol_like()
-        lpt = LayerBasedScheduler(cost, assignment="lpt").schedule(g)
-        rr = LayerBasedScheduler(cost, assignment="roundrobin").schedule(g)
+        lpt = LayerBasedScheduler(cost, assignment="lpt").schedule(g).layered
+        rr = LayerBasedScheduler(cost, assignment="roundrobin").schedule(g).layered
         t_lpt = symbolic_timeline(lpt, cost).makespan
         t_rr = symbolic_timeline(rr, cost).makespan
         assert t_lpt <= t_rr * 1.0001
 
     def test_symbolic_timeline_valid(self, cost):
         g = self.epol_like()
-        sched = LayerBasedScheduler(cost).schedule(g)
+        sched = LayerBasedScheduler(cost).schedule(g).layered
         tl = symbolic_timeline(sched, cost)
         tl.validate()
         assert tl.makespan > 0

@@ -51,7 +51,7 @@ class TestStragglerModel:
         graph = four_stage_graph()
         healthy = CostModel(plat)
         degraded = CostModel(plat, node_speed={0: 0.5})
-        sched = fixed_group_scheduler(healthy, 4).schedule(graph)
+        sched = fixed_group_scheduler(healthy, 4).schedule(graph).layered
         placement = place_layered(sched, plat.machine, consecutive())
         t_h = simulate(graph, placement, healthy)
         t_d = simulate(graph, placement, degraded)
@@ -65,7 +65,7 @@ class TestStragglerModel:
         at the straggler's pace -- same makespan, no skew."""
         graph = four_stage_graph()
         degraded = CostModel(plat, node_speed={0: 0.5})
-        sched = fixed_group_scheduler(CostModel(plat), 4).schedule(graph)
+        sched = fixed_group_scheduler(CostModel(plat), 4).schedule(graph).layered
         placement = place_layered(sched, plat.machine, scattered())
         trace = simulate(graph, placement, degraded)
         durations = [e.duration for e in trace.entries]
