@@ -9,11 +9,17 @@ scheduling->mapping->validation->simulation pipeline on CHiC and reports
 * cost-cache hit rate and the evaluation-reduction factor of the
   memoized :class:`~repro.core.costmodel.CachedCostEvaluator`,
 * the simulated makespan (so regressions in either speed or numbers
-  show up in the same artefact).
+  show up in the same artefact),
+* deterministic schedule analytics (busy fraction, critical-path share)
+  from :mod:`repro.obs.metrics`.
 
 Run:  PYTHONPATH=src python benchmarks/bench_pipeline.py [output.json]
 
 Writes ``BENCH_pipeline.json`` next to the repository root by default.
+``python -m repro.obs diff --threshold 1.25 BENCH_pipeline.json fresh.json``
+compares two outputs and exits non-zero on a regression; CI runs that
+gate against the committed baseline (deterministic count/ratio metrics
+only -- wall-clock columns are excluded unless ``--include-wall``).
 """
 
 from __future__ import annotations
@@ -56,6 +62,7 @@ def bench_solver(cfg: MethodConfig) -> dict:
     gsearch_cost = CachedCostEvaluator(CostModel(plat))
     fixed_group_scheduler(gsearch_cost, paper_group_count(cfg)).schedule(graph)
     gstats = gsearch_cost.stats
+    analysis = result.analysis()
     return {
         "solver": cfg.method,
         "tasks": len(graph),
@@ -71,6 +78,10 @@ def bench_solver(cfg: MethodConfig) -> dict:
         "gsearch_evaluation_reduction": gstats.evaluation_reduction,
         "predicted_makespan": result.predicted_makespan,
         "simulated_makespan": result.trace.makespan,
+        "busy_fraction": analysis.busy_fraction,
+        "redist_wait_fraction": analysis.redist_wait_fraction,
+        "critical_path_share": analysis.critical_path_share,
+        "max_layer_imbalance": analysis.max_layer_imbalance,
     }
 
 
@@ -78,6 +89,7 @@ def main(argv: list) -> int:
     out_path = Path(argv[1]) if len(argv) > 1 else Path(__file__).resolve().parent.parent / "BENCH_pipeline.json"
     rows = [bench_solver(cfg) for cfg in SOLVERS]
     payload = {
+        "schema": "repro.obs.bench/1",
         "benchmark": "scheduling pipeline, five ODE solvers on CHiC",
         "python": _platform.python_version(),
         "results": rows,

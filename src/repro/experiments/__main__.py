@@ -6,9 +6,14 @@ Usage::
     python -m repro.experiments --quick         # reduced scale (~1 min)
     python -m repro.experiments --only fig14 table1
     python -m repro.experiments --out results/  # also write text files
+    python -m repro.experiments --trace-out trace.json  # Perfetto trace
 
 Each artefact prints its paper-style table; with ``--out`` the tables are
-additionally written to ``<out>/<artefact>.txt``.
+additionally written to ``<out>/<artefact>.txt``.  With ``--trace-out``
+one *representative* instrumented pipeline run per selected artefact
+(the artefact's workload family at reduced scale) is exported as a
+single merged Chrome trace-event / Perfetto JSON file -- load it at
+``ui.perfetto.dev`` to inspect where each artefact's time goes.
 """
 
 from __future__ import annotations
@@ -49,6 +54,45 @@ ARTEFACTS: Dict[str, Callable[[bool], List[str]]] = {
     "fig19": lambda quick: [run_fig19(quick=quick).table_str()],
 }
 
+#: solver whose time step stands in for each artefact in ``--trace-out``
+#: exports (MethodConfig keywords follow the artefact's workload family)
+REPRESENTATIVE = {
+    "table1": ("irk", dict(K=4, m=3)),
+    "fig13": ("pabm", dict(K=8, m=2)),
+    "fig14": ("irk", dict(K=4, m=7)),
+    "fig15": ("diirk", dict(K=4, m=3, I=2)),
+    "fig16": ("pab", dict(K=8)),
+    "fig17": ("epol", dict(K=8)),
+    "fig18": ("pabm", dict(K=8, m=2)),
+    "fig19": ("irk", dict(K=4, m=7)),
+}
+
+
+def _representative_run(name: str, quick: bool):
+    """One instrumented pipeline run standing in for artefact ``name``."""
+    from ..cluster.platforms import chic
+    from ..mapping.strategies import consecutive
+    from ..ode import MethodConfig, bruss2d
+    from .common import ode_pipeline
+
+    method, kwargs = REPRESENTATIVE[name]
+    n = 120 if quick else 360
+    cores = 64 if quick else 256
+    return ode_pipeline(
+        bruss2d(n),
+        MethodConfig(method, **kwargs),
+        chic().with_cores(cores),
+        consecutive(),
+    )
+
+
+def export_traces(selected: List[str], quick: bool, path: Path) -> Path:
+    """Write the merged trace-event JSON of the selected artefacts."""
+    from ..obs.perfetto import merged_trace, write_trace
+
+    runs = [(name, _representative_run(name, quick)) for name in selected]
+    return write_trace(path, merged_trace(runs))
+
 
 def main(argv: List[str] = None) -> int:
     ap = argparse.ArgumentParser(
@@ -63,6 +107,12 @@ def main(argv: List[str] = None) -> int:
         help="restrict to specific artefacts",
     )
     ap.add_argument("--out", type=Path, help="directory for text output files")
+    ap.add_argument(
+        "--trace-out",
+        type=Path,
+        help="write a merged Perfetto trace-event JSON of one representative "
+        "pipeline run per selected artefact",
+    )
     args = ap.parse_args(argv)
 
     selected = args.only or sorted(ARTEFACTS)
@@ -78,6 +128,9 @@ def main(argv: List[str] = None) -> int:
         print(f"({time.time() - t0:.1f}s)\n")
         if args.out:
             (args.out / f"{name}.txt").write_text(text + "\n")
+    if args.trace_out:
+        path = export_traces(selected, args.quick, args.trace_out)
+        print(f"wrote trace-event JSON for {len(selected)} artefact run(s) to {path}")
     return 0
 
 

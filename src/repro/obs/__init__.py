@@ -1,5 +1,40 @@
-"""Lightweight structured-event observability for pipeline runs."""
+"""Observability for pipeline runs: events, metrics, traces, rendering.
+
+* :mod:`repro.obs.events` -- the in-run collector
+  (:class:`Instrumentation`: spans, counters, records, histograms);
+* :mod:`repro.obs.metrics` -- :class:`Histogram` / :class:`Gauge`
+  primitives and the derived :class:`ScheduleAnalysis`;
+* :mod:`repro.obs.perfetto` -- Chrome trace-event / Perfetto export;
+* :mod:`repro.obs.gantt` -- terminal-side Gantt rendering;
+* :mod:`repro.obs.cli` -- the ``python -m repro.obs`` command line
+  (export, report, gantt and the benchmark regression ``diff`` gate).
+"""
 
 from .events import Instrumentation, SpanRecord
+from .gantt import render_layers, render_trace
+from .metrics import Gauge, Histogram, ScheduleAnalysis, analyze
+from .perfetto import (
+    execution_trace_events,
+    merged_trace,
+    pipeline_trace,
+    span_events,
+    validate_trace_events,
+    write_trace,
+)
 
-__all__ = ["Instrumentation", "SpanRecord"]
+__all__ = [
+    "Instrumentation",
+    "SpanRecord",
+    "Histogram",
+    "Gauge",
+    "ScheduleAnalysis",
+    "analyze",
+    "span_events",
+    "execution_trace_events",
+    "pipeline_trace",
+    "merged_trace",
+    "write_trace",
+    "validate_trace_events",
+    "render_trace",
+    "render_layers",
+]

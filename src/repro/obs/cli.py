@@ -1,0 +1,363 @@
+"""The ``python -m repro.obs`` command line.
+
+Four subcommands make pipeline runs inspectable and gate regressions:
+
+* ``export`` -- run one instrumented pipeline and write Perfetto
+  trace-event JSON (``--out``) plus a flat run-metrics JSON
+  (``--run-json``) the ``diff`` subcommand understands;
+* ``report`` -- print the derived :class:`ScheduleAnalysis` (per-core
+  utilization, layer imbalance, critical-path share) of a run;
+* ``gantt`` -- render the ASCII Gantt chart of a run in the terminal;
+* ``diff`` -- compare two run-metrics JSONs (or two
+  ``BENCH_pipeline.json`` benchmark files) and exit non-zero when any
+  watched metric regressed past ``--threshold``; CI uses this as the
+  benchmark regression gate.
+
+Run specifications are shared by ``export``/``report``/``gantt``: an ODE
+solver (``--solver irk``), a platform (``--platform chic --cores 64``)
+and a problem size (``--n 200``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = ["main", "build_parser", "flatten_metrics", "compare_metrics"]
+
+#: MethodConfig keywords of the five paper solvers (matches the
+#: benchmark harness)
+SOLVER_CFGS: Dict[str, Dict[str, int]] = {
+    "irk": dict(K=4, m=7),
+    "diirk": dict(K=4, m=3, I=2),
+    "epol": dict(K=8),
+    "pab": dict(K=8),
+    "pabm": dict(K=8, m=2),
+}
+
+#: metric name suffixes where an *increase* past the threshold regresses
+LOWER_IS_BETTER = (
+    "makespan",
+    "predicted_makespan",
+    "simulated_makespan",
+    "cache_requests",
+    "cache_misses",
+    "gsearch_probes",
+    "redist_wait_fraction",
+    "idle_fraction",
+    "mean_layer_imbalance",
+    "max_layer_imbalance",
+    "critical_path_share",
+    "task_seconds_p50",
+    "task_seconds_p90",
+    "task_seconds_p99",
+)
+#: metric name suffixes where a *decrease* past the threshold regresses
+HIGHER_IS_BETTER = (
+    "cache_hit_rate",
+    "evaluation_reduction",
+    "gsearch_cache_hit_rate",
+    "gsearch_evaluation_reduction",
+    "busy_fraction",
+    "utilization",
+)
+#: wall-clock metrics, too noisy for a gate unless explicitly included
+WALL_CLOCK_SUFFIXES = ("_seconds",)
+
+
+# ----------------------------------------------------------------------
+# shared run-spec plumbing
+# ----------------------------------------------------------------------
+def _add_run_arguments(ap: argparse.ArgumentParser) -> None:
+    ap.add_argument(
+        "--solver",
+        choices=sorted(SOLVER_CFGS),
+        default="irk",
+        help="ODE solver whose time step is scheduled (default: irk)",
+    )
+    ap.add_argument(
+        "--platform",
+        default="chic",
+        help="target platform name (chic, juropa, sgi_altix; default: chic)",
+    )
+    ap.add_argument("--cores", type=int, default=64, help="core count (default: 64)")
+    ap.add_argument(
+        "--n", type=int, default=250, help="BRUSS2D system parameter N (default: 250)"
+    )
+    ap.add_argument(
+        "--version",
+        choices=("tp", "dp"),
+        default="tp",
+        help="program version: task parallel or data parallel (default: tp)",
+    )
+    ap.add_argument(
+        "--mapping",
+        choices=("consecutive", "scattered"),
+        default="consecutive",
+        help="mapping strategy of the group placement (default: consecutive)",
+    )
+    ap.add_argument(
+        "--quick", action="store_true", help="small problem (N=120) for smoke runs"
+    )
+
+
+def _run_spec(args) -> Tuple[Dict[str, Any], Any, Any]:
+    """Run the pipeline described by the CLI flags.
+
+    Returns ``(spec, result, cost)`` -- the run description, the
+    :class:`~repro.pipeline.PipelineResult` and the cost model bound to
+    the target platform (for symbolic re-rendering).
+    """
+    from ..cluster.platforms import by_name
+    from ..core.costmodel import CostModel
+    from ..experiments.common import ode_pipeline
+    from ..mapping.strategies import consecutive, scattered
+    from ..ode import MethodConfig, bruss2d
+
+    n = 120 if args.quick else args.n
+    platform = by_name(args.platform).with_cores(args.cores)
+    cost = CostModel(platform)
+    cfg = MethodConfig(args.solver, **SOLVER_CFGS[args.solver])
+    strategy = consecutive() if args.mapping == "consecutive" else scattered()
+    result = ode_pipeline(
+        bruss2d(n), cfg, platform, strategy, version=args.version, cost=cost
+    )
+    spec = {
+        "solver": args.solver,
+        "platform": args.platform,
+        "cores": args.cores,
+        "n": n,
+        "version": args.version,
+        "mapping": args.mapping,
+    }
+    return spec, result, cost
+
+
+# ----------------------------------------------------------------------
+# subcommands
+# ----------------------------------------------------------------------
+def _cmd_export(args) -> int:
+    from .perfetto import pipeline_trace, write_trace
+
+    spec, result, _ = _run_spec(args)
+    doc = pipeline_trace(result)
+    path = write_trace(args.out, doc)
+    print(f"wrote {len(doc['traceEvents'])} trace events to {path}")
+    if args.run_json:
+        payload = {
+            "schema": "repro.obs.run/1",
+            "spec": spec,
+            "metrics": result.metrics(),
+            "analysis": result.analysis().to_dict(),
+        }
+        run_path = Path(args.run_json)
+        run_path.parent.mkdir(parents=True, exist_ok=True)
+        run_path.write_text(json.dumps(payload, indent=2, default=str) + "\n")
+        print(f"wrote run metrics to {run_path}")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    if args.run:
+        payload = json.loads(Path(args.run).read_text())
+        analysis = payload.get("analysis", {})
+        print(f"run metrics from {args.run}:")
+        for key, value in sorted(payload.get("metrics", {}).items()):
+            print(f"  {key:<28s} {value:.6g}")
+        if analysis:
+            print(
+                f"  cores: {analysis.get('total_cores')}  "
+                f"busy {analysis.get('busy_fraction', 0.0) * 100:.2f} %  "
+                f"critical-path share "
+                f"{analysis.get('critical_path_share', 0.0) * 100:.2f} %"
+            )
+        return 0
+    _, result, _ = _run_spec(args)
+    print(result.report())
+    print()
+    print(result.analysis().report(per_core=args.per_core))
+    return 0
+
+
+def _cmd_gantt(args) -> int:
+    from .gantt import render_layers, render_trace
+
+    _, result, cost = _run_spec(args)
+    print(render_trace(result.trace, width=args.width, by=args.by))
+    if args.layers and result.scheduling.layered is not None:
+        print()
+        print(render_layers(result.scheduling.layered, cost))
+    return 0
+
+
+# ----------------------------------------------------------------------
+# diff / regression gate
+# ----------------------------------------------------------------------
+def flatten_metrics(payload: Dict[str, Any], include_wall: bool = False) -> Dict[str, float]:
+    """Flat ``name -> value`` view of a run/benchmark JSON payload.
+
+    Understands three shapes: ``repro.obs.run`` exports (``metrics``
+    dict), ``BENCH_*.json`` benchmark files (``results`` row list keyed
+    by ``solver``) and plain flat dicts of numbers.
+    """
+    def numeric(d: Dict[str, Any], prefix: str = "") -> Dict[str, float]:
+        out: Dict[str, float] = {}
+        for key, value in d.items():
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            if not include_wall and key.endswith(WALL_CLOCK_SUFFIXES):
+                continue
+            if not math.isfinite(value):
+                continue
+            out[prefix + key] = float(value)
+        return out
+
+    if isinstance(payload.get("results"), list):
+        out: Dict[str, float] = {}
+        for i, row in enumerate(payload["results"]):
+            tag = row.get("solver") or row.get("name") or str(i)
+            out.update(numeric(row, prefix=f"{tag}."))
+        return out
+    if isinstance(payload.get("metrics"), dict):
+        return numeric(payload["metrics"])
+    return numeric(payload)
+
+
+def _direction(name: str) -> Optional[str]:
+    leaf = name.rsplit(".", 1)[-1]
+    if leaf in HIGHER_IS_BETTER:
+        return "higher"
+    if leaf in LOWER_IS_BETTER or leaf.endswith("_seconds"):
+        return "lower"
+    return None
+
+
+def compare_metrics(
+    old: Dict[str, float], new: Dict[str, float], threshold: float
+) -> List[Dict[str, Any]]:
+    """Per-metric comparison rows; ``regressed`` marks threshold breaks.
+
+    The ratio is oriented so that values above 1.0 are worse than the
+    baseline regardless of the metric's direction.
+    """
+    rows: List[Dict[str, Any]] = []
+    for name in sorted(set(old) & set(new)):
+        direction = _direction(name)
+        if direction is None:
+            continue
+        a, b = old[name], new[name]
+        worse, better = (b, a) if direction == "lower" else (a, b)
+        if better == 0.0:
+            ratio = 1.0 if worse == 0.0 else float("inf")
+        else:
+            ratio = worse / better
+        rows.append(
+            {
+                "metric": name,
+                "old": a,
+                "new": b,
+                "ratio": ratio,
+                "regressed": ratio > threshold,
+            }
+        )
+    return rows
+
+
+def _cmd_diff(args) -> int:
+    old = json.loads(Path(args.old).read_text())
+    new = json.loads(Path(args.new).read_text())
+    rows = compare_metrics(
+        flatten_metrics(old, include_wall=args.include_wall),
+        flatten_metrics(new, include_wall=args.include_wall),
+        args.threshold,
+    )
+    if not rows:
+        print("no comparable metrics found", file=sys.stderr)
+        return 2
+    regressions = [r for r in rows if r["regressed"]]
+    width = max(len(r["metric"]) for r in rows)
+    print(f"{'metric':<{width}s} | {'old':>12s} | {'new':>12s} | ratio")
+    print("-" * (width + 42))
+    for r in rows:
+        if not args.verbose and not r["regressed"]:
+            continue
+        mark = "  REGRESSED" if r["regressed"] else ""
+        print(
+            f"{r['metric']:<{width}s} | {r['old']:12.6g} | {r['new']:12.6g} | "
+            f"{r['ratio']:6.3f}{mark}"
+        )
+    print(
+        f"{len(rows)} metrics compared, {len(regressions)} regression(s) "
+        f"past threshold {args.threshold:g}"
+    )
+    return 1 if regressions else 0
+
+
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Inspect pipeline runs: trace export, analytics, Gantt, diffs.",
+    )
+    sub = ap.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("export", help="run a pipeline and export trace-event JSON")
+    _add_run_arguments(p)
+    p.add_argument("-o", "--out", default="trace.json", help="trace output path")
+    p.add_argument(
+        "--run-json", help="additionally write flat run metrics (for `diff`)"
+    )
+    p.set_defaults(func=_cmd_export)
+
+    p = sub.add_parser("report", help="print schedule analytics of a run")
+    _add_run_arguments(p)
+    p.add_argument("--run", help="report a previously exported run JSON instead")
+    p.add_argument(
+        "--per-core", action="store_true", help="include the per-core usage table"
+    )
+    p.set_defaults(func=_cmd_report)
+
+    p = sub.add_parser("gantt", help="ASCII Gantt chart of a run")
+    _add_run_arguments(p)
+    p.add_argument("--width", type=int, default=72, help="chart width in cells")
+    p.add_argument("--by", choices=("core", "node"), default="core")
+    p.add_argument(
+        "--layers", action="store_true", help="also render per-layer group bars"
+    )
+    p.set_defaults(func=_cmd_gantt)
+
+    p = sub.add_parser(
+        "diff", help="compare two run/benchmark JSONs; non-zero exit on regression"
+    )
+    p.add_argument("old", help="baseline JSON (run export or BENCH_*.json)")
+    p.add_argument("new", help="candidate JSON")
+    p.add_argument(
+        "--threshold",
+        type=float,
+        default=1.25,
+        help="worst-case ratio before a metric counts as regressed (default 1.25)",
+    )
+    p.add_argument(
+        "--include-wall",
+        action="store_true",
+        help="also gate on wall-clock *_seconds metrics (noisy)",
+    )
+    p.add_argument(
+        "-v", "--verbose", action="store_true", help="print all compared metrics"
+    )
+    p.set_defaults(func=_cmd_diff)
+    return ap
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # stdout was piped into head/less and closed early; not an error
+        sys.stderr.close()
+        return 0

@@ -23,27 +23,41 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterator, List, Optional
 
+from .metrics import Gauge, Histogram
+
 __all__ = ["SpanRecord", "Instrumentation"]
 
 
 @dataclass
 class SpanRecord:
-    """One completed (or still open) named timer."""
+    """One completed (or still open) named timer.
+
+    ``sid`` is a per-:class:`Instrumentation` unique id and
+    ``parent_id`` the enclosing span's ``sid``; same-named spans (e.g.
+    one ``layer`` span per scheduled layer) stay distinguishable in the
+    reconstructed tree.  ``parent`` keeps the enclosing span's *name*
+    for backward compatibility.
+    """
 
     name: str
     start: float
     duration: float = 0.0
     parent: Optional[str] = None
     meta: Dict[str, Any] = field(default_factory=dict)
+    sid: int = 0
+    parent_id: Optional[int] = None
 
     def to_dict(self) -> Dict[str, Any]:
         out: Dict[str, Any] = {
             "name": self.name,
+            "id": self.sid,
             "start": self.start,
             "duration": self.duration,
         }
         if self.parent is not None:
             out["parent"] = self.parent
+        if self.parent_id is not None:
+            out["parent_id"] = self.parent_id
         if self.meta:
             out["meta"] = dict(self.meta)
         return out
@@ -61,7 +75,10 @@ class Instrumentation:
         self.spans: List[SpanRecord] = []
         self.counters: Dict[str, float] = {}
         self.records: List[Dict[str, Any]] = []
+        self.histograms: Dict[str, Histogram] = {}
+        self.gauges: Dict[str, Gauge] = {}
         self._stack: List[SpanRecord] = []
+        self._next_sid: int = 1
 
     # ------------------------------------------------------------------
     # spans
@@ -74,7 +91,10 @@ class Instrumentation:
             start=self._clock(),
             parent=self._stack[-1].name if self._stack else None,
             meta=dict(meta),
+            sid=self._next_sid,
+            parent_id=self._stack[-1].sid if self._stack else None,
         )
+        self._next_sid += 1
         self.spans.append(rec)
         self._stack.append(rec)
         try:
@@ -106,6 +126,27 @@ class Instrumentation:
         return self.counters.get(name, default)
 
     # ------------------------------------------------------------------
+    # histograms and gauges
+    # ------------------------------------------------------------------
+    def observe(self, name: str, value: float) -> None:
+        """Record ``value`` into the histogram ``name``."""
+        if name not in self.histograms:
+            self.histograms[name] = Histogram(name)
+        self.histograms[name].observe(value)
+
+    def histogram(self, name: str) -> Histogram:
+        """The histogram ``name`` (an empty one when never observed)."""
+        return self.histograms.get(name, Histogram(name))
+
+    def gauge(self, name: str, value: Optional[float] = None) -> Gauge:
+        """Get (and with ``value`` set) the gauge ``name``."""
+        if name not in self.gauges:
+            self.gauges[name] = Gauge(name)
+        if value is not None:
+            self.gauges[name].set(value)
+        return self.gauges[name]
+
+    # ------------------------------------------------------------------
     # structured records
     # ------------------------------------------------------------------
     def record(self, kind: str, **fields: Any) -> None:
@@ -121,11 +162,16 @@ class Instrumentation:
     # export
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        out: Dict[str, Any] = {
             "spans": [s.to_dict() for s in self.spans],
             "counters": dict(self.counters),
             "records": [dict(r) for r in self.records],
         }
+        if self.histograms:
+            out["histograms"] = {k: h.to_dict() for k, h in self.histograms.items()}
+        if self.gauges:
+            out["gauges"] = {k: g.to_dict() for k, g in self.gauges.items()}
+        return out
 
     def to_json(self, indent: Optional[int] = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent, default=str)

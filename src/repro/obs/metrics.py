@@ -1,0 +1,416 @@
+"""Metrics primitives and derived schedule analytics.
+
+Two layers live here:
+
+* **primitives** -- :class:`Histogram` (streaming value collector with
+  p50/p90/p99 summaries) and :class:`Gauge` (last-written value), the
+  vocabulary :class:`~repro.obs.Instrumentation` exposes via
+  :meth:`~repro.obs.Instrumentation.observe`;
+* **derived analytics** -- :class:`ScheduleAnalysis`, computed by
+  :func:`analyze` from any simulated pipeline run: per-core busy/idle/
+  redist-wait fractions, per-layer load imbalance, the critical-path
+  share of the makespan and the group-size distribution the scheduler
+  chose.
+
+Everything is dependency-free and duck-typed against the pipeline's
+artefacts (``PipelineResult``, ``ExecutionTrace``, ``LayeredSchedule``)
+so the module can be imported from anywhere in the package without
+cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+__all__ = ["Histogram", "Gauge", "CoreUsage", "LayerBalance", "ScheduleAnalysis", "analyze"]
+
+
+class Histogram:
+    """Streaming collection of numeric observations with percentiles.
+
+    Values are kept exactly (runs here observe at most a few thousand
+    task durations); percentiles use linear interpolation between order
+    statistics, matching ``numpy.percentile``'s default.
+    """
+
+    def __init__(self, name: str = "", values: Iterable[float] = ()) -> None:
+        self.name = name
+        self.values: List[float] = [float(v) for v in values]
+        self._sorted: Optional[List[float]] = None
+
+    def observe(self, value: float) -> None:
+        self.values.append(float(value))
+        self._sorted = None
+
+    # ------------------------------------------------------------------
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    @property
+    def total(self) -> float:
+        return sum(self.values)
+
+    @property
+    def mean(self) -> float:
+        return self.total / len(self.values) if self.values else 0.0
+
+    @property
+    def min(self) -> float:
+        return min(self.values) if self.values else 0.0
+
+    @property
+    def max(self) -> float:
+        return max(self.values) if self.values else 0.0
+
+    def percentile(self, p: float) -> float:
+        """The ``p``-th percentile (0..100), linearly interpolated."""
+        if not 0 <= p <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        if not self.values:
+            return 0.0
+        if self._sorted is None:
+            self._sorted = sorted(self.values)
+        xs = self._sorted
+        if len(xs) == 1:
+            return xs[0]
+        rank = p / 100.0 * (len(xs) - 1)
+        lo = int(rank)
+        hi = min(lo + 1, len(xs) - 1)
+        frac = rank - lo
+        return xs[lo] * (1.0 - frac) + xs[hi] * frac
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(50)
+
+    @property
+    def p90(self) -> float:
+        return self.percentile(90)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99)
+
+    def to_dict(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.p50,
+            "p90": self.p90,
+            "p99": self.p99,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Histogram({self.name!r}, n={self.count}, mean={self.mean:g}, "
+            f"p50={self.p50:g}, p99={self.p99:g})"
+        )
+
+
+class Gauge:
+    """A metric that holds its last-written value."""
+
+    def __init__(self, name: str = "", value: float = 0.0) -> None:
+        self.name = name
+        self.value = float(value)
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def to_dict(self) -> Dict[str, float]:
+        return {"value": self.value}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Gauge({self.name!r}, {self.value:g})"
+
+
+# ----------------------------------------------------------------------
+# Derived schedule analytics
+# ----------------------------------------------------------------------
+@dataclass
+class CoreUsage:
+    """Busy/idle accounting of one physical core over a run."""
+
+    label: str
+    busy: float
+    idle: float
+    redist_wait: float
+    tasks: int
+
+    @property
+    def busy_fraction(self) -> float:
+        span = self.busy + self.idle
+        return self.busy / span if span > 0 else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "label": self.label,
+            "busy": self.busy,
+            "idle": self.idle,
+            "redist_wait": self.redist_wait,
+            "tasks": self.tasks,
+            "busy_fraction": self.busy_fraction,
+        }
+
+
+@dataclass
+class LayerBalance:
+    """Load imbalance of one layer of the layered schedule."""
+
+    index: int
+    tasks: int
+    groups: int
+    #: per-group busy core-seconds accumulated from the trace
+    group_busy: List[float]
+
+    @property
+    def imbalance(self) -> float:
+        """``max / mean`` of per-group busy time (1.0 = perfectly even)."""
+        loads = [l for l in self.group_busy]
+        if not loads:
+            return 1.0
+        mean = sum(loads) / len(loads)
+        return max(loads) / mean if mean > 0 else 1.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "index": self.index,
+            "tasks": self.tasks,
+            "groups": self.groups,
+            "group_busy": list(self.group_busy),
+            "imbalance": self.imbalance,
+        }
+
+
+@dataclass
+class ScheduleAnalysis:
+    """Derived analytics of one simulated pipeline run.
+
+    Produced by :func:`analyze`; everything is computed from the
+    :class:`~repro.sim.trace.ExecutionTrace` (ground truth for timing)
+    plus, when available, the layered schedule (for group structure).
+    """
+
+    makespan: float
+    total_cores: int
+    cores: List[CoreUsage] = field(default_factory=list)
+    layers: List[LayerBalance] = field(default_factory=list)
+    critical_path: float = 0.0
+    group_size_distribution: Dict[int, int] = field(default_factory=dict)
+    task_seconds: Histogram = field(default_factory=lambda: Histogram("task_seconds"))
+    redist_wait_seconds: Histogram = field(
+        default_factory=lambda: Histogram("redist_wait_seconds")
+    )
+
+    # ------------------------------------------------------------------
+    @property
+    def busy_fraction(self) -> float:
+        """Busy core-time over the ``P x makespan`` area."""
+        area = self.makespan * self.total_cores
+        return sum(c.busy for c in self.cores) / area if area > 0 else 0.0
+
+    @property
+    def idle_fraction(self) -> float:
+        if self.makespan <= 0:
+            return 0.0
+        return max(0.0, 1.0 - self.busy_fraction)
+
+    @property
+    def redist_wait_fraction(self) -> float:
+        """Re-distribution wait over the ``P x makespan`` area."""
+        area = self.makespan * self.total_cores
+        return sum(c.redist_wait for c in self.cores) / area if area > 0 else 0.0
+
+    @property
+    def critical_path_share(self) -> float:
+        """Critical path (longest dependency chain of simulated task
+        durations) as a fraction of the makespan; 1.0 means the run is
+        completely serialised on its critical path."""
+        return self.critical_path / self.makespan if self.makespan > 0 else 0.0
+
+    @property
+    def mean_layer_imbalance(self) -> float:
+        if not self.layers:
+            return 1.0
+        return sum(l.imbalance for l in self.layers) / len(self.layers)
+
+    @property
+    def max_layer_imbalance(self) -> float:
+        if not self.layers:
+            return 1.0
+        return max(l.imbalance for l in self.layers)
+
+    # ------------------------------------------------------------------
+    def metrics(self) -> Dict[str, float]:
+        """Flat, diff-friendly summary (all deterministic quantities)."""
+        return {
+            "makespan": self.makespan,
+            "busy_fraction": self.busy_fraction,
+            "idle_fraction": self.idle_fraction,
+            "redist_wait_fraction": self.redist_wait_fraction,
+            "critical_path_share": self.critical_path_share,
+            "mean_layer_imbalance": self.mean_layer_imbalance,
+            "max_layer_imbalance": self.max_layer_imbalance,
+            "task_seconds_p50": self.task_seconds.p50,
+            "task_seconds_p90": self.task_seconds.p90,
+            "task_seconds_p99": self.task_seconds.p99,
+        }
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "makespan": self.makespan,
+            "total_cores": self.total_cores,
+            "busy_fraction": self.busy_fraction,
+            "idle_fraction": self.idle_fraction,
+            "redist_wait_fraction": self.redist_wait_fraction,
+            "critical_path": self.critical_path,
+            "critical_path_share": self.critical_path_share,
+            "mean_layer_imbalance": self.mean_layer_imbalance,
+            "max_layer_imbalance": self.max_layer_imbalance,
+            "group_size_distribution": {
+                str(k): v for k, v in sorted(self.group_size_distribution.items())
+            },
+            "cores": [c.to_dict() for c in self.cores],
+            "layers": [l.to_dict() for l in self.layers],
+            "task_seconds": self.task_seconds.to_dict(),
+            "redist_wait_seconds": self.redist_wait_seconds.to_dict(),
+        }
+
+    def report(self, per_core: bool = False) -> str:
+        """Human-readable multi-line summary."""
+        lines = [
+            f"schedule analysis: {len(self.task_seconds.values)} tasks on "
+            f"{self.total_cores} cores",
+            f"  makespan            {self.makespan:.6g} s",
+            f"  busy fraction       {self.busy_fraction * 100:6.2f} %",
+            f"  idle fraction       {self.idle_fraction * 100:6.2f} %",
+            f"  redist-wait frac.   {self.redist_wait_fraction * 100:6.2f} %",
+            f"  critical-path share {self.critical_path_share * 100:6.2f} %",
+        ]
+        if self.layers:
+            lines.append(
+                f"  layer imbalance     mean {self.mean_layer_imbalance:.3f}, "
+                f"max {self.max_layer_imbalance:.3f} (max/mean group load)"
+            )
+        if self.group_size_distribution:
+            dist = ", ".join(
+                f"{size}c x{count}"
+                for size, count in sorted(self.group_size_distribution.items())
+            )
+            lines.append(f"  group sizes         {dist}")
+        h = self.task_seconds
+        if h.count:
+            lines.append(
+                f"  task seconds        p50 {h.p50:.4g}  p90 {h.p90:.4g}  "
+                f"p99 {h.p99:.4g}  max {h.max:.4g}"
+            )
+        if per_core:
+            lines.append("  per-core usage:")
+            for c in self.cores:
+                lines.append(
+                    f"    core {c.label:>8s}  busy {c.busy_fraction * 100:6.2f} %  "
+                    f"redist-wait {c.redist_wait:.4g} s  tasks {c.tasks}"
+                )
+        return "\n".join(lines)
+
+
+def _critical_path(graph, trace) -> float:
+    """Longest dependency chain of simulated durations through ``graph``."""
+    longest: Dict[Any, float] = {}
+    for task in graph.topological_order():
+        if task not in trace:
+            continue
+        entry = trace[task]
+        best_pred = 0.0
+        for p in graph.predecessors(task):
+            if p in longest:
+                best_pred = max(best_pred, longest[p])
+        longest[task] = best_pred + entry.duration
+    return max(longest.values(), default=0.0)
+
+
+def _layer_balances(layered, trace) -> List[LayerBalance]:
+    out: List[LayerBalance] = []
+    for li, layer in enumerate(layered.layers):
+        group_busy: List[float] = []
+        n_tasks = 0
+        for group in layer.groups:
+            busy = 0.0
+            for node in group:
+                for member in layered.expand(node):
+                    n_tasks += 1
+                    if member in trace:
+                        e = trace[member]
+                        busy += e.duration * len(e.cores)
+            group_busy.append(busy)
+        out.append(
+            LayerBalance(
+                index=li,
+                tasks=n_tasks,
+                groups=layer.num_groups,
+                group_busy=group_busy,
+            )
+        )
+    return out
+
+
+def analyze(result) -> ScheduleAnalysis:
+    """Compute a :class:`ScheduleAnalysis` from a pipeline run.
+
+    ``result`` is a :class:`~repro.pipeline.PipelineResult` (or anything
+    with ``.trace``, ``.graph`` and ``.scheduling`` attributes) whose
+    pipeline ran with ``simulate=True``.
+    """
+    trace = getattr(result, "trace", None)
+    if trace is None:
+        raise ValueError(
+            "cannot analyze a run without an execution trace "
+            "(the pipeline ran with simulate=False)"
+        )
+    graph = getattr(result, "graph", None)
+    scheduling = getattr(result, "scheduling", None)
+    layered = getattr(scheduling, "layered", None) if scheduling is not None else None
+
+    span = trace.makespan
+    busy = trace.per_core_busy()
+    waits: Dict[Any, float] = {}
+    ntasks: Dict[Any, int] = {}
+    for e in trace.entries:
+        for c in e.cores:
+            waits[c] = waits.get(c, 0.0) + e.redist_wait
+            ntasks[c] = ntasks.get(c, 0) + 1
+    cores = [
+        CoreUsage(
+            label=c.label,
+            busy=busy.get(c, 0.0),
+            idle=span - busy.get(c, 0.0),
+            redist_wait=waits.get(c, 0.0),
+            tasks=ntasks.get(c, 0),
+        )
+        for c in trace.machine.cores()
+    ]
+
+    analysis = ScheduleAnalysis(
+        makespan=span,
+        total_cores=trace.machine.total_cores,
+        cores=cores,
+    )
+    for e in trace.entries:
+        analysis.task_seconds.observe(e.duration)
+        if e.redist_wait > 0:
+            analysis.redist_wait_seconds.observe(e.redist_wait)
+    if graph is not None:
+        analysis.critical_path = _critical_path(graph, trace)
+    if layered is not None:
+        analysis.layers = _layer_balances(layered, trace)
+        for layer in layered.layers:
+            for size in layer.group_sizes:
+                analysis.group_size_distribution[size] = (
+                    analysis.group_size_distribution.get(size, 0) + 1
+                )
+    return analysis

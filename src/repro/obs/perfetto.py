@@ -1,0 +1,371 @@
+"""Chrome trace-event / Perfetto JSON export of pipeline runs.
+
+One run produces a single ``trace.json`` loadable in ``ui.perfetto.dev``
+(or ``chrome://tracing``) that merges two time bases:
+
+* the **wall-clock** side -- every :class:`~repro.obs.Instrumentation`
+  span (pipeline stages, per-layer g-search probes, contention passes)
+  becomes a complete (``ph: "X"``) event in a dedicated ``pipeline``
+  process; nesting follows the span tree via containment;
+* the **simulated** side -- every :class:`~repro.sim.trace.TraceEntry`
+  is rendered on one track per *physical core*: a computation slice
+  ``[start, start+comp]`` and a communication slice tiling the rest of
+  ``[start, finish]``, plus a separate per-core wait track showing the
+  re-distribution delay that was charged before the start.  Data
+  dependencies become flow arrows from the producer's finish to the
+  consumer's start.
+
+Timestamps are microseconds (the trace-event unit); both sides are
+normalized to start at 0, so the absolute offset between wall clock and
+simulated clock carries no meaning -- only the per-process structure
+does.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "MICROS",
+    "span_events",
+    "execution_trace_events",
+    "pipeline_trace",
+    "merged_trace",
+    "write_trace",
+    "validate_trace_events",
+]
+
+#: trace-event timestamps are microseconds; artefact times are seconds
+MICROS = 1e6
+
+#: pid of the wall-clock (instrumentation span) process
+SPAN_PID = 1
+#: first pid of the simulated per-node processes
+CORE_PID_BASE = 10
+
+
+def _meta(pid: int, name: str, value: str, tid: int = 0) -> Dict[str, Any]:
+    return {
+        "ph": "M",
+        "name": name,
+        "pid": pid,
+        "tid": tid,
+        "ts": 0,
+        "args": {"name": value},
+    }
+
+
+def span_events(
+    obs, *, pid: int = SPAN_PID, process_name: str = "pipeline (wall clock)"
+) -> List[Dict[str, Any]]:
+    """Complete events for every instrumentation span of ``obs``.
+
+    All spans live on one thread of ``pid``; because spans strictly nest
+    in time, the viewer reconstructs the tree from containment.  Span
+    ids and metadata travel in ``args``.
+    """
+    if not obs.spans:
+        return []
+    t0 = min(s.start for s in obs.spans)
+    events: List[Dict[str, Any]] = [
+        _meta(pid, "process_name", process_name),
+        _meta(pid, "thread_name", "stages", tid=1),
+    ]
+    for s in obs.spans:
+        args: Dict[str, Any] = {"id": s.sid}
+        if s.parent_id is not None:
+            args["parent_id"] = s.parent_id
+        args.update(s.meta)
+        events.append(
+            {
+                "ph": "X",
+                "name": s.name,
+                "cat": "stage",
+                "pid": pid,
+                "tid": 1,
+                "ts": (s.start - t0) * MICROS,
+                "dur": s.duration * MICROS,
+                "args": args,
+            }
+        )
+    return events
+
+
+def _core_tracks(machine) -> Dict[Any, Tuple[int, int]]:
+    """Map each core to its ``(pid, run-tid)``; wait tid is run tid + 1."""
+    tracks: Dict[Any, Tuple[int, int]] = {}
+    for i, core in enumerate(machine.cores()):
+        tracks[core] = (CORE_PID_BASE + core.node, 2 * i)
+    return tracks
+
+
+def execution_trace_events(
+    trace,
+    graph=None,
+    *,
+    pid_offset: int = 0,
+    flows: bool = True,
+) -> List[Dict[str, Any]]:
+    """Trace-event list for a simulated :class:`ExecutionTrace`.
+
+    One process per compute node, two threads per physical core: the run
+    track carries the comp/comm slices that exactly tile each task's
+    ``[start, finish]`` interval on that core, the wait track carries the
+    re-distribution delay charged before the start.  With ``graph``,
+    flow arrows connect producer finish to consumer start along every
+    data dependency present in the trace.
+    """
+    tracks = _core_tracks(trace.machine)
+    entries = sorted(trace.entries, key=lambda e: (e.start, e.task.name))
+    used_cores = sorted({c for e in entries for c in e.cores})
+    used_nodes = sorted({c.node for c in used_cores})
+
+    events: List[Dict[str, Any]] = []
+    for node in used_nodes:
+        pid = CORE_PID_BASE + node + pid_offset
+        events.append(_meta(pid, "process_name", f"node {node}"))
+    for core in used_cores:
+        pid, tid = tracks[core]
+        pid += pid_offset
+        events.append(_meta(pid, "thread_name", f"core {core.label}", tid=tid))
+        events.append(
+            {
+                "ph": "M",
+                "name": "thread_sort_index",
+                "pid": pid,
+                "tid": tid,
+                "ts": 0,
+                "args": {"sort_index": tid},
+            }
+        )
+
+    wait_cores = set()
+    for e in entries:
+        comp_end = e.start + e.comp_time
+        args = {
+            "width": len(e.cores),
+            "comp_time": e.comp_time,
+            "comm_time": e.comm_time,
+            "redist_wait": e.redist_wait,
+        }
+        for c in e.cores:
+            pid, tid = tracks[c]
+            pid += pid_offset
+            events.append(
+                {
+                    "ph": "X",
+                    "name": e.task.name,
+                    "cat": "comp",
+                    "pid": pid,
+                    "tid": tid,
+                    "ts": e.start * MICROS,
+                    "dur": (comp_end - e.start) * MICROS,
+                    "args": args,
+                }
+            )
+            # the comm slice tiles the remainder of [start, finish]
+            # exactly (comp + comm == duration up to float error)
+            if e.finish > comp_end:
+                events.append(
+                    {
+                        "ph": "X",
+                        "name": f"{e.task.name} (comm)",
+                        "cat": "comm",
+                        "pid": pid,
+                        "tid": tid,
+                        "ts": comp_end * MICROS,
+                        "dur": (e.finish - comp_end) * MICROS,
+                        "args": args,
+                    }
+                )
+            if e.redist_wait > 0:
+                wait_start = max(0.0, e.start - e.redist_wait)
+                events.append(
+                    {
+                        "ph": "X",
+                        "name": f"{e.task.name} (redist wait)",
+                        "cat": "redist",
+                        "pid": pid,
+                        "tid": tid + 1,
+                        "ts": wait_start * MICROS,
+                        "dur": (e.start - wait_start) * MICROS,
+                        "args": args,
+                    }
+                )
+                wait_cores.add(c)
+    for core in sorted(wait_cores):
+        pid, tid = tracks[core]
+        events.append(
+            _meta(
+                pid + pid_offset,
+                "thread_name",
+                f"core {core.label} (redist wait)",
+                tid=tid + 1,
+            )
+        )
+
+    if flows and graph is not None:
+        events.extend(_flow_events(trace, graph, tracks, pid_offset))
+    return events
+
+
+def _flow_events(trace, graph, tracks, pid_offset: int) -> List[Dict[str, Any]]:
+    events: List[Dict[str, Any]] = []
+    flow_id = 1
+    for u, v, _flows in graph.edges():
+        if u not in trace or v not in trace:
+            continue
+        eu, ev = trace[u], trace[v]
+        pid_u, tid_u = tracks[eu.cores[0]]
+        pid_v, tid_v = tracks[ev.cores[0]]
+        common = {"cat": "dataflow", "name": "dep", "id": flow_id}
+        events.append(
+            {
+                "ph": "s",
+                "pid": pid_u + pid_offset,
+                "tid": tid_u,
+                # bind strictly inside the producer's final slice
+                "ts": max(eu.start, eu.finish - 1e-9) * MICROS,
+                **common,
+            }
+        )
+        events.append(
+            {
+                "ph": "f",
+                "bp": "e",
+                "pid": pid_v + pid_offset,
+                "tid": tid_v,
+                "ts": ev.start * MICROS,
+                **common,
+            }
+        )
+        flow_id += 1
+    return events
+
+
+def _sorted_events(events: Iterable[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    # metadata first, then per-track chronological; at equal ts the
+    # longer slice first so complete events nest for the viewer
+    order = {"M": 0}
+    return sorted(
+        events,
+        key=lambda e: (
+            order.get(e["ph"], 1),
+            e["pid"],
+            e["tid"],
+            e.get("ts", 0),
+            -e.get("dur", 0),
+        ),
+    )
+
+
+def pipeline_trace(result, *, flows: bool = True) -> Dict[str, Any]:
+    """The full trace-event JSON document of one pipeline run.
+
+    ``result`` is a :class:`~repro.pipeline.PipelineResult`; the
+    document merges its instrumentation spans and (when the pipeline
+    simulated) its execution trace.
+    """
+    events = span_events(result.obs)
+    if result.trace is not None:
+        events.extend(execution_trace_events(result.trace, result.graph, flows=flows))
+    return {
+        "traceEvents": _sorted_events(events),
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "exporter": "repro.obs.perfetto",
+            "scheduler": result.scheduling.scheduler,
+            "nprocs": result.scheduling.nprocs,
+            "tasks": len(result.graph),
+            "predicted_makespan": result.predicted_makespan,
+            "simulated_makespan": result.trace.makespan if result.trace else None,
+        },
+    }
+
+
+def merged_trace(named_results: Sequence[Tuple[str, Any]]) -> Dict[str, Any]:
+    """One document holding several runs, each in its own pid block.
+
+    ``named_results`` is ``[(name, PipelineResult), ...]``; run ``i``'s
+    processes are shifted into the pid block ``i * 1000`` and its
+    process names prefixed with ``name`` so the runs stay side by side
+    in the viewer.
+    """
+    events: List[Dict[str, Any]] = []
+    info: List[Dict[str, Any]] = []
+    for i, (name, result) in enumerate(named_results):
+        offset = i * 1000
+        run_events = span_events(result.obs, pid=SPAN_PID + offset)
+        if result.trace is not None:
+            run_events.extend(
+                execution_trace_events(result.trace, result.graph, pid_offset=offset)
+            )
+        for ev in run_events:
+            if ev["ph"] == "M" and ev["name"] == "process_name":
+                ev["args"]["name"] = f"{name}: {ev['args']['name']}"
+        events.extend(run_events)
+        info.append(
+            {
+                "name": name,
+                "pid_offset": offset,
+                "makespan": result.trace.makespan if result.trace else None,
+            }
+        )
+    return {
+        "traceEvents": _sorted_events(events),
+        "displayTimeUnit": "ms",
+        "otherData": {"exporter": "repro.obs.perfetto", "runs": info},
+    }
+
+
+def write_trace(path, document: Dict[str, Any]) -> Path:
+    """Write a trace-event document (or raw event list) to ``path``."""
+    if isinstance(document, list):
+        document = {"traceEvents": _sorted_events(document), "displayTimeUnit": "ms"}
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(document, indent=1, default=str) + "\n")
+    return out
+
+
+def validate_trace_events(events: Sequence[Dict[str, Any]]) -> List[str]:
+    """Schema-check a trace-event list; returns the list of problems.
+
+    Checks the invariants the test-suite and the viewer rely on: every
+    event has a phase, complete events carry non-negative ``ts``/``dur``
+    and integer ``pid``/``tid``, and per-track start times are
+    monotonically non-decreasing in document order.
+    """
+    problems: List[str] = []
+    last_ts: Dict[Tuple[int, int], float] = {}
+    for i, ev in enumerate(events):
+        ph = ev.get("ph")
+        if ph is None:
+            problems.append(f"event {i}: missing 'ph'")
+            continue
+        if ph == "M":
+            continue
+        for key in ("ts", "pid", "tid"):
+            if key not in ev:
+                problems.append(f"event {i} ({ph}): missing {key!r}")
+        if not isinstance(ev.get("pid"), int) or not isinstance(ev.get("tid"), int):
+            problems.append(f"event {i} ({ph}): pid/tid must be integers")
+            continue
+        ts = ev.get("ts", 0)
+        if ts < 0:
+            problems.append(f"event {i} ({ph}): negative ts {ts}")
+        if ph == "X":
+            dur = ev.get("dur")
+            if dur is None:
+                problems.append(f"event {i}: complete event without 'dur'")
+            elif dur < 0:
+                problems.append(f"event {i}: negative dur {dur}")
+            track = (ev["pid"], ev["tid"])
+            if ts < last_ts.get(track, 0.0) - 1e-6:
+                problems.append(
+                    f"event {i}: ts {ts} goes backwards on track {track}"
+                )
+            last_ts[track] = max(last_ts.get(track, 0.0), ts)
+    return problems

@@ -145,6 +145,10 @@ class SchedulingPipeline:
             obs.set_counter("cache.hits", stats.total_hits)
             obs.set_counter("cache.misses", stats.total_misses)
             obs.set_counter("cache.hit_rate", stats.hit_rate)
+        obs.gauge("pipeline.predicted_makespan", predicted)
+        if trace is not None:
+            obs.gauge("pipeline.simulated_makespan", trace.makespan)
+            obs.gauge("pipeline.utilization", trace.utilization())
         return PipelineResult(
             graph=graph,
             scheduling=result,

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Dict, Optional
 
 from ..core.costmodel import CacheStats
@@ -58,11 +59,45 @@ class PipelineResult:
     # ------------------------------------------------------------------
     def stage_seconds(self) -> Dict[str, float]:
         """Wall-clock seconds per top-level pipeline stage."""
+        pipeline_ids = {s.sid for s in self.obs.spans if s.name == "pipeline"}
         out: Dict[str, float] = {}
         for s in self.obs.spans:
-            if s.parent == "pipeline":
+            if s.parent_id in pipeline_ids:
                 out[s.name] = out.get(s.name, 0.0) + s.duration
         return out
+
+    def analysis(self):
+        """Derived schedule analytics (:class:`~repro.obs.ScheduleAnalysis`).
+
+        Requires a simulated run (``trace`` must be set).
+        """
+        from ..obs.metrics import analyze
+
+        return analyze(self)
+
+    def metrics(self) -> Dict[str, float]:
+        """Flat, deterministic metric dict for ``repro.obs diff``."""
+        out: Dict[str, float] = {
+            "predicted_makespan": self.predicted_makespan,
+            "tasks": float(len(self.graph)),
+            "gsearch_probes": self.obs.counter("gsearch.probes"),
+        }
+        if self.trace is not None:
+            out["makespan"] = self.trace.makespan
+            out["simulated_makespan"] = self.trace.makespan
+            out["utilization"] = self.trace.utilization()
+            out.update(self.analysis().metrics())
+        if self.cache is not None and self.cache.requests:
+            out["cache_requests"] = float(self.cache.requests)
+            out["cache_hit_rate"] = self.cache.hit_rate
+            out["evaluation_reduction"] = self.cache.evaluation_reduction
+        return out
+
+    def export_trace(self, path) -> Path:
+        """Write this run as Perfetto trace-event JSON; returns the path."""
+        from ..obs.perfetto import pipeline_trace, write_trace
+
+        return write_trace(path, pipeline_trace(self))
 
     def report(self) -> str:
         """Human-readable one-run summary."""

@@ -126,8 +126,9 @@ def run_program(
         env = task.meta.get("env", {})
         ctx = RuntimeContext(task.name, q, env=dict(env) if isinstance(env, dict) else {})
         if task.func is not None:
-            with obs.span("task", task=task.name, q=q):
+            with obs.span("task", task=task.name, q=q) as task_span:
                 produced = task.func(ctx, values)
+            obs.observe("runtime.task_seconds", task_span.duration)
             if produced is None:
                 produced = {}
             if not isinstance(produced, dict):

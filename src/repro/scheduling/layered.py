@@ -155,7 +155,10 @@ class LayerBasedScheduler(Scheduler):
         layers: List[Layer] = []
         with obs.span("gsearch"):
             for i, tasks in enumerate(raw_layers):
-                layer, tact = self.schedule_layer(tasks, obs)
+                # one same-named span per layer; the unique span ids keep
+                # the reconstructed tree unambiguous
+                with obs.span("layer", index=i, tasks=len(tasks)):
+                    layer, tact = self.schedule_layer(tasks, obs)
                 obs.record(
                     "layer",
                     index=i,
@@ -164,6 +167,7 @@ class LayerBasedScheduler(Scheduler):
                     group_sizes=list(layer.group_sizes),
                     tact=tact,
                 )
+                obs.observe("gsearch.layer_tact", tact)
                 layers.append(layer)
         layered = LayeredSchedule(
             nprocs=self.nprocs,

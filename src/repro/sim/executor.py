@@ -109,6 +109,10 @@ def simulate(
             obs.count("sim.passes")
             intervals = {e.task: (e.start, e.finish) for e in trace.entries}
     obs.count("sim.tasks", len(trace))
+    for e in trace.entries:
+        obs.observe("sim.task_seconds", e.duration)
+        if e.redist_wait > 0:
+            obs.observe("sim.redist_wait_seconds", e.redist_wait)
     obs.record("simulate", tasks=len(trace), makespan=trace.makespan)
     return trace
 

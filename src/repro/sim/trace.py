@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..cluster.architecture import CoreId, Machine
 from ..core.task import MTask
@@ -38,17 +38,24 @@ class ExecutionTrace:
     def __post_init__(self) -> None:
         self._by_task: Dict[MTask, TraceEntry] = {e.task: e for e in self.entries}
 
+    def _index(self) -> Dict[MTask, TraceEntry]:
+        # rebuild lazily when ``entries`` was mutated directly instead of
+        # through :meth:`add` (legacy callers extend the list in place)
+        if len(self._by_task) != len(self.entries):
+            self._by_task = {e.task: e for e in self.entries}
+        return self._by_task
+
     def add(self, entry: TraceEntry) -> None:
-        if entry.task in self._by_task:
+        if entry.task in self._index():
             raise ValueError(f"task {entry.task.name!r} traced twice")
         self.entries.append(entry)
         self._by_task[entry.task] = entry
 
     def __getitem__(self, task: MTask) -> TraceEntry:
-        return self._by_task[task]
+        return self._index()[task]
 
     def __contains__(self, task: MTask) -> bool:
-        return task in self._by_task
+        return task in self._index()
 
     def __len__(self) -> int:
         return len(self.entries)
@@ -85,6 +92,23 @@ class ExecutionTrace:
             for c in e.cores:
                 busy[c.node] = busy.get(c.node, 0.0) + e.duration
         return busy
+
+    def per_core_busy(self) -> Dict[CoreId, float]:
+        """Occupied seconds per physical core (only cores that ran)."""
+        busy: Dict[CoreId, float] = {}
+        for e in self.entries:
+            for c in e.cores:
+                busy[c] = busy.get(c, 0.0) + e.duration
+        return busy
+
+    def idle_time(self, core: Optional[CoreId] = None) -> float:
+        """Idle seconds of ``core`` over the makespan, or, without a
+        core, total idle core-seconds over the ``P x makespan`` area."""
+        span = self.makespan
+        busy = self.per_core_busy()
+        if core is not None:
+            return span - busy.get(core, 0.0)
+        return span * self.machine.total_cores - sum(busy.values())
 
     def gantt_lines(self, width: int = 72, by_node: bool = True) -> List[str]:
         """Coarse ASCII Gantt chart of the trace.

@@ -113,3 +113,71 @@ class TestExport:
         rec = SpanRecord(name="s", start=1.0, duration=2.0, parent="p", meta={"k": 1})
         d = rec.to_dict()
         assert d["name"] == "s" and d["parent"] == "p" and d["meta"] == {"k": 1}
+
+    def test_span_record_to_dict_emits_parent_id(self):
+        rec = SpanRecord(
+            name="s", start=1.0, duration=2.0, parent="p", sid=7, parent_id=3
+        )
+        d = rec.to_dict()
+        assert d["id"] == 7
+        assert d["parent_id"] == 3
+        assert d["parent"] == "p"
+
+
+class TestSpanIds:
+    def test_span_ids_unique_across_same_name(self, obs):
+        with obs.span("pipeline"):
+            for i in range(3):
+                with obs.span("layer", index=i):
+                    pass
+        layers = [s for s in obs.spans if s.name == "layer"]
+        assert len({s.sid for s in layers}) == 3
+
+    def test_parent_id_resolves_ambiguous_names(self, obs):
+        """Two spans named alike must still be distinguishable parents."""
+        with obs.span("layer") as outer1:
+            with obs.span("probe"):
+                pass
+        with obs.span("layer") as outer2:
+            with obs.span("probe"):
+                pass
+        probes = [s for s in obs.spans if s.name == "probe"]
+        assert probes[0].parent_id == outer1.sid
+        assert probes[1].parent_id == outer2.sid
+        assert outer1.sid != outer2.sid
+        # the legacy name-based field is ambiguous here; both say "layer"
+        assert {s.parent for s in probes} == {"layer"}
+
+    def test_top_level_span_has_no_parent_id(self, obs):
+        with obs.span("root"):
+            pass
+        (root,) = obs.spans
+        assert root.parent_id is None and root.parent is None
+
+
+class TestHistogramsAndGauges:
+    def test_observe_feeds_named_histogram(self, obs):
+        obs.observe("task_seconds", 1.0)
+        obs.observe("task_seconds", 3.0)
+        h = obs.histogram("task_seconds")
+        assert h.count == 2
+        assert h.p50 == pytest.approx(2.0)
+
+    def test_missing_histogram_is_empty(self, obs):
+        assert obs.histogram("nope").count == 0
+
+    def test_gauge_set_and_read(self, obs):
+        obs.gauge("utilization", 0.9)
+        assert obs.gauge("utilization").value == 0.9
+
+    def test_to_dict_includes_histograms_and_gauges(self, obs):
+        obs.observe("h", 1.0)
+        obs.gauge("g", 2.0)
+        d = obs.to_dict()
+        assert d["histograms"]["h"]["count"] == 1
+        assert d["gauges"]["g"]["value"] == 2.0
+
+    def test_to_dict_omits_empty_sections(self, obs):
+        d = obs.to_dict()
+        assert "histograms" not in d
+        assert "gauges" not in d
