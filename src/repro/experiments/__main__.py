@@ -7,6 +7,7 @@ Usage::
     python -m repro.experiments --only fig14 table1
     python -m repro.experiments --out results/  # also write text files
     python -m repro.experiments --trace-out trace.json  # Perfetto trace
+    python -m repro.experiments --faults 7:0.15 --quick  # fault sweep
 
 Each artefact prints its paper-style table; with ``--out`` the tables are
 additionally written to ``<out>/<artefact>.txt``.  With ``--trace-out``
@@ -14,6 +15,11 @@ one *representative* instrumented pipeline run per selected artefact
 (the artefact's workload family at reduced scale) is exported as a
 single merged Chrome trace-event / Perfetto JSON file -- load it at
 ``ui.perfetto.dev`` to inspect where each artefact's time goes.
+
+``--faults SEED:RATE[:LAYER:NODES]`` appends a fault-injection sweep:
+every paper solver simulated fault-free and under the deterministic
+fault plan, reporting degraded makespans, slowdowns and retry counts
+(see :mod:`repro.experiments.faults_sweep`).
 """
 
 from __future__ import annotations
@@ -113,9 +119,20 @@ def main(argv: List[str] = None) -> int:
         help="write a merged Perfetto trace-event JSON of one representative "
         "pipeline run per selected artefact",
     )
+    ap.add_argument(
+        "--faults",
+        metavar="SEED:RATE[:LAYER:NODES]",
+        help="append a deterministic fault-injection sweep over the paper "
+        "solvers (e.g. 7:0.15 or 7:0.15:1:2 to also lose 2 nodes after "
+        "layer 1)",
+    )
     args = ap.parse_args(argv)
 
-    selected = args.only or sorted(ARTEFACTS)
+    # --faults alone runs just the sweep; combine with --only for both
+    if args.faults and not args.only:
+        selected = []
+    else:
+        selected = args.only or sorted(ARTEFACTS)
     if args.out:
         args.out.mkdir(parents=True, exist_ok=True)
 
@@ -128,6 +145,16 @@ def main(argv: List[str] = None) -> int:
         print(f"({time.time() - t0:.1f}s)\n")
         if args.out:
             (args.out / f"{name}.txt").write_text(text + "\n")
+    if args.faults:
+        from .faults_sweep import run_faults_sweep
+
+        t0 = time.time()
+        print("### faults " + "#" * 54)
+        text = run_faults_sweep(args.faults, args.quick).table_str()
+        print(text)
+        print(f"({time.time() - t0:.1f}s)\n")
+        if args.out:
+            (args.out / "faults.txt").write_text(text + "\n")
     if args.trace_out:
         path = export_traces(selected, args.quick, args.trace_out)
         print(f"wrote trace-event JSON for {len(selected)} artefact run(s) to {path}")

@@ -1,0 +1,119 @@
+"""Retry policies and failure records for fault-tolerant execution.
+
+The policy's backoff delays are *seeded*: the jitter of attempt ``a`` of
+task ``t`` is drawn from ``random.Random(f"{seed}:{t}:{a}")``, so a
+retried run is bit-reproducible no matter in which order tasks execute
+and which executor (simulator or functional runtime) asks.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+__all__ = [
+    "RetryPolicy",
+    "FailureRecord",
+    "TaskExecutionError",
+    "InjectedFault",
+    "TaskTimeout",
+]
+
+
+class TaskExecutionError(RuntimeError):
+    """Base class of failures the retry machinery handles."""
+
+
+class InjectedFault(TaskExecutionError):
+    """A failure injected by a :class:`~repro.faults.FaultPlan`."""
+
+
+class TaskTimeout(TaskExecutionError):
+    """An attempt exceeded the policy's per-attempt timeout."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retries with exponential backoff and seeded jitter.
+
+    Parameters
+    ----------
+    max_retries:
+        Extra attempts after the first one (``0`` disables retrying).
+    timeout:
+        Per-attempt timeout in seconds (``None`` disables the check).
+        The functional runtime checks it against the attempt's effective
+        duration (wall clock times the injected straggler factor, so
+        timeout tests stay deterministic); the simulator charges it as
+        the cost of a timed-out attempt.
+    backoff / backoff_factor / jitter:
+        Delay before retry ``a`` is ``backoff * backoff_factor**a``
+        scaled by a uniform factor in ``[1 - jitter, 1 + jitter]``.
+    seed:
+        Seeds the jitter streams (see module docstring).
+    """
+
+    max_retries: int = 3
+    timeout: Optional[float] = None
+    backoff: float = 0.001
+    backoff_factor: float = 2.0
+    jitter: float = 0.1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError("timeout must be positive")
+        if self.backoff < 0 or self.backoff_factor < 1.0:
+            raise ValueError("backoff must be >= 0 and backoff_factor >= 1")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+
+    @property
+    def max_attempts(self) -> int:
+        return 1 + self.max_retries
+
+    def delay(self, task: str, attempt: int) -> float:
+        """Backoff delay before retrying ``task`` after attempt ``attempt``."""
+        if attempt < 0:
+            raise ValueError("attempt must be >= 0")
+        base = self.backoff * self.backoff_factor ** attempt
+        if self.jitter <= 0 or base <= 0:
+            return base
+        u = random.Random(f"{self.seed}:{task}:{attempt}").uniform(
+            -self.jitter, self.jitter
+        )
+        return base * (1.0 + u)
+
+
+@dataclass(frozen=True)
+class FailureRecord:
+    """One task that did not complete normally.
+
+    ``action`` is ``"gave_up"`` (all attempts failed, outputs missing),
+    ``"skipped"`` (an upstream give-up made an input unavailable) or
+    ``"recovered"`` (failed attempts, but a retry eventually succeeded).
+    """
+
+    task: str
+    action: str
+    attempts: int = 1
+    error: str = ""
+    cause: str = ""
+    backoff_seconds: float = 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "task": self.task,
+            "action": self.action,
+            "attempts": self.attempts,
+        }
+        if self.error:
+            out["error"] = self.error
+        if self.cause:
+            out["cause"] = self.cause
+        if self.backoff_seconds:
+            out["backoff_seconds"] = self.backoff_seconds
+        return out

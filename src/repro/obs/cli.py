@@ -55,6 +55,8 @@ LOWER_IS_BETTER = (
     "task_seconds_p50",
     "task_seconds_p90",
     "task_seconds_p99",
+    "task_retries_total",
+    "degraded_makespan",
 )
 #: metric name suffixes where a *decrease* past the threshold regresses
 HIGHER_IS_BETTER = (
@@ -103,6 +105,13 @@ def _add_run_arguments(ap: argparse.ArgumentParser) -> None:
     ap.add_argument(
         "--quick", action="store_true", help="small problem (N=120) for smoke runs"
     )
+    ap.add_argument(
+        "--faults",
+        metavar="SEED:RATE[:LAYER:NODES]",
+        help="deterministic fault injection: seed and task failure rate, "
+        "optionally losing NODES nodes before layer LAYER "
+        "(e.g. --faults 7:0.2 or --faults 7:0.2:1:2)",
+    )
 
 
 def _run_spec(args) -> Tuple[Dict[str, Any], Any, Any]:
@@ -117,14 +126,26 @@ def _run_spec(args) -> Tuple[Dict[str, Any], Any, Any]:
     from ..experiments.common import ode_pipeline
     from ..mapping.strategies import consecutive, scattered
     from ..ode import MethodConfig, bruss2d
+    from ..sim.executor import SimulationOptions
 
     n = 120 if args.quick else args.n
     platform = by_name(args.platform).with_cores(args.cores)
     cost = CostModel(platform)
     cfg = MethodConfig(args.solver, **SOLVER_CFGS[args.solver])
     strategy = consecutive() if args.mapping == "consecutive" else scattered()
+    options = SimulationOptions()
+    if getattr(args, "faults", None):
+        from ..faults import parse_faults_spec
+
+        options = SimulationOptions(faults=parse_faults_spec(args.faults))
     result = ode_pipeline(
-        bruss2d(n), cfg, platform, strategy, version=args.version, cost=cost
+        bruss2d(n),
+        cfg,
+        platform,
+        strategy,
+        version=args.version,
+        cost=cost,
+        options=options,
     )
     spec = {
         "solver": args.solver,
@@ -134,6 +155,8 @@ def _run_spec(args) -> Tuple[Dict[str, Any], Any, Any]:
         "version": args.version,
         "mapping": args.mapping,
     }
+    if getattr(args, "faults", None):
+        spec["faults"] = args.faults
     return spec, result, cost
 
 

@@ -51,7 +51,8 @@ def render_trace(
 
     ``by`` is ``"core"`` (one row per physical core) or ``"node"`` (one
     row per compute node).  Upper-case cells are computation, lower-case
-    communication, ``~`` re-distribution wait, blank idle.
+    communication, ``~`` re-distribution wait, ``!`` fault overhead
+    (failed attempts + backoff of injected faults), blank idle.
     """
     if by not in ("core", "node"):
         raise ValueError("by must be 'core' or 'node'")
@@ -74,8 +75,11 @@ def render_trace(
     grid: Dict[Any, List[str]] = {k: [" "] * width for k in keys}
     for e in entries:
         a = cell(e.start)
-        comp_end = e.start + e.comp_time
-        b = max(a + 1, cell(comp_end))
+        overhead = getattr(e, "fault_overhead", 0.0)
+        comp_start = e.start + overhead
+        f = max(a + 1, cell(comp_start)) if overhead > 0 else a
+        comp_end = comp_start + e.comp_time
+        b = max(f + 1, cell(comp_end))
         c_end = max(b, cell(e.finish))
         ch = letters[e.task]
         for core in e.cores:
@@ -84,7 +88,9 @@ def render_trace(
                 for x in range(cell(max(0.0, e.start - e.redist_wait)), a):
                     if row[x] == " ":
                         row[x] = "~"
-            for x in range(a, min(b, width)):
+            for x in range(a, min(f, width)):
+                row[x] = "!"
+            for x in range(f, min(b, width)):
                 row[x] = ch
             for x in range(b, min(c_end, width)):
                 row[x] = ch.lower()
@@ -98,7 +104,9 @@ def render_trace(
         lines.append(f"... {len(keys) - len(shown)} more rows (raise max_rows)")
     if legend:
         lines.append("")
-        lines.append("legend (UPPER = comp, lower = comm, ~ = redist wait):")
+        lines.append(
+            "legend (UPPER = comp, lower = comm, ~ = redist wait, ! = fault overhead):"
+        )
         for e in entries[: 2 * 26]:
             lines.append(
                 f"  {letters[e.task]}  {e.task.name:<24s} "

@@ -20,6 +20,7 @@ cycles.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Sequence
 
@@ -58,11 +59,16 @@ class Histogram:
 
     @property
     def min(self) -> float:
-        return min(self.values) if self.values else 0.0
+        """Smallest observation; ``NaN`` when empty.  An empty histogram
+        has no extrema -- reporting ``0.0`` made the diff gate compare
+        fabricated zeros (and flag them as regressions once a value
+        arrived)."""
+        return min(self.values) if self.values else math.nan
 
     @property
     def max(self) -> float:
-        return max(self.values) if self.values else 0.0
+        """Largest observation; ``NaN`` when empty (see :attr:`min`)."""
+        return max(self.values) if self.values else math.nan
 
     def percentile(self, p: float) -> float:
         """The ``p``-th percentile (0..100), linearly interpolated."""
@@ -94,6 +100,10 @@ class Histogram:
         return self.percentile(99)
 
     def to_dict(self) -> Dict[str, float]:
+        # an empty histogram exports only its count: absent stats cannot
+        # be mistaken for observed zeros by downstream diffing
+        if not self.values:
+            return {"count": 0}
         return {
             "count": self.count,
             "total": self.total,
@@ -206,6 +216,12 @@ class ScheduleAnalysis:
     redist_wait_seconds: Histogram = field(
         default_factory=lambda: Histogram("redist_wait_seconds")
     )
+    #: per-task retry counts / fault overhead (fault-injected runs only;
+    #: empty for clean runs so their exports stay unchanged)
+    task_retries: Histogram = field(default_factory=lambda: Histogram("task_retries"))
+    fault_overhead_seconds: Histogram = field(
+        default_factory=lambda: Histogram("fault_overhead_seconds")
+    )
 
     # ------------------------------------------------------------------
     @property
@@ -247,8 +263,12 @@ class ScheduleAnalysis:
 
     # ------------------------------------------------------------------
     def metrics(self) -> Dict[str, float]:
-        """Flat, diff-friendly summary (all deterministic quantities)."""
-        return {
+        """Flat, diff-friendly summary (all deterministic quantities).
+
+        Fault metrics appear only when faults actually occurred, so a
+        clean run's metric dict is identical to the pre-fault baseline.
+        """
+        out = {
             "makespan": self.makespan,
             "busy_fraction": self.busy_fraction,
             "idle_fraction": self.idle_fraction,
@@ -260,6 +280,11 @@ class ScheduleAnalysis:
             "task_seconds_p90": self.task_seconds.p90,
             "task_seconds_p99": self.task_seconds.p99,
         }
+        if self.task_retries.count:
+            out["task_retries_total"] = self.task_retries.total
+        if self.fault_overhead_seconds.count:
+            out["fault_overhead_seconds"] = self.fault_overhead_seconds.total
+        return out
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -279,6 +304,14 @@ class ScheduleAnalysis:
             "layers": [l.to_dict() for l in self.layers],
             "task_seconds": self.task_seconds.to_dict(),
             "redist_wait_seconds": self.redist_wait_seconds.to_dict(),
+            **(
+                {
+                    "task_retries": self.task_retries.to_dict(),
+                    "fault_overhead_seconds": self.fault_overhead_seconds.to_dict(),
+                }
+                if self.task_retries.count
+                else {}
+            ),
         }
 
     def report(self, per_core: bool = False) -> str:
@@ -308,6 +341,12 @@ class ScheduleAnalysis:
             lines.append(
                 f"  task seconds        p50 {h.p50:.4g}  p90 {h.p90:.4g}  "
                 f"p99 {h.p99:.4g}  max {h.max:.4g}"
+            )
+        if self.task_retries.count:
+            lines.append(
+                f"  fault injection     {int(self.task_retries.total)} retries over "
+                f"{self.task_retries.count} tasks, "
+                f"{self.fault_overhead_seconds.total:.4g} s overhead"
             )
         if per_core:
             lines.append("  per-core usage:")
@@ -404,6 +443,11 @@ def analyze(result) -> ScheduleAnalysis:
         analysis.task_seconds.observe(e.duration)
         if e.redist_wait > 0:
             analysis.redist_wait_seconds.observe(e.redist_wait)
+        if getattr(e, "retries", 0) > 0:
+            analysis.task_retries.observe(e.retries)
+            analysis.fault_overhead_seconds.observe(
+                getattr(e, "fault_overhead", 0.0)
+            )
     if graph is not None:
         analysis.critical_path = _critical_path(graph, trace)
     if layered is not None:

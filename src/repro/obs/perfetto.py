@@ -143,16 +143,37 @@ def execution_trace_events(
 
     wait_cores = set()
     for e in entries:
-        comp_end = e.start + e.comp_time
+        # failed attempts + backoff precede the successful attempt, so the
+        # fault slice leads and comp/comm tile the rest of [start, finish]
+        overhead = getattr(e, "fault_overhead", 0.0)
+        comp_start = e.start + overhead
+        comp_end = comp_start + e.comp_time
         args = {
             "width": len(e.cores),
             "comp_time": e.comp_time,
             "comm_time": e.comm_time,
             "redist_wait": e.redist_wait,
         }
+        if getattr(e, "retries", 0):
+            args["retries"] = e.retries
+        if overhead > 0:
+            args["fault_overhead"] = overhead
         for c in e.cores:
             pid, tid = tracks[c]
             pid += pid_offset
+            if overhead > 0:
+                events.append(
+                    {
+                        "ph": "X",
+                        "name": f"{e.task.name} (retries)",
+                        "cat": "fault",
+                        "pid": pid,
+                        "tid": tid,
+                        "ts": e.start * MICROS,
+                        "dur": overhead * MICROS,
+                        "args": args,
+                    }
+                )
             events.append(
                 {
                     "ph": "X",
@@ -160,8 +181,8 @@ def execution_trace_events(
                     "cat": "comp",
                     "pid": pid,
                     "tid": tid,
-                    "ts": e.start * MICROS,
-                    "dur": (comp_end - e.start) * MICROS,
+                    "ts": comp_start * MICROS,
+                    "dur": (comp_end - comp_start) * MICROS,
                     "args": args,
                 }
             )
@@ -271,17 +292,39 @@ def pipeline_trace(result, *, flows: bool = True) -> Dict[str, Any]:
     events = span_events(result.obs)
     if result.trace is not None:
         events.extend(execution_trace_events(result.trace, result.graph, flows=flows))
+    reschedule = getattr(result, "reschedule", None)
+    if reschedule is not None and result.trace is not None:
+        # global instant marker on the first surviving node's process at
+        # the moment the platform shrank and the suffix was re-planned
+        nodes = sorted({c.node for e in result.trace.entries for c in e.cores})
+        events.append(
+            {
+                "ph": "i",
+                "s": "g",
+                "name": f"core loss: -{reschedule.loss.nodes} node(s)",
+                "cat": "fault",
+                "pid": CORE_PID_BASE + (nodes[0] if nodes else 0),
+                "tid": 0,
+                "ts": reschedule.prefix_makespan * MICROS,
+                "args": reschedule.summary(),
+            }
+        )
+    other: Dict[str, Any] = {
+        "exporter": "repro.obs.perfetto",
+        "scheduler": result.scheduling.scheduler,
+        "nprocs": result.scheduling.nprocs,
+        "tasks": len(result.graph),
+        "predicted_makespan": result.predicted_makespan,
+        "simulated_makespan": result.trace.makespan if result.trace else None,
+    }
+    if result.meta.get("faults"):
+        other["faults"] = result.meta["faults"]
+    if reschedule is not None:
+        other["reschedule"] = reschedule.summary()
     return {
         "traceEvents": _sorted_events(events),
         "displayTimeUnit": "ms",
-        "otherData": {
-            "exporter": "repro.obs.perfetto",
-            "scheduler": result.scheduling.scheduler,
-            "nprocs": result.scheduling.nprocs,
-            "tasks": len(result.graph),
-            "predicted_makespan": result.predicted_makespan,
-            "simulated_makespan": result.trace.makespan if result.trace else None,
-        },
+        "otherData": other,
     }
 
 

@@ -21,12 +21,14 @@ dynamic scheduler (whose dispatch already yields the final trace).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Optional
 
 from ..core.costmodel import CachedCostEvaluator, CostModel
 from ..core.graph import TaskGraph
 from ..core.schedule import validate as validate_schedule
+from ..faults.plan import FaultPlan
+from ..faults.retry import RetryPolicy
 from ..mapping.mapper import place_result
 from ..mapping.strategies import MappingStrategy, consecutive
 from ..obs import Instrumentation
@@ -62,6 +64,16 @@ class SchedulingPipeline:
     simulate:
         Run the simulation stage; with ``False`` the pipeline stops
         after mapping + validation (``result.trace`` is ``None``).
+    faults / retry:
+        Deterministic fault injection and retry costing
+        (:class:`~repro.faults.FaultPlan` /
+        :class:`~repro.faults.RetryPolicy`); forwarded to the simulation
+        stage.  When the plan carries a ``core_loss`` and the scheduler
+        produced a layered schedule, a *reschedule* stage re-invokes the
+        scheduler through a fresh pipeline on the reduced core count for
+        the remaining layers and replaces the trace with the combined
+        degraded one.  ``None`` (or a disabled plan) keeps every stage
+        bit-identical to the fault-free pipeline.
     """
 
     scheduler: Scheduler
@@ -71,6 +83,8 @@ class SchedulingPipeline:
     check: bool = True
     simulate: bool = True
     cache: bool = True
+    faults: Optional[FaultPlan] = None
+    retry: Optional[RetryPolicy] = None
 
     def __post_init__(self) -> None:
         if self.cache and not isinstance(self.scheduler.cost, CachedCostEvaluator):
@@ -98,6 +112,17 @@ class SchedulingPipeline:
         """Run all stages on ``graph`` and return a :class:`PipelineResult`."""
         obs = obs if obs is not None else Instrumentation()
         cost = self.scheduler.cost
+        plan = self.faults if self.faults is not None and self.faults.enabled else None
+        if plan is None and self.options.faults is not None and self.options.faults.enabled:
+            plan = self.options.faults
+        policy = self.retry if self.retry is not None else self.options.retry
+        sim_options = self.options
+        if plan is not sim_options.faults or policy is not sim_options.retry:
+            # the core loss is handled by the reschedule stage below, not
+            # inside the simulator
+            sim_plan = replace(plan, core_loss=None) if plan is not None else None
+            sim_options = replace(self.options, faults=sim_plan, retry=policy)
+        reschedule = None
         with obs.span("pipeline", scheduler=self.scheduler.name):
             # -- stage: chain contraction (for chain-unaware schedulers)
             work_graph, expansion = graph, {}
@@ -138,7 +163,36 @@ class SchedulingPipeline:
             # -- stage: simulation
             trace = result.trace
             if trace is None and self.simulate and placement is not None:
-                trace = simulate(graph, placement, cost, self.options, obs=obs)
+                trace = simulate(graph, placement, cost, sim_options, obs=obs)
+
+            # -- stage: reschedule on core loss
+            if (
+                plan is not None
+                and plan.core_loss is not None
+                and trace is not None
+                and result.layered is not None
+            ):
+                from ..faults.reschedule import reschedule_on_core_loss
+
+                loss = plan.core_loss
+                with obs.span(
+                    "reschedule", after_layer=loss.after_layer, nodes=loss.nodes
+                ) as rs_span:
+                    reschedule = reschedule_on_core_loss(
+                        graph,
+                        result.layered,
+                        trace,
+                        self.platform,
+                        self.strategy,
+                        loss,
+                        scheduler=self.scheduler,
+                        options=replace(sim_options, faults=replace(plan, core_loss=None)),
+                        obs=obs,
+                    )
+                obs.observe("reschedule_seconds", rs_span.duration)
+                obs.count("faults.core_losses")
+                obs.record("reschedule", **reschedule.summary())
+                trace = reschedule.trace
 
         stats = self.cache_stats()
         if stats is not None:
@@ -149,6 +203,11 @@ class SchedulingPipeline:
         if trace is not None:
             obs.gauge("pipeline.simulated_makespan", trace.makespan)
             obs.gauge("pipeline.utilization", trace.utilization())
+        meta = {"strategy": self.strategy.name}
+        if plan is not None:
+            meta["faults"] = plan.to_dict()
+        if reschedule is not None:
+            meta["reschedule"] = reschedule.summary()
         return PipelineResult(
             graph=graph,
             scheduling=result,
@@ -157,7 +216,8 @@ class SchedulingPipeline:
             predicted_makespan=predicted,
             obs=obs,
             cache=stats,
-            meta={"strategy": self.strategy.name},
+            meta=meta,
+            reschedule=reschedule,
         )
 
     # ------------------------------------------------------------------

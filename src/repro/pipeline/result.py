@@ -41,6 +41,9 @@ class PipelineResult:
     obs: Instrumentation
     cache: Optional[CacheStats] = None
     meta: Dict[str, Any] = field(default_factory=dict)
+    #: core-loss recovery outcome (``None`` unless the pipeline ran with
+    #: a fault plan carrying a ``core_loss``)
+    reschedule: Optional[Any] = None
 
     @property
     def makespan(self) -> float:
@@ -91,6 +94,14 @@ class PipelineResult:
             out["cache_requests"] = float(self.cache.requests)
             out["cache_hit_rate"] = self.cache.hit_rate
             out["evaluation_reduction"] = self.cache.evaluation_reduction
+        # fault metrics (task_retries_total, fault_overhead_seconds) come
+        # from the analysis above and appear only when faults occurred,
+        # so a clean run's metric dict stays identical to the baseline
+        if self.reschedule is not None:
+            out["reschedule_reduced_cores"] = float(
+                self.reschedule.reduced_platform.total_cores
+            )
+            out["degraded_makespan"] = self.reschedule.degraded_makespan
         return out
 
     def export_trace(self, path) -> Path:

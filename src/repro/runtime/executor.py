@@ -15,6 +15,19 @@ Task bodies have the signature::
 ``values`` maps each input parameter instance (e.g. ``"eta_k"`` or
 ``"V[2]"``) to its global array; the body returns the arrays of its
 output parameters.  Scalars travel as 1-element arrays.
+
+Fault tolerance
+---------------
+``run_program`` optionally executes under a
+:class:`~repro.faults.FaultPlan` (deterministic fault injection) and a
+:class:`~repro.faults.RetryPolicy` (per-task timeout, bounded retries
+with seeded exponential backoff).  A task whose attempts are exhausted
+either raises (``on_failure="raise"``) or degrades gracefully
+(``on_failure="degrade"``): the failure is recorded in
+``RunResult.failures``, the task's outputs become unavailable, and every
+downstream task that needs them is skipped with a ``"skipped"`` record
+instead of crashing the run.  With no plan and no policy the execution
+path is exactly the historical one -- bit-identical results.
 """
 
 from __future__ import annotations
@@ -27,6 +40,8 @@ import numpy as np
 from ..core.graph import TaskGraph
 from ..core.task import AccessMode, MTask
 from ..distribution import transfer_counts
+from ..faults.plan import FaultPlan
+from ..faults.retry import FailureRecord, InjectedFault, RetryPolicy, TaskTimeout
 from ..obs import Instrumentation
 from .context import RuntimeContext
 
@@ -42,6 +57,12 @@ class RunStats:
     #: per-task collective logs
     contexts: Dict[MTask, RuntimeContext] = field(default_factory=dict)
     tasks_executed: int = 0
+    #: recovered / gave-up / skipped tasks, in completion order
+    failures: List[FailureRecord] = field(default_factory=list)
+    #: total failed attempts over all tasks
+    retries: int = 0
+    #: accumulated backoff delay (accounted, not necessarily slept)
+    backoff_seconds: float = 0.0
 
     def collective_counts(self) -> Dict[str, int]:
         out: Dict[str, int] = {}
@@ -61,6 +82,100 @@ class RunResult:
     def __getitem__(self, var: str) -> np.ndarray:
         return self.variables[var]
 
+    @property
+    def failures(self) -> List[FailureRecord]:
+        """Structured record of every task that retried, gave up or was
+        skipped (empty for a clean run)."""
+        return self.stats.failures
+
+    @property
+    def degraded(self) -> bool:
+        """True when at least one task gave up or was skipped."""
+        return any(f.action in ("gave_up", "skipped") for f in self.stats.failures)
+
+
+def _run_attempts(
+    task: MTask,
+    ctx: RuntimeContext,
+    values: Dict[str, np.ndarray],
+    q: int,
+    obs: Instrumentation,
+    faults: Optional[FaultPlan],
+    retry: Optional[RetryPolicy],
+    stats: RunStats,
+    sleep: Optional[Callable[[float], None]],
+):
+    """Execute one task body under the retry policy.
+
+    Returns ``(produced, failure)``: exactly one is non-``None`` --
+    ``produced`` on success (a ``"recovered"`` record is appended to
+    ``stats`` if earlier attempts failed), ``failure`` when every
+    attempt failed.
+    """
+    name = task.name
+    attempts = retry.max_attempts if retry is not None else 1
+    slowdown = faults.slowdown(name) if faults is not None else 1.0
+    total_backoff = 0.0
+    last_error: Optional[BaseException] = None
+    for attempt in range(attempts):
+        meta: Dict[str, object] = {"task": name, "q": q}
+        if attempt:
+            meta["attempt"] = attempt
+        try:
+            with obs.span("task", **meta) as task_span:
+                if faults is not None and faults.fails(name, attempt):
+                    raise InjectedFault(
+                        f"injected fault: task {name!r}, attempt {attempt}"
+                    )
+                produced = task.func(ctx, values)
+            if retry is not None and retry.timeout is not None:
+                # the injected straggler factor scales the measured wall
+                # clock, so timeout behaviour is testable deterministically
+                effective = task_span.duration * slowdown
+                if effective > retry.timeout:
+                    raise TaskTimeout(
+                        f"task {name!r}, attempt {attempt}: effective duration "
+                        f"{effective:.3g}s exceeds timeout {retry.timeout:g}s"
+                    )
+            obs.observe("runtime.task_seconds", task_span.duration)
+            if attempt:
+                stats.retries += attempt
+                obs.observe("task_retries", attempt)
+                obs.count("faults.retries", attempt)
+                stats.failures.append(
+                    FailureRecord(
+                        task=name,
+                        action="recovered",
+                        attempts=attempt + 1,
+                        error=str(last_error),
+                        backoff_seconds=total_backoff,
+                    )
+                )
+            return produced, None
+        except Exception as exc:  # noqa: BLE001 - retry boundary
+            if retry is None and faults is None:
+                raise
+            last_error = exc
+            obs.count("faults.failed_attempts")
+            if isinstance(exc, TaskTimeout):
+                obs.count("faults.timeouts")
+            elif isinstance(exc, InjectedFault):
+                obs.count("faults.injected")
+            if retry is not None and attempt + 1 < attempts:
+                delay = retry.delay(name, attempt)
+                total_backoff += delay
+                stats.backoff_seconds += delay
+                obs.observe("runtime.backoff_seconds", delay)
+                if sleep is not None:
+                    sleep(delay)
+    return None, FailureRecord(
+        task=name,
+        action="gave_up",
+        attempts=attempts,
+        error=str(last_error),
+        backoff_seconds=total_backoff,
+    )
+
 
 def run_program(
     graph: TaskGraph,
@@ -68,6 +183,10 @@ def run_program(
     group_sizes: Optional[Mapping[MTask, int]] = None,
     default_group_size: int = 4,
     obs: Optional[Instrumentation] = None,
+    faults: Optional[FaultPlan] = None,
+    retry: Optional[RetryPolicy] = None,
+    on_failure: str = "raise",
+    sleep: Optional[Callable[[float], None]] = None,
 ) -> RunResult:
     """Execute an M-task graph functionally.
 
@@ -87,12 +206,34 @@ def run_program(
         Optional :class:`~repro.obs.Instrumentation`: records one span
         per executed task and totals for tasks executed and bytes
         re-distributed.
+    faults:
+        Optional :class:`~repro.faults.FaultPlan` injecting deterministic
+        task failures and straggler factors.  A disabled plan
+        (``FaultPlan.none()``) leaves the execution bit-identical to
+        running without one.
+    retry:
+        Optional :class:`~repro.faults.RetryPolicy`: per-attempt timeout
+        and bounded retries with seeded exponential backoff.  Without a
+        policy any failure (injected or real) propagates as before.
+    on_failure:
+        ``"raise"`` re-raises the final error of an exhausted task;
+        ``"degrade"`` records it in ``RunResult.failures``, marks the
+        task's outputs unavailable and skips dependent tasks.
+    sleep:
+        Backoff delays are always *accounted* in the stats; pass a
+        callable (e.g. ``time.sleep``) to also really wait.
     """
+    if on_failure not in ("raise", "degrade"):
+        raise ValueError("on_failure must be 'raise' or 'degrade'")
     obs = obs if obs is not None else Instrumentation()
+    if faults is not None and not faults.enabled:
+        faults = None
     store: Dict[str, np.ndarray] = {
         k: np.atleast_1d(np.asarray(v, dtype=float)).copy() for k, v in inputs.items()
     }
     producer_dist: Dict[str, Tuple[object, int]] = {}
+    #: variable name -> task whose give-up made it unavailable
+    unavailable: Dict[str, str] = {}
     stats = RunStats()
 
     def q_of(task: MTask) -> int:
@@ -102,13 +243,29 @@ def run_program(
 
     for task in graph.topological_order():
         q = q_of(task)
+        # --- degrade mode: skip tasks whose inputs were lost upstream ----
+        skip_cause: Optional[str] = None
+        if unavailable:
+            for p in task.params:
+                if p.mode.reads and p.name in unavailable:
+                    skip_cause = unavailable[p.name]
+                    break
+        if skip_cause is not None and task.func is not None:
+            stats.failures.append(
+                FailureRecord(task=task.name, action="skipped", cause=skip_cause)
+            )
+            obs.count("faults.skipped")
+            for p in task.outputs:
+                unavailable.setdefault(p.name, task.name)
+            stats.contexts[task] = RuntimeContext(task.name, q)
+            continue
         # --- collect inputs, accounting re-distribution ------------------
         values: Dict[str, np.ndarray] = {}
         for p in task.params:
             if not p.mode.reads:
                 continue
             if p.name not in store:
-                if task.meta.get("structural"):
+                if task.meta.get("structural") or p.name in unavailable:
                     continue
                 raise KeyError(
                     f"task {task.name!r} reads {p.name!r} which has no value"
@@ -126,9 +283,21 @@ def run_program(
         env = task.meta.get("env", {})
         ctx = RuntimeContext(task.name, q, env=dict(env) if isinstance(env, dict) else {})
         if task.func is not None:
-            with obs.span("task", task=task.name, q=q) as task_span:
-                produced = task.func(ctx, values)
-            obs.observe("runtime.task_seconds", task_span.duration)
+            produced, failure = _run_attempts(
+                task, ctx, values, q, obs, faults, retry, stats, sleep
+            )
+            if failure is not None:
+                stats.failures.append(failure)
+                obs.count("faults.gave_up")
+                if on_failure == "raise":
+                    raise RuntimeError(
+                        f"task {task.name!r} failed after {failure.attempts} "
+                        f"attempt(s): {failure.error}"
+                    )
+                for p in task.outputs:
+                    unavailable[p.name] = task.name
+                stats.contexts[task] = ctx
+                continue
             if produced is None:
                 produced = {}
             if not isinstance(produced, dict):
@@ -165,4 +334,12 @@ def run_program(
         tasks=stats.tasks_executed,
         redistributed_bytes=stats.redistributed_bytes,
     )
+    if stats.failures:
+        obs.record(
+            "run_failures",
+            retries=stats.retries,
+            gave_up=sum(1 for f in stats.failures if f.action == "gave_up"),
+            skipped=sum(1 for f in stats.failures if f.action == "skipped"),
+            backoff_seconds=stats.backoff_seconds,
+        )
     return RunResult(variables=store, stats=stats)

@@ -70,10 +70,13 @@ def adjust_group_sizes(
 ) -> List[int]:
     """Group adjustment: sizes proportional to accumulated sequential work.
 
-    ``g_l = round(P * Tseq(G_l) / sum_j Tseq(G_j))`` with rounding fixed
-    up so the sizes sum to ``total_cores``, every group keeps at least
-    one core, and no group shrinks below the ``min_procs`` of its widest
-    task.
+    ``g_l = P * Tseq(G_l) / sum_j Tseq(G_j)`` apportioned by the largest
+    remainder (floor everyone, hand the leftover cores to the largest
+    fractional parts), so the sizes sum to ``total_cores``, every group
+    keeps at least one core, and no group shrinks below the ``min_procs``
+    of its widest task.  Largest remainder avoids Python's banker's
+    rounding (``round(2.5) == 2``), which biased ``.5`` ideals toward
+    even group sizes.
     """
     g = len(groups)
     if g == 0:
@@ -86,11 +89,20 @@ def adjust_group_sizes(
     if sum(floors) > total_cores:
         raise ValueError("min_procs constraints exceed the available cores")
     if total_work <= 0:
-        return equal_partition(total_cores, g)
-
-    ideal = [total_cores * w / total_work for w in tseq]
-    sizes = [max(f, round(x)) for f, x in zip(floors, ideal)]
-    # repair the rounding so sizes sum to total_cores
+        # no work to weight by: aim for equal sizes, but go through the
+        # same apportionment below so min_procs floors are still honoured
+        ideal = [total_cores / g] * g
+    else:
+        ideal = [total_cores * w / total_work for w in tseq]
+    # largest-remainder apportionment: floor, then hand the remaining
+    # cores to the largest fractional parts (ties to the lower index)
+    base = [int(x) for x in ideal]
+    leftover = total_cores - sum(base)
+    by_fraction = sorted(range(g), key=lambda i: (base[i] - ideal[i], i))
+    for i in by_fraction[: max(0, leftover)]:
+        base[i] += 1
+    sizes = [max(f, b) for f, b in zip(floors, base)]
+    # repair the floor clamping so sizes sum to total_cores
     diff = total_cores - sum(sizes)
     # fractional parts guide who gains/loses first
     order_gain = sorted(range(g), key=lambda i: (sizes[i] - ideal[i], i))
@@ -100,13 +112,15 @@ def adjust_group_sizes(
         sizes[order_gain[k % g]] += 1
         diff -= 1
         k += 1
-    k = 0
     while diff < 0:
-        i = order_lose[k % g]
-        if sizes[i] > floors[i]:
-            sizes[i] -= 1
-            diff += 1
-        k += 1
-        if k > 10 * g and diff < 0:  # all at floor; distribute remainder anyway
+        shrunk = False
+        for i in order_lose:
+            if diff == 0:
+                break
+            if sizes[i] > floors[i]:
+                sizes[i] -= 1
+                diff += 1
+                shrunk = True
+        if diff < 0 and not shrunk:  # unreachable: feasibility checked above
             raise ValueError("cannot satisfy min_procs floors within total cores")
     return sizes

@@ -110,10 +110,18 @@ class LayerBasedScheduler(Scheduler):
             if not self._layer_feasible(tasks, g):
                 continue
             obs.count("gsearch.probes")
-            sizes = equal_partition(P, g)
             q_est = P // g  # the equal subset size the paper assumes
             time_of = lambda t, q=q_est: self.cost.tsymb(t, t.clamp_procs(max(q, t.min_procs)))
             groups = self._assign(tasks, time_of, g)
+            # a candidate g larger than the number of tasks with distinct
+            # loads leaves LPT groups empty; drop them *before* costing so
+            # their cores widen the real groups instead of idling (the
+            # probe then competes on its effective group count)
+            nonempty = [grp for grp in groups if grp]
+            if len(nonempty) < len(groups):
+                obs.count("gsearch.empty_groups", len(groups) - len(nonempty))
+                groups = nonempty
+            sizes = equal_partition(P, len(groups))
             loads = []
             for gi, grp in enumerate(groups):
                 q = sizes[gi]
@@ -129,14 +137,6 @@ class LayerBasedScheduler(Scheduler):
                 f"[{', '.join(t.name for t in tasks)}] on {P} cores"
             )
         tact, g, groups, sizes = best
-        # drop empty groups (can happen when g exceeds the task count of a
-        # restricted candidate list)
-        nonempty = [(grp, sz) for grp, sz in zip(groups, sizes) if grp]
-        groups = [grp for grp, _ in nonempty]
-        sizes = [sz for _, sz in nonempty]
-        lost = self.nprocs - sum(sizes)
-        if lost > 0 and sizes:
-            sizes[0] += lost  # give cores of dropped groups to the largest
         if self.adjust and len(groups) > 1:
             with obs.span("adjust"):
                 sizes = adjust_group_sizes(groups, self.cost.sequential_time, self.nprocs)

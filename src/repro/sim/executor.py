@@ -33,6 +33,8 @@ from ..core.costmodel import CostModel
 from ..core.graph import TaskGraph
 from ..core.schedule import Placement
 from ..core.task import MTask
+from ..faults.plan import FaultPlan
+from ..faults.retry import RetryPolicy
 from ..obs import Instrumentation
 from .engine import CoreResource, Simulator
 from .trace import ExecutionTrace, TraceEntry
@@ -49,6 +51,19 @@ class SimulationOptions:
     contention_passes: int = 2
     #: include re-distribution delays on graph edges.
     redistribution: bool = True
+    #: deterministic fault injection (``None`` or a disabled plan leaves
+    #: the simulation bit-identical to the historical behaviour).  The
+    #: simulator charges injected slowdowns as scaled compute time and
+    #: failed attempts as :class:`~repro.sim.trace.TraceEntry.fault_overhead`
+    #: preceding the successful attempt; a plan's ``core_loss`` is handled
+    #: one level up, by the pipeline's reschedule stage.
+    faults: Optional[FaultPlan] = None
+    #: retry policy costing the injected failures (attempt duration,
+    #: capped at the per-attempt timeout, plus seeded backoff).  Defaults
+    #: to ``RetryPolicy()`` whenever a fault plan is active.  A task whose
+    #: injected failure count exceeds ``max_retries`` is charged its
+    #: retried attempts only -- give-up semantics live in the runtime.
+    retry: Optional[RetryPolicy] = None
 
 
 def _phase_edges(task: MTask, cores: Sequence[CoreId]):
@@ -113,6 +128,11 @@ def simulate(
         obs.observe("sim.task_seconds", e.duration)
         if e.redist_wait > 0:
             obs.observe("sim.redist_wait_seconds", e.redist_wait)
+        if e.retries > 0:
+            obs.observe("task_retries", e.retries)
+            obs.count("faults.retries", e.retries)
+        if e.fault_overhead > 0:
+            obs.observe("sim.fault_overhead_seconds", e.fault_overhead)
     obs.record("simulate", tasks=len(trace), makespan=trace.makespan)
     return trace
 
@@ -130,6 +150,10 @@ def _run_once(
     sim = Simulator()
     cores: Dict[CoreId, CoreResource] = {c: CoreResource() for c in machine.cores()}
     trace = ExecutionTrace(machine)
+    plan = options.faults if options.faults is not None and options.faults.enabled else None
+    policy = options.retry
+    if plan is not None and policy is None:
+        policy = RetryPolicy()
     # program version: task parallel iff any task leaves cores to others
     is_tp = any(
         len(placement.cores_of(t)) < machine.total_cores for t in graph
@@ -166,7 +190,19 @@ def _run_once(
                 all_cores=placement.all_cores,
                 task_parallel_program=is_tp,
             )
-            dur = comp + comm
+            retries = 0
+            overhead = 0.0
+            if plan is not None:
+                slow = plan.slowdown(t.name)
+                if slow != 1.0:
+                    comp *= slow
+                retries = min(plan.failures_of(t.name), policy.max_retries)
+                for a in range(retries):
+                    attempt = comp + comm
+                    if policy.timeout is not None:
+                        attempt = min(attempt, policy.timeout)
+                    overhead += attempt + policy.delay(t.name, a)
+            dur = comp + comm + overhead
             for c in tcores:
                 cores[c].book(start, dur)
             finish = start + dur
@@ -179,6 +215,8 @@ def _run_once(
                     comp_time=comp,
                     comm_time=comm,
                     redist_wait=redist_charged[t],
+                    retries=retries,
+                    fault_overhead=overhead,
                 )
             )
             sim.at(finish, lambda t=t: complete(t))

@@ -22,6 +22,10 @@ class TraceEntry:
     comp_time: float
     comm_time: float
     redist_wait: float  #: re-distribution delay charged before the start
+    #: failed attempts charged before the successful one (fault injection)
+    retries: int = 0
+    #: seconds of failed attempts + backoff included in the duration
+    fault_overhead: float = 0.0
 
     @property
     def duration(self) -> float:

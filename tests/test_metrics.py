@@ -1,5 +1,7 @@
 """Tests for metrics primitives and derived schedule analytics."""
 
+import math
+
 import pytest
 
 from repro.cluster import generic_cluster
@@ -36,6 +38,10 @@ class TestHistogram:
         assert h.count == 0
         assert h.p99 == 0.0
         assert h.mean == 0.0
+        # min/max of nothing is NaN, not 0.0 -- a real observation of 0.0
+        # must stay distinguishable from "never observed"
+        assert math.isnan(h.min) and math.isnan(h.max)
+        assert h.to_dict() == {"count": 0}
 
     def test_summary_stats(self):
         h = Histogram(values=[2.0, 4.0, 6.0])
