@@ -1,0 +1,134 @@
+#!/usr/bin/env python
+"""Kill-and-resume chaos check: crash a journaled run, resume, compare.
+
+The CI chaos job (and ``tests/test_recovery.py``) runs this script:
+
+1. **reference** -- one functional IRK time step runs uninterrupted
+   (journaled, in its own directory) and its outcome is summarised:
+   a digest per output variable, every failure record, the retry and
+   re-distribution accounting;
+2. **crash** -- the same step runs in a *subprocess* with the journal's
+   deterministic chaos hook armed (``--crash-after K``): after ``K``
+   committed task records the journal tears the next append mid-line and
+   the process dies with ``os._exit(137)``, like a real kill;
+3. **resume** -- the step re-runs in this process with ``resume=True``:
+   the torn final line is dropped, the ``K``-task prefix is restored
+   from the journal, and only the remaining tasks execute.
+
+The script exits 0 iff the crashed-and-resumed run is **bit-identical**
+to the uninterrupted reference: same variable digests, same failure
+records, same retry/backoff/re-distribution accounting.  Faults and
+retries are injected (seeded) so the determinism claim covers the
+interesting paths, not just the clean one.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.faults import FaultPlan, RetryPolicy  # noqa: E402
+from repro.ode import MethodConfig, bruss2d  # noqa: E402
+from repro.recovery import array_digest  # noqa: E402
+from repro.experiments.recovery_run import run_checkpointed_step  # noqa: E402
+
+#: seeded fault plan: failures with recovery, so the resumed run must
+#: reproduce retry accounting, not just outputs
+PLAN = FaultPlan(seed=11, failure_rate=0.3)
+RETRY = RetryPolicy(seed=11)
+CFG = MethodConfig("irk", K=4, m=3)
+
+
+def summarize(run) -> dict:
+    return {
+        "variables": {
+            name: array_digest(arr) for name, arr in sorted(run.variables.items())
+        },
+        "failures": [f.to_dict() for f in run.failures],
+        "tasks_executed": run.stats.tasks_executed,
+        "retries": run.stats.retries,
+        "backoff_seconds": run.stats.backoff_seconds,
+        "redistributed_bytes": run.stats.redistributed_bytes,
+    }
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--workdir", type=Path, required=True,
+                    help="scratch directory for journals and checkpoints")
+    ap.add_argument("--n", type=int, default=40, help="BRUSS2D N (default 40)")
+    ap.add_argument("--crash-after", type=int, default=5,
+                    help="task records committed before the injected crash")
+    ap.add_argument("--crash-child", action="store_true",
+                    help=argparse.SUPPRESS)  # internal: the process that dies
+    args = ap.parse_args(argv)
+    problem = bruss2d(args.n)
+
+    if args.crash_child:
+        run_checkpointed_step(
+            problem, CFG, args.workdir / "chaos",
+            faults=PLAN, retry=RETRY, crash_after=args.crash_after,
+        )
+        # the chaos hook must have killed us before getting here
+        print("ERROR: crash hook never fired", file=sys.stderr)
+        return 3
+
+    args.workdir.mkdir(parents=True, exist_ok=True)
+
+    # 1. uninterrupted reference run
+    ref_run, _ = run_checkpointed_step(
+        problem, CFG, args.workdir / "reference", faults=PLAN, retry=RETRY
+    )
+    reference = summarize(ref_run)
+    print(f"reference: {reference['tasks_executed']} tasks, "
+          f"{reference['retries']} retries")
+
+    # 2. crash a fresh run mid-step (in a subprocess; the hook _exits)
+    proc = subprocess.run(
+        [sys.executable, str(Path(__file__).resolve()),
+         "--workdir", str(args.workdir), "--n", str(args.n),
+         "--crash-after", str(args.crash_after), "--crash-child"],
+    )
+    if proc.returncode != 137:
+        print(f"ERROR: crash child exited {proc.returncode}, expected 137",
+              file=sys.stderr)
+        return 2
+    journal_path = args.workdir / "chaos" / "journal.jsonl"
+    raw = journal_path.read_text()
+    if raw.endswith("\n"):
+        print("ERROR: journal has no torn final line", file=sys.stderr)
+        return 2
+    print(f"crashed after {args.crash_after} committed records "
+          f"(journal ends mid-line, exit 137)")
+
+    # 3. resume and compare bit-for-bit
+    res_run, summary = run_checkpointed_step(
+        problem, CFG, args.workdir / "chaos",
+        resume=True, faults=PLAN, retry=RETRY,
+    )
+    resumed = summarize(res_run)
+    if summary["resumed_tasks"] != args.crash_after:
+        print(f"ERROR: resumed {summary['resumed_tasks']} tasks, "
+              f"expected the {args.crash_after} journaled ones",
+              file=sys.stderr)
+        return 1
+    if resumed != reference:
+        print("ERROR: resumed run differs from the uninterrupted reference:",
+              file=sys.stderr)
+        print(json.dumps({"reference": reference, "resumed": resumed},
+                         indent=2), file=sys.stderr)
+        return 1
+    print(f"resumed: {summary['resumed_tasks']} tasks restored, "
+          f"{resumed['tasks_executed'] - summary['resumed_tasks']} re-executed")
+    print("kill-resume check passed: resumed run is bit-identical "
+          "to the uninterrupted reference")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

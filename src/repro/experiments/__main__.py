@@ -20,6 +20,17 @@ single merged Chrome trace-event / Perfetto JSON file -- load it at
 every paper solver simulated fault-free and under the deterministic
 fault plan, reporting degraded makespans, slowdowns and retry counts
 (see :mod:`repro.experiments.faults_sweep`).
+
+``--speculate FACTOR[:QUANTILE]`` appends a speculation sweep: every
+paper solver simulated under a deterministic straggler plan with and
+without speculative backup attempts, reporting the recovered penalty
+and backup win/loss counts (see
+:mod:`repro.experiments.speculation_sweep`).
+
+``--checkpoint-dir DIR`` runs one *functional* solver step under a
+write-ahead journal + checkpoint store rooted at ``DIR``; with
+``--resume`` the journaled tasks are skipped and their outputs restored
+(see :mod:`repro.experiments.recovery_run`).
 """
 
 from __future__ import annotations
@@ -126,10 +137,36 @@ def main(argv: List[str] = None) -> int:
         "solvers (e.g. 7:0.15 or 7:0.15:1:2 to also lose 2 nodes after "
         "layer 1)",
     )
+    ap.add_argument(
+        "--speculate",
+        metavar="FACTOR[:QUANTILE]",
+        help="append a speculation sweep over the paper solvers: backup "
+        "attempts launch once a task runs FACTOR times past its estimate "
+        "(or past the QUANTILE of completed attempts; e.g. 1.5 or 1.3:0.9)",
+    )
+    ap.add_argument(
+        "--straggler-faults",
+        metavar="SEED:RATE",
+        default="7:0.5",
+        help="straggler plan of the --speculate sweep (default 7:0.5, "
+        "i.e. straggler rate 0.25)",
+    )
+    ap.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        help="run one functional IRK step under a write-ahead journal + "
+        "checkpoint store rooted at DIR",
+    )
+    ap.add_argument(
+        "--resume",
+        action="store_true",
+        help="with --checkpoint-dir: resume from the journal, skipping "
+        "already-completed tasks",
+    )
     args = ap.parse_args(argv)
 
-    # --faults alone runs just the sweep; combine with --only for both
-    if args.faults and not args.only:
+    # a sweep/recovery flag alone runs just that; combine with --only for both
+    if (args.faults or args.speculate or args.checkpoint_dir) and not args.only:
         selected = []
     else:
         selected = args.only or sorted(ARTEFACTS)
@@ -155,6 +192,38 @@ def main(argv: List[str] = None) -> int:
         print(f"({time.time() - t0:.1f}s)\n")
         if args.out:
             (args.out / "faults.txt").write_text(text + "\n")
+    if args.speculate:
+        from .speculation_sweep import run_speculation_sweep
+
+        t0 = time.time()
+        print("### speculation " + "#" * 49)
+        text = run_speculation_sweep(
+            args.speculate, args.straggler_faults, args.quick
+        ).table_str()
+        print(text)
+        print(f"({time.time() - t0:.1f}s)\n")
+        if args.out:
+            (args.out / "speculation.txt").write_text(text + "\n")
+    if args.checkpoint_dir:
+        from ..ode import MethodConfig, bruss2d
+        from ..recovery import parse_speculation_spec
+        from .recovery_run import run_checkpointed_step
+
+        policy = parse_speculation_spec(args.speculate) if args.speculate else None
+        _, rec = run_checkpointed_step(
+            bruss2d(120 if args.quick else 250),
+            MethodConfig("irk", K=4, m=3),
+            args.checkpoint_dir,
+            resume=args.resume,
+            speculation=policy,
+        )
+        print("### recovery " + "#" * 52)
+        print(
+            f"checkpointed IRK step in {args.checkpoint_dir}: "
+            f"{rec['tasks_executed']} tasks executed, "
+            f"{rec['resumed_tasks']} resumed from journal, "
+            f"{rec['checkpoint_bytes']} checkpoint bytes"
+        )
     if args.trace_out:
         path = export_traces(selected, args.quick, args.trace_out)
         print(f"wrote trace-event JSON for {len(selected)} artefact run(s) to {path}")

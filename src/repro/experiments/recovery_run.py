@@ -1,0 +1,89 @@
+"""Journaled functional solver runs (the ``--checkpoint-dir`` CLI path).
+
+Shared by ``python -m repro.obs`` and ``python -m repro.experiments``:
+one time step of a solver's functional M-task program executes under a
+write-ahead :class:`~repro.recovery.RunJournal` backed by a
+content-addressed :class:`~repro.recovery.CheckpointStore`.  Killing the
+process mid-step leaves a consistent journal; re-running with
+``resume=True`` skips the journaled tasks, restores their outputs and
+yields a run bit-identical to an uninterrupted one (the determinism the
+kill-and-resume chaos job asserts).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from ..faults.plan import FaultPlan
+from ..faults.retry import RetryPolicy
+from ..ode.problems import ODEProblem
+from ..ode.programs import MethodConfig, build_ode_program
+from ..recovery import CheckpointStore, RunJournal, SpeculationPolicy, Supervisor
+from ..runtime.executor import RunResult, run_program
+
+__all__ = ["run_checkpointed_step"]
+
+
+def run_checkpointed_step(
+    problem: ODEProblem,
+    cfg: MethodConfig,
+    checkpoint_dir,
+    resume: bool = False,
+    speculation: Optional[SpeculationPolicy] = None,
+    supervisor: Optional[Supervisor] = None,
+    faults: Optional[FaultPlan] = None,
+    retry: Optional[RetryPolicy] = None,
+    crash_after: Optional[int] = None,
+) -> Tuple[RunResult, Dict[str, Any]]:
+    """Run one functional time step under a write-ahead journal.
+
+    The program's upper (initialisation) graph runs journal-free to
+    produce the step's live-in variables -- it is deterministic, so both
+    the original and the resumed process reconstruct the same input
+    store, which the journal header digests verify.  Returns the step's
+    :class:`~repro.runtime.RunResult` and a flat summary dict (tasks
+    executed/resumed, checkpoint bytes, speculation wins/losses) for CLI
+    reporting.  ``crash_after`` forwards the journal's deterministic
+    kill switch to chaos tests.
+    """
+    build = build_ode_program(problem, cfg, functional=True)
+    composed = build.composed_nodes()
+    if len(composed) != 1:
+        raise ValueError("expected exactly one time-stepping loop")
+    loop = composed[0]
+    body = build.body_of(loop)
+    params = {p.name for p in loop.params}
+    sol = next((c for c in ("eta", "eta_k", "y") if c in params), "eta")
+    inputs: Dict[str, np.ndarray] = {sol: problem.y0}
+    for p in loop.params:
+        if p.mode.reads and p.name not in inputs:
+            inputs[p.name] = np.zeros(p.elements)
+    store = dict(run_program(build.graph, inputs).variables)
+
+    root = Path(checkpoint_dir)
+    journal = RunJournal(
+        root / "journal.jsonl", store=CheckpointStore(root), crash_after=crash_after
+    )
+    run = run_program(
+        body,
+        store,
+        journal=journal,
+        resume=resume,
+        speculation=speculation,
+        supervisor=supervisor,
+        faults=faults,
+        retry=retry,
+    )
+    summary: Dict[str, Any] = {
+        "tasks_executed": run.stats.tasks_executed,
+        "resumed_tasks": run.stats.resumed_tasks,
+        "checkpoint_bytes": run.stats.checkpoint_bytes,
+        "speculation_wins": sum(1 for s in run.stats.speculations if s.win),
+        "speculation_losses": sum(1 for s in run.stats.speculations if not s.win),
+    }
+    if run.stats.cancel_reason:
+        summary["cancelled"] = run.stats.cancel_reason
+    return run, summary

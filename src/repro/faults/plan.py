@@ -129,13 +129,20 @@ class FaultPlan:
         """Does attempt ``attempt`` (0-based) of ``task`` fail?"""
         return attempt < self.failures_of(task)
 
-    def slowdown(self, task: str) -> float:
-        """Straggler factor of ``task`` (``>= 1.0``; 1.0 = full speed)."""
-        if task in self.slowdowns:
+    def slowdown(self, task: str, attempt: int = 0) -> float:
+        """Straggler factor of ``task`` (``>= 1.0``; 1.0 = full speed).
+
+        ``attempt`` distinguishes speculative backup attempts: attempt 0
+        (the primary) keeps the historical ``(seed, "slow", task)``
+        stream -- bit-identical to the pre-speculation draws -- while
+        attempt ``a >= 1`` draws from its own per-attempt stream, so a
+        backup of a straggler may itself be slow, deterministically.
+        """
+        if attempt == 0 and task in self.slowdowns:
             return self.slowdowns[task]
         if self.slowdown_rate <= 0:
             return 1.0
-        rng = self._stream("slow", task)
+        rng = self._stream("slow", task if attempt == 0 else f"{task}#b{attempt}")
         if rng.random() >= self.slowdown_rate:
             return 1.0
         return 1.0 + rng.random() * (self.max_slowdown - 1.0)
@@ -161,26 +168,57 @@ class FaultPlan:
         return out
 
 
+def _spec_int(spec: str, field: str, raw: str) -> int:
+    """``raw`` as an integer, or a one-line error naming the bad field."""
+    try:
+        return int(raw)
+    except ValueError:
+        raise ValueError(
+            f"fault spec {spec!r}: {field} must be an integer, got {raw!r}"
+        ) from None
+
+
 def parse_faults_spec(spec: str) -> FaultPlan:
     """Parse the ``SEED:RATE[:LAYER:NODES]`` CLI fault spec.
 
     ``SEED`` seeds the plan, ``RATE`` is the task failure rate (also used
     as the straggler rate at half strength), and the optional
     ``LAYER:NODES`` pair adds a permanent node loss before ``LAYER``.
+
+    Every malformed field raises a one-line :class:`ValueError` naming
+    the offending field, so CLI users see a message instead of a
+    traceback: out-of-range rates, non-integer seed/layer/node counts
+    and trailing garbage are all rejected.
     """
     parts = spec.split(":")
     if len(parts) not in (2, 4):
         raise ValueError(
             f"fault spec {spec!r} must be SEED:RATE or SEED:RATE:LAYER:NODES"
         )
+    seed = _spec_int(spec, "seed", parts[0])
     try:
-        seed = int(parts[0])
         rate = float(parts[1])
-    except ValueError as exc:
-        raise ValueError(f"bad fault spec {spec!r}: {exc}") from None
+    except ValueError:
+        raise ValueError(
+            f"fault spec {spec!r}: rate must be a number, got {parts[1]!r}"
+        ) from None
+    if not 0.0 <= rate <= 1.0:
+        raise ValueError(
+            f"fault spec {spec!r}: rate must be in [0, 1], got {rate:g}"
+        )
     core_loss = None
     if len(parts) == 4:
-        core_loss = CoreLoss(after_layer=int(parts[2]), nodes=int(parts[3]))
+        layer = _spec_int(spec, "layer", parts[2])
+        nodes = _spec_int(spec, "nodes", parts[3])
+        if layer < 0:
+            raise ValueError(
+                f"fault spec {spec!r}: layer must be >= 0, got {layer}"
+            )
+        if nodes < 1:
+            raise ValueError(
+                f"fault spec {spec!r}: nodes must be >= 1, got {nodes}"
+            )
+        core_loss = CoreLoss(after_layer=layer, nodes=nodes)
     return FaultPlan(
         seed=seed,
         failure_rate=rate,

@@ -8,6 +8,7 @@ and which executor (simulator or functional runtime) asks.
 
 from __future__ import annotations
 
+import math
 import random
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
@@ -50,6 +51,11 @@ class RetryPolicy:
     backoff / backoff_factor / jitter:
         Delay before retry ``a`` is ``backoff * backoff_factor**a``
         scaled by a uniform factor in ``[1 - jitter, 1 + jitter]``.
+    max_delay:
+        Hard cap on any single backoff delay.  The exponential
+        ``backoff * backoff_factor**attempt`` grows without bound (and
+        overflows to ``inf`` for large attempt numbers); every delay is
+        clamped to ``max_delay`` after jitter is applied.
     seed:
         Seeds the jitter streams (see module docstring).
     """
@@ -59,6 +65,7 @@ class RetryPolicy:
     backoff: float = 0.001
     backoff_factor: float = 2.0
     jitter: float = 0.1
+    max_delay: float = 60.0
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -70,22 +77,32 @@ class RetryPolicy:
             raise ValueError("backoff must be >= 0 and backoff_factor >= 1")
         if not 0.0 <= self.jitter < 1.0:
             raise ValueError("jitter must be in [0, 1)")
+        if not (self.max_delay > 0 and math.isfinite(self.max_delay)):
+            raise ValueError("max_delay must be positive and finite")
 
     @property
     def max_attempts(self) -> int:
         return 1 + self.max_retries
 
     def delay(self, task: str, attempt: int) -> float:
-        """Backoff delay before retrying ``task`` after attempt ``attempt``."""
+        """Backoff delay before retrying ``task`` after attempt ``attempt``.
+
+        Never exceeds :attr:`max_delay`, whatever the attempt number.
+        """
         if attempt < 0:
             raise ValueError("attempt must be >= 0")
-        base = self.backoff * self.backoff_factor ** attempt
+        try:
+            base = self.backoff * self.backoff_factor ** attempt
+        except OverflowError:
+            base = self.max_delay
+        if not math.isfinite(base):
+            base = self.max_delay
         if self.jitter <= 0 or base <= 0:
-            return base
+            return min(base, self.max_delay)
         u = random.Random(f"{self.seed}:{task}:{attempt}").uniform(
             -self.jitter, self.jitter
         )
-        return base * (1.0 + u)
+        return min(base * (1.0 + u), self.max_delay)
 
 
 @dataclass(frozen=True)
@@ -114,6 +131,9 @@ class FailureRecord:
             out["error"] = self.error
         if self.cause:
             out["cause"] = self.cause
-        if self.backoff_seconds:
+        # emitted whenever retries happened: a retried task with zero
+        # accumulated backoff ("no backoff configured") must stay
+        # distinguishable from a record where the field is simply absent
+        if self.backoff_seconds or self.attempts > 1:
             out["backoff_seconds"] = self.backoff_seconds
         return out

@@ -14,8 +14,10 @@ Four subcommands make pipeline runs inspectable and gate regressions:
   benchmark regression gate.
 
 Run specifications are shared by ``export``/``report``/``gantt``: an ODE
-solver (``--solver irk``), a platform (``--platform chic --cores 64``)
-and a problem size (``--n 200``).
+solver (``--solver irk``), a platform (``--platform chic --cores 64``),
+a problem size (``--n 200``), plus optional fault injection
+(``--faults``), speculative straggler mitigation (``--speculate``) and a
+journaled functional run (``--checkpoint-dir`` / ``--resume``).
 """
 
 from __future__ import annotations
@@ -57,6 +59,7 @@ LOWER_IS_BETTER = (
     "task_seconds_p99",
     "task_retries_total",
     "degraded_makespan",
+    "speculation_losses",
 )
 #: metric name suffixes where a *decrease* past the threshold regresses
 HIGHER_IS_BETTER = (
@@ -66,6 +69,10 @@ HIGHER_IS_BETTER = (
     "gsearch_evaluation_reduction",
     "busy_fraction",
     "utilization",
+    "speculation_wins",
+    # listed here (checked before the generic ``_seconds`` -> lower
+    # fallback) so --include-wall diffs orient it correctly
+    "speculation_saved_seconds",
 )
 #: wall-clock metrics, too noisy for a gate unless explicitly included
 WALL_CLOCK_SUFFIXES = ("_seconds",)
@@ -112,6 +119,26 @@ def _add_run_arguments(ap: argparse.ArgumentParser) -> None:
         "optionally losing NODES nodes before layer LAYER "
         "(e.g. --faults 7:0.2 or --faults 7:0.2:1:2)",
     )
+    ap.add_argument(
+        "--speculate",
+        metavar="FACTOR[:QUANTILE]",
+        help="speculative straggler mitigation: launch a backup attempt "
+        "once a task runs FACTOR times past its estimate (or past the "
+        "QUANTILE of completed attempts), first finisher wins "
+        "(e.g. --speculate 1.5 or --speculate 1.3:0.9)",
+    )
+    ap.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        help="additionally run one *functional* solver step under a "
+        "write-ahead journal + checkpoint store rooted at DIR",
+    )
+    ap.add_argument(
+        "--resume",
+        action="store_true",
+        help="with --checkpoint-dir: resume from the journal, skipping "
+        "already-completed tasks",
+    )
 
 
 def _run_spec(args) -> Tuple[Dict[str, Any], Any, Any]:
@@ -133,11 +160,17 @@ def _run_spec(args) -> Tuple[Dict[str, Any], Any, Any]:
     cost = CostModel(platform)
     cfg = MethodConfig(args.solver, **SOLVER_CFGS[args.solver])
     strategy = consecutive() if args.mapping == "consecutive" else scattered()
-    options = SimulationOptions()
+    faults = None
     if getattr(args, "faults", None):
         from ..faults import parse_faults_spec
 
-        options = SimulationOptions(faults=parse_faults_spec(args.faults))
+        faults = parse_faults_spec(args.faults)
+    speculation = None
+    if getattr(args, "speculate", None):
+        from ..recovery import parse_speculation_spec
+
+        speculation = parse_speculation_spec(args.speculate)
+    options = SimulationOptions(faults=faults, speculation=speculation)
     result = ode_pipeline(
         bruss2d(n),
         cfg,
@@ -157,7 +190,41 @@ def _run_spec(args) -> Tuple[Dict[str, Any], Any, Any]:
     }
     if getattr(args, "faults", None):
         spec["faults"] = args.faults
+    if getattr(args, "speculate", None):
+        spec["speculation"] = args.speculate
+    if getattr(args, "checkpoint_dir", None):
+        from ..experiments.recovery_run import run_checkpointed_step
+
+        _, recovery = run_checkpointed_step(
+            bruss2d(n),
+            cfg,
+            args.checkpoint_dir,
+            resume=args.resume,
+            speculation=speculation,
+        )
+        spec["checkpoint_dir"] = args.checkpoint_dir
+        spec["resume"] = bool(args.resume)
+        spec["recovery"] = recovery
     return spec, result, cost
+
+
+def _print_recovery(spec: Dict[str, Any]) -> None:
+    rec = spec.get("recovery")
+    if not rec:
+        return
+    line = (
+        f"recovery: {rec['tasks_executed']} tasks executed, "
+        f"{rec['resumed_tasks']} resumed from journal, "
+        f"{rec['checkpoint_bytes']} checkpoint bytes"
+    )
+    if rec.get("speculation_wins") or rec.get("speculation_losses"):
+        line += (
+            f", speculation {rec['speculation_wins']} win(s) / "
+            f"{rec['speculation_losses']} loss(es)"
+        )
+    if rec.get("cancelled"):
+        line += f", cancelled: {rec['cancelled']}"
+    print(line)
 
 
 # ----------------------------------------------------------------------
@@ -167,6 +234,7 @@ def _cmd_export(args) -> int:
     from .perfetto import pipeline_trace, write_trace
 
     spec, result, _ = _run_spec(args)
+    _print_recovery(spec)
     doc = pipeline_trace(result)
     path = write_trace(args.out, doc)
     print(f"wrote {len(doc['traceEvents'])} trace events to {path}")
@@ -199,7 +267,8 @@ def _cmd_report(args) -> int:
                 f"{analysis.get('critical_path_share', 0.0) * 100:.2f} %"
             )
         return 0
-    _, result, _ = _run_spec(args)
+    spec, result, _ = _run_spec(args)
+    _print_recovery(spec)
     print(result.report())
     print()
     print(result.analysis().report(per_core=args.per_core))
@@ -209,7 +278,8 @@ def _cmd_report(args) -> int:
 def _cmd_gantt(args) -> int:
     from .gantt import render_layers, render_trace
 
-    _, result, cost = _run_spec(args)
+    spec, result, cost = _run_spec(args)
+    _print_recovery(spec)
     print(render_trace(result.trace, width=args.width, by=args.by))
     if args.layers and result.scheduling.layered is not None:
         print()

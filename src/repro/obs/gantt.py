@@ -60,12 +60,15 @@ def render_trace(
     entries = sorted(trace.entries, key=lambda e: (e.start, e.task.name))
     letters = {e.task: _letter(i) for i, e in enumerate(entries)}
 
+    used = {c for e in entries for c in e.cores} | {
+        c for e in entries for c in getattr(e, "backup_cores", ())
+    }
     if by == "node":
-        keys = sorted({c.node for e in entries for c in e.cores})
+        keys = sorted({c.node for c in used})
         key_of = lambda c: c.node
         label = lambda k: f"node {k:4d}"
     else:
-        keys = sorted({c for e in entries for c in e.cores})
+        keys = sorted(used)
         key_of = lambda c: c
         label = lambda k: f"core {k.label:>7s}"
 
@@ -94,6 +97,15 @@ def render_trace(
                 row[x] = ch
             for x in range(b, min(c_end, width)):
                 row[x] = ch.lower()
+        # speculative backup attempt on its idle cores
+        if getattr(e, "backup_cores", ()):
+            ba = cell(e.backup_start)
+            bb = max(ba + 1, cell(e.finish))
+            for core in e.backup_cores:
+                row = grid[key_of(core)]
+                for x in range(ba, min(bb, width)):
+                    if row[x] == " ":
+                        row[x] = "+"
 
     indent = len(label(keys[0])) if keys else 8
     lines = _axis(span, width, indent)
@@ -105,13 +117,16 @@ def render_trace(
     if legend:
         lines.append("")
         lines.append(
-            "legend (UPPER = comp, lower = comm, ~ = redist wait, ! = fault overhead):"
+            "legend (UPPER = comp, lower = comm, ~ = redist wait, "
+            "! = fault overhead, + = speculative backup):"
         )
         for e in entries[: 2 * 26]:
+            spec = getattr(e, "speculation", "")
             lines.append(
                 f"  {letters[e.task]}  {e.task.name:<24s} "
                 f"[{e.start * 1e3:9.3f}, {e.finish * 1e3:9.3f}] ms  "
                 f"x{len(e.cores)} cores"
+                + (f"  [spec {spec}]" if spec else "")
             )
         if len(entries) > 2 * 26:
             lines.append(f"  ... {len(entries) - 2 * 26} more tasks")

@@ -222,6 +222,11 @@ class ScheduleAnalysis:
     fault_overhead_seconds: Histogram = field(
         default_factory=lambda: Histogram("fault_overhead_seconds")
     )
+    #: speculative-backup outcomes (runs with speculation only; zero for
+    #: other runs so their exports stay unchanged)
+    speculation_wins: int = 0
+    speculation_losses: int = 0
+    speculation_saved_seconds: float = 0.0
 
     # ------------------------------------------------------------------
     @property
@@ -284,6 +289,10 @@ class ScheduleAnalysis:
             out["task_retries_total"] = self.task_retries.total
         if self.fault_overhead_seconds.count:
             out["fault_overhead_seconds"] = self.fault_overhead_seconds.total
+        if self.speculation_wins or self.speculation_losses:
+            out["speculation_wins"] = float(self.speculation_wins)
+            out["speculation_losses"] = float(self.speculation_losses)
+            out["speculation_saved_seconds"] = self.speculation_saved_seconds
         return out
 
     def to_dict(self) -> Dict[str, Any]:
@@ -310,6 +319,17 @@ class ScheduleAnalysis:
                     "fault_overhead_seconds": self.fault_overhead_seconds.to_dict(),
                 }
                 if self.task_retries.count
+                else {}
+            ),
+            **(
+                {
+                    "speculation": {
+                        "wins": self.speculation_wins,
+                        "losses": self.speculation_losses,
+                        "saved_seconds": self.speculation_saved_seconds,
+                    }
+                }
+                if self.speculation_wins or self.speculation_losses
                 else {}
             ),
         }
@@ -347,6 +367,12 @@ class ScheduleAnalysis:
                 f"  fault injection     {int(self.task_retries.total)} retries over "
                 f"{self.task_retries.count} tasks, "
                 f"{self.fault_overhead_seconds.total:.4g} s overhead"
+            )
+        if self.speculation_wins or self.speculation_losses:
+            lines.append(
+                f"  speculation         {self.speculation_wins} wins / "
+                f"{self.speculation_losses} losses, "
+                f"{self.speculation_saved_seconds:.4g} s saved"
             )
         if per_core:
             lines.append("  per-core usage:")
@@ -448,6 +474,12 @@ def analyze(result) -> ScheduleAnalysis:
             analysis.fault_overhead_seconds.observe(
                 getattr(e, "fault_overhead", 0.0)
             )
+        spec = getattr(e, "speculation", "")
+        if spec == "win":
+            analysis.speculation_wins += 1
+            analysis.speculation_saved_seconds += e.speculation_saved
+        elif spec == "loss":
+            analysis.speculation_losses += 1
     if graph is not None:
         analysis.critical_path = _critical_path(graph, trace)
     if layered is not None:

@@ -119,7 +119,10 @@ def execution_trace_events(
     """
     tracks = _core_tracks(trace.machine)
     entries = sorted(trace.entries, key=lambda e: (e.start, e.task.name))
-    used_cores = sorted({c for e in entries for c in e.cores})
+    used_cores = sorted(
+        {c for e in entries for c in e.cores}
+        | {c for e in entries for c in getattr(e, "backup_cores", ())}
+    )
     used_nodes = sorted({c.node for c in used_cores})
 
     events: List[Dict[str, Any]] = []
@@ -146,8 +149,11 @@ def execution_trace_events(
         # failed attempts + backoff precede the successful attempt, so the
         # fault slice leads and comp/comm tile the rest of [start, finish]
         overhead = getattr(e, "fault_overhead", 0.0)
-        comp_start = e.start + overhead
-        comp_end = comp_start + e.comp_time
+        spec = getattr(e, "speculation", "")
+        # a winning backup cancels the primary at the backup's finish, so
+        # every primary slice is clamped to [start, finish]
+        comp_start = min(e.start + overhead, e.finish)
+        comp_end = min(comp_start + e.comp_time, e.finish)
         args = {
             "width": len(e.cores),
             "comp_time": e.comp_time,
@@ -158,10 +164,13 @@ def execution_trace_events(
             args["retries"] = e.retries
         if overhead > 0:
             args["fault_overhead"] = overhead
+        if spec:
+            args["speculation"] = spec
+            args["primary_finish"] = e.primary_finish
         for c in e.cores:
             pid, tid = tracks[c]
             pid += pid_offset
-            if overhead > 0:
+            if overhead > 0 and comp_start > e.start:
                 events.append(
                     {
                         "ph": "X",
@@ -170,7 +179,7 @@ def execution_trace_events(
                         "pid": pid,
                         "tid": tid,
                         "ts": e.start * MICROS,
-                        "dur": overhead * MICROS,
+                        "dur": (comp_start - e.start) * MICROS,
                         "args": args,
                     }
                 )
@@ -216,6 +225,22 @@ def execution_trace_events(
                     }
                 )
                 wait_cores.add(c)
+        # speculative backup attempt on its idle cores, threshold to finish
+        for c in getattr(e, "backup_cores", ()):
+            pid, tid = tracks[c]
+            pid += pid_offset
+            events.append(
+                {
+                    "ph": "X",
+                    "name": f"{e.task.name} (backup)",
+                    "cat": "speculation",
+                    "pid": pid,
+                    "tid": tid,
+                    "ts": e.backup_start * MICROS,
+                    "dur": (e.finish - e.backup_start) * MICROS,
+                    "args": args,
+                }
+            )
     for core in sorted(wait_cores):
         pid, tid = tracks[core]
         events.append(
@@ -319,6 +344,10 @@ def pipeline_trace(result, *, flows: bool = True) -> Dict[str, Any]:
     }
     if result.meta.get("faults"):
         other["faults"] = result.meta["faults"]
+    if result.meta.get("speculation"):
+        other["speculation"] = result.meta["speculation"]
+        if result.trace is not None:
+            other["speculation_summary"] = result.trace.speculation_summary()
     if reschedule is not None:
         other["reschedule"] = reschedule.summary()
     return {

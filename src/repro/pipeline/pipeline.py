@@ -32,6 +32,7 @@ from ..faults.retry import RetryPolicy
 from ..mapping.mapper import place_result
 from ..mapping.strategies import MappingStrategy, consecutive
 from ..obs import Instrumentation
+from ..recovery.speculation import SpeculationPolicy
 from ..scheduling.base import Scheduler, SchedulingResult
 from ..scheduling.chains import contract_chains
 from ..sim.executor import SimulationOptions, simulate
@@ -85,6 +86,9 @@ class SchedulingPipeline:
     cache: bool = True
     faults: Optional[FaultPlan] = None
     retry: Optional[RetryPolicy] = None
+    #: speculative straggler mitigation, forwarded to the simulation
+    #: stage (``None`` or a disabled policy keeps it bit-identical)
+    speculation: Optional[SpeculationPolicy] = None
 
     def __post_init__(self) -> None:
         if self.cache and not isinstance(self.scheduler.cost, CachedCostEvaluator):
@@ -116,12 +120,21 @@ class SchedulingPipeline:
         if plan is None and self.options.faults is not None and self.options.faults.enabled:
             plan = self.options.faults
         policy = self.retry if self.retry is not None else self.options.retry
+        spec = self.speculation if self.speculation is not None else self.options.speculation
+        if spec is not None and not spec.enabled:
+            spec = None
         sim_options = self.options
-        if plan is not sim_options.faults or policy is not sim_options.retry:
+        if (
+            plan is not sim_options.faults
+            or policy is not sim_options.retry
+            or spec is not sim_options.speculation
+        ):
             # the core loss is handled by the reschedule stage below, not
             # inside the simulator
             sim_plan = replace(plan, core_loss=None) if plan is not None else None
-            sim_options = replace(self.options, faults=sim_plan, retry=policy)
+            sim_options = replace(
+                self.options, faults=sim_plan, retry=policy, speculation=spec
+            )
         reschedule = None
         with obs.span("pipeline", scheduler=self.scheduler.name):
             # -- stage: chain contraction (for chain-unaware schedulers)
@@ -206,6 +219,8 @@ class SchedulingPipeline:
         meta = {"strategy": self.strategy.name}
         if plan is not None:
             meta["faults"] = plan.to_dict()
+        if spec is not None:
+            meta["speculation"] = spec.to_dict()
         if reschedule is not None:
             meta["reschedule"] = reschedule.summary()
         return PipelineResult(

@@ -1,0 +1,35 @@
+"""Crash-consistent checkpoint/resume and speculative straggler mitigation.
+
+Four pillars, mirroring the tentpole:
+
+* :class:`RunJournal` -- append-only, fsync'd JSONL write-ahead log of
+  task completions (tolerates a torn final record on reload) backed by a
+  content-addressed :class:`CheckpointStore` of output arrays;
+* ``run_program(..., journal=..., resume=True)`` -- completed tasks are
+  skipped, their outputs restored, and the resumed run is bit-identical
+  to an uninterrupted one (fault/retry draws are keyed per
+  ``(task, attempt)``);
+* :class:`SpeculationPolicy` / :class:`SpeculationRecord` -- backup
+  attempts for suspected stragglers, first finisher wins, in both the
+  simulator and the functional runtime;
+* :class:`Supervisor` -- wall-clock deadline / task budget with graceful
+  cancellation into structured partial run results.
+"""
+
+from .checkpoint import CheckpointStore, array_digest
+from .journal import JournalError, JournalMismatch, JournalState, RunJournal
+from .speculation import SpeculationPolicy, SpeculationRecord, parse_speculation_spec
+from .supervisor import Supervisor
+
+__all__ = [
+    "CheckpointStore",
+    "array_digest",
+    "RunJournal",
+    "JournalState",
+    "JournalError",
+    "JournalMismatch",
+    "SpeculationPolicy",
+    "SpeculationRecord",
+    "parse_speculation_spec",
+    "Supervisor",
+]

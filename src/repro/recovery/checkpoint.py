@@ -1,0 +1,91 @@
+"""Content-addressed on-disk storage of task outputs.
+
+A :class:`CheckpointStore` is the bulk-data side of the run journal: the
+journal records *which* tasks completed and the digests of their
+outputs, the store holds the arrays themselves as ``<digest>.npy`` files
+under one directory.  Storage is content-addressed, so re-running a
+deterministic task is a no-op write (same digest, file already present)
+and two runs of the same program share their checkpoints.
+
+Digests are SHA-256 over dtype, shape and raw bytes -- two arrays with
+equal digests are bit-identical, which is what the kill-resume
+determinism guarantee is built on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from pathlib import Path
+from typing import Dict, Tuple
+
+import numpy as np
+
+__all__ = ["array_digest", "CheckpointStore"]
+
+
+def array_digest(arr: np.ndarray) -> str:
+    """SHA-256 digest of an array's dtype, shape and bytes."""
+    a = np.ascontiguousarray(arr)
+    h = hashlib.sha256()
+    h.update(str(a.dtype.str).encode())
+    h.update(str(a.shape).encode())
+    h.update(a.tobytes())
+    return h.hexdigest()
+
+
+class CheckpointStore:
+    """Directory of content-addressed ``.npy`` checkpoint files."""
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+        #: bytes physically written by this instance (repeat puts of the
+        #: same content cost nothing)
+        self.bytes_written = 0
+        #: digest -> payload bytes for everything this instance touched
+        self._sizes: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def _path(self, digest: str) -> Path:
+        return self.root / f"{digest}.npy"
+
+    def __contains__(self, digest: str) -> bool:
+        return self._path(digest).exists()
+
+    def put(self, arr: np.ndarray) -> Tuple[str, int]:
+        """Store ``arr``; returns ``(digest, nbytes)``.
+
+        The write goes through a temporary file renamed into place, so a
+        crash mid-write never leaves a truncated checkpoint under its
+        final name.
+        """
+        digest = array_digest(arr)
+        path = self._path(digest)
+        nbytes = int(np.asarray(arr).nbytes)
+        if not path.exists():
+            self.root.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_suffix(".tmp")
+            with open(tmp, "wb") as fh:
+                np.save(fh, np.ascontiguousarray(arr))
+                fh.flush()
+            tmp.replace(path)
+            self.bytes_written += nbytes
+        self._sizes[digest] = nbytes
+        return digest, nbytes
+
+    def get(self, digest: str) -> np.ndarray:
+        """Load the array stored under ``digest``; verifies the content."""
+        path = self._path(digest)
+        if not path.exists():
+            raise KeyError(f"no checkpoint for digest {digest[:12]}...")
+        arr = np.load(path)
+        if array_digest(arr) != digest:
+            raise ValueError(
+                f"checkpoint {path.name} is corrupt: content does not match "
+                "its digest"
+            )
+        return arr
+
+    def __len__(self) -> int:
+        if not self.root.exists():
+            return 0
+        return sum(1 for _ in self.root.glob("*.npy"))

@@ -1,0 +1,76 @@
+"""Run supervision: wall-clock deadlines and task budgets.
+
+A :class:`Supervisor` watches a functional run and, when the deadline or
+budget is exceeded, cancels it *gracefully*: the current task finishes,
+every remaining task is recorded as ``"cancelled"`` in the run's failure
+records, and :func:`~repro.runtime.executor.run_program` returns a
+structured partial :class:`~repro.runtime.executor.RunResult` instead of
+raising.  Combined with a :class:`~repro.recovery.journal.RunJournal`,
+the cancelled run resumes later from exactly where it stopped.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+__all__ = ["Supervisor"]
+
+
+class Supervisor:
+    """Deadline / budget enforcement with graceful cancellation.
+
+    Parameters
+    ----------
+    deadline_seconds:
+        Wall-clock budget measured from :meth:`start` (``None`` = no
+        deadline).
+    task_budget:
+        Maximum number of tasks this run may execute (``None`` = no
+        budget).  Resumed tasks restored from a journal do not count.
+    clock:
+        Injectable clock for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        deadline_seconds: Optional[float] = None,
+        task_budget: Optional[int] = None,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        if deadline_seconds is not None and deadline_seconds <= 0:
+            raise ValueError("deadline_seconds must be positive")
+        if task_budget is not None and task_budget < 1:
+            raise ValueError("task_budget must be >= 1")
+        self.deadline_seconds = deadline_seconds
+        self.task_budget = task_budget
+        self._clock = clock
+        self._t0: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Arm the deadline (idempotent; the runtime calls it once)."""
+        if self._t0 is None:
+            self._t0 = self._clock()
+
+    @property
+    def elapsed(self) -> float:
+        return 0.0 if self._t0 is None else self._clock() - self._t0
+
+    def exceeded(self, tasks_executed: int = 0) -> Optional[str]:
+        """The cancellation reason, or ``None`` while the run may go on."""
+        if (
+            self.deadline_seconds is not None
+            and self._t0 is not None
+            and self.elapsed > self.deadline_seconds
+        ):
+            return (
+                f"deadline exceeded: {self.elapsed:.3g}s > "
+                f"{self.deadline_seconds:g}s"
+            )
+        if self.task_budget is not None and tasks_executed >= self.task_budget:
+            return (
+                f"task budget exhausted: {tasks_executed} >= "
+                f"{self.task_budget}"
+            )
+        return None

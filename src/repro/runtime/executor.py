@@ -28,12 +28,32 @@ either raises (``on_failure="raise"``) or degrades gracefully
 downstream task that needs them is skipped with a ``"skipped"`` record
 instead of crashing the run.  With no plan and no policy the execution
 path is exactly the historical one -- bit-identical results.
+
+Checkpoint / resume
+-------------------
+With a :class:`~repro.recovery.RunJournal`, every task completion is
+appended to a crash-consistent write-ahead log (outputs checkpointed to
+a content-addressed store) *before* the run proceeds.  After a crash,
+``run_program(..., journal=..., resume=True)`` skips the journaled
+prefix, restores its outputs and failure records, and re-executes only
+the rest; because fault/retry draws are keyed per ``(task, attempt)``,
+the resumed run's variables, failures and accounting are bit-identical
+to an uninterrupted one.  Task bodies are assumed pure (no in-place
+mutation of input arrays) -- the same assumption the simulator makes.
+
+A :class:`~repro.recovery.SpeculationPolicy` races a backup attempt
+against any attempt whose effective duration exceeds the policy's
+threshold ("first finisher wins"); a
+:class:`~repro.recovery.Supervisor` enforces a wall-clock deadline or
+task budget, cancelling the remaining tasks gracefully into a
+structured partial :class:`RunResult`.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional, Tuple
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
@@ -43,6 +63,10 @@ from ..distribution import transfer_counts
 from ..faults.plan import FaultPlan
 from ..faults.retry import FailureRecord, InjectedFault, RetryPolicy, TaskTimeout
 from ..obs import Instrumentation
+from ..recovery.checkpoint import array_digest
+from ..recovery.journal import JournalError, JournalMismatch, RunJournal
+from ..recovery.speculation import SpeculationPolicy, SpeculationRecord
+from ..recovery.supervisor import Supervisor
 from .context import RuntimeContext
 
 __all__ = ["RunStats", "RunResult", "run_program"]
@@ -63,6 +87,14 @@ class RunStats:
     retries: int = 0
     #: accumulated backoff delay (accounted, not necessarily slept)
     backoff_seconds: float = 0.0
+    #: tasks restored from the journal instead of re-executed
+    resumed_tasks: int = 0
+    #: bytes newly written to the checkpoint store this run
+    checkpoint_bytes: int = 0
+    #: tasks whose slow attempt raced a speculative backup
+    speculations: List[SpeculationRecord] = field(default_factory=list)
+    #: the supervisor's cancellation reason (``None`` = ran to the end)
+    cancel_reason: Optional[str] = None
 
     def collective_counts(self) -> Dict[str, int]:
         out: Dict[str, int] = {}
@@ -93,6 +125,57 @@ class RunResult:
         """True when at least one task gave up or was skipped."""
         return any(f.action in ("gave_up", "skipped") for f in self.stats.failures)
 
+    @property
+    def partial(self) -> bool:
+        """True when the supervisor cancelled the run before the end."""
+        return self.stats.cancel_reason is not None
+
+
+def _speculate(
+    task: MTask,
+    values: Dict[str, np.ndarray],
+    q: int,
+    eff_primary: float,
+    threshold: float,
+    obs: Instrumentation,
+    faults: Optional[FaultPlan],
+    stats: RunStats,
+) -> float:
+    """Race a backup attempt against a straggling (finished) primary.
+
+    The functional runtime executes sequentially, so the race is
+    accounted rather than concurrent: the backup launches at
+    ``threshold`` and its effective finish is ``threshold + duration``.
+    Both attempts compute identical outputs for pure bodies, so the
+    winner only changes the accounting, never the variables.  Returns
+    the winning effective duration (fed back into the quantile history).
+    """
+    name = task.name
+    backup_ctx = RuntimeContext(name, q)
+    backup_slow = faults.slowdown(name, 1) if faults is not None else 1.0
+    try:
+        with obs.span("task_backup", task=name, q=q) as backup_span:
+            backup_produced = task.func(backup_ctx, values)
+        del backup_produced  # identical for pure bodies; primary's is kept
+        eff_backup = threshold + backup_span.duration * backup_slow
+    except Exception:  # noqa: BLE001 - backup failure is just a lost race
+        eff_backup = -1.0
+    win = 0.0 <= eff_backup < eff_primary
+    stats.speculations.append(
+        SpeculationRecord(
+            task=name,
+            primary_seconds=eff_primary,
+            backup_seconds=eff_backup,
+            win=win,
+        )
+    )
+    if win:
+        obs.count("speculation.wins")
+        obs.observe("speculation.saved_seconds", eff_primary - eff_backup)
+        return eff_backup
+    obs.count("speculation.losses")
+    return eff_primary
+
 
 def _run_attempts(
     task: MTask,
@@ -104,19 +187,29 @@ def _run_attempts(
     retry: Optional[RetryPolicy],
     stats: RunStats,
     sleep: Optional[Callable[[float], None]],
+    speculation: Optional[SpeculationPolicy] = None,
+    history: Optional[List[float]] = None,
 ):
     """Execute one task body under the retry policy.
 
-    Returns ``(produced, failure)``: exactly one is non-``None`` --
-    ``produced`` on success (a ``"recovered"`` record is appended to
-    ``stats`` if earlier attempts failed), ``failure`` when every
-    attempt failed.
+    Returns ``(produced, failure, info)``: exactly one of the first two
+    is non-``None`` -- ``produced`` on success (a ``"recovered"`` record
+    is appended to ``stats`` if earlier attempts failed), ``failure``
+    when every attempt failed.  ``info`` carries the attempt accounting
+    (attempts used, effective seconds, last error, total backoff) for
+    journaling.
     """
     name = task.name
     attempts = retry.max_attempts if retry is not None else 1
     slowdown = faults.slowdown(name) if faults is not None else 1.0
     total_backoff = 0.0
     last_error: Optional[BaseException] = None
+    info: Dict[str, Any] = {
+        "attempts": attempts,
+        "seconds": 0.0,
+        "error": "",
+        "backoff_seconds": 0.0,
+    }
     for attempt in range(attempts):
         meta: Dict[str, object] = {"task": name, "q": q}
         if attempt:
@@ -151,7 +244,21 @@ def _run_attempts(
                         backoff_seconds=total_backoff,
                     )
                 )
-            return produced, None
+            eff_primary = task_span.duration * slowdown
+            if speculation is not None and history is not None:
+                threshold = speculation.threshold(completed=history)
+                if threshold is not None and eff_primary > threshold:
+                    eff_primary = _speculate(
+                        task, values, q, eff_primary, threshold, obs, faults, stats
+                    )
+                history.append(eff_primary)
+            info.update(
+                attempts=attempt + 1,
+                seconds=eff_primary,
+                error=str(last_error) if attempt else "",
+                backoff_seconds=total_backoff,
+            )
+            return produced, None, info
         except Exception as exc:  # noqa: BLE001 - retry boundary
             if retry is None and faults is None:
                 raise
@@ -168,13 +275,27 @@ def _run_attempts(
                 obs.observe("runtime.backoff_seconds", delay)
                 if sleep is not None:
                     sleep(delay)
+    info.update(error=str(last_error), backoff_seconds=total_backoff)
     return None, FailureRecord(
         task=name,
         action="gave_up",
         attempts=attempts,
         error=str(last_error),
         backoff_seconds=total_backoff,
-    )
+    ), info
+
+
+def _check_header(
+    stored: Dict[str, Any], expected: Dict[str, Any], path
+) -> None:
+    """Refuse to resume a journal written by a different run."""
+    for key, want in expected.items():
+        got = stored.get(key)
+        if got != want:
+            raise JournalMismatch(
+                f"journal {path} belongs to a different run: field {key!r} "
+                f"is {got!r}, this run has {want!r}"
+            )
 
 
 def run_program(
@@ -187,6 +308,10 @@ def run_program(
     retry: Optional[RetryPolicy] = None,
     on_failure: str = "raise",
     sleep: Optional[Callable[[float], None]] = None,
+    journal: Optional[RunJournal] = None,
+    resume: bool = False,
+    speculation: Optional[SpeculationPolicy] = None,
+    supervisor: Optional[Supervisor] = None,
 ) -> RunResult:
     """Execute an M-task graph functionally.
 
@@ -222,12 +347,36 @@ def run_program(
     sleep:
         Backoff delays are always *accounted* in the stats; pass a
         callable (e.g. ``time.sleep``) to also really wait.
+    journal:
+        Optional :class:`~repro.recovery.RunJournal`: every task
+        completion (and durable failure) is appended to a crash-
+        consistent write-ahead log, with the output arrays checkpointed
+        to the journal's content-addressed store.
+    resume:
+        With ``True`` and a non-empty ``journal``, completed tasks are
+        restored from it instead of re-executed; the header must match
+        this run (program, input digests, fault/retry configuration) or
+        :class:`~repro.recovery.JournalMismatch` is raised.  With
+        ``False`` a non-empty journal raises rather than silently
+        double-appending.
+    speculation:
+        Optional :class:`~repro.recovery.SpeculationPolicy`: attempts
+        whose effective duration exceeds the policy's threshold race a
+        backup attempt; the first finisher wins (accounting only --
+        variables are identical for pure bodies).
+    supervisor:
+        Optional :class:`~repro.recovery.Supervisor`: when its deadline
+        or task budget is exceeded the remaining tasks are cancelled
+        gracefully into ``"cancelled"`` failure records and a partial
+        result (``RunResult.partial``) is returned.
     """
     if on_failure not in ("raise", "degrade"):
         raise ValueError("on_failure must be 'raise' or 'degrade'")
     obs = obs if obs is not None else Instrumentation()
     if faults is not None and not faults.enabled:
         faults = None
+    if speculation is not None and not speculation.enabled:
+        speculation = None
     store: Dict[str, np.ndarray] = {
         k: np.atleast_1d(np.asarray(v, dtype=float)).copy() for k, v in inputs.items()
     }
@@ -235,14 +384,101 @@ def run_program(
     #: variable name -> task whose give-up made it unavailable
     unavailable: Dict[str, str] = {}
     stats = RunStats()
+    #: effective durations of completed primaries (speculation history)
+    history: Optional[List[float]] = [] if speculation is not None else None
+
+    # --- journal: load the completed prefix, arm the append log ----------
+    completed: Dict[str, Dict[str, Any]] = {}
+    journaled_failures: Dict[str, FailureRecord] = {}
+    if journal is not None:
+        header: Dict[str, Any] = {
+            "graph": graph.name,
+            "tasks": len(graph),
+            "inputs": {k: array_digest(store[k]) for k in sorted(store)},
+            "faults": faults.to_dict() if faults is not None else None,
+            "retry": dataclasses.asdict(retry) if retry is not None else None,
+        }
+        state = journal.load()
+        if not state.empty and not resume:
+            raise JournalError(
+                f"journal {journal.path} is not empty; pass resume=True to "
+                "continue the run it records"
+            )
+        if resume and state.header is not None:
+            _check_header(state.header, header, journal.path)
+        journal.begin(header)
+        if resume:
+            completed = state.completed
+            for f in state.failures():
+                journaled_failures[f.task] = f
 
     def q_of(task: MTask) -> int:
         if group_sizes is not None and task in group_sizes:
             return group_sizes[task]
         return default_group_size
 
+    if supervisor is not None:
+        supervisor.start()
+
     for task in graph.topological_order():
         q = q_of(task)
+        # --- resume: restore the journaled prefix instead of re-running --
+        if task.func is not None and task.name in completed:
+            rec = completed[task.name]
+            q_rec = int(rec.get("q", q))
+            for name, digest in rec["outputs"].items():
+                p = task.param(name)
+                store[name] = journal.store.get(digest)
+                producer_dist[name] = (p.dist.instantiate(p.elements, q_rec), q_rec)
+            stats.tasks_executed += 1
+            stats.resumed_tasks += 1
+            stats.redistributed_bytes += int(rec.get("redist_bytes", 0))
+            if history is not None:
+                history.append(float(rec.get("seconds", 0.0)))
+            attempts = int(rec.get("attempts", 1))
+            if attempts > 1:
+                backoff = float(rec.get("backoff_seconds", 0.0))
+                stats.retries += attempts - 1
+                stats.backoff_seconds += backoff
+                obs.observe("task_retries", attempts - 1)
+                obs.count("faults.retries", attempts - 1)
+                stats.failures.append(
+                    FailureRecord(
+                        task=task.name,
+                        action="recovered",
+                        attempts=attempts,
+                        error=str(rec.get("error", "")),
+                        backoff_seconds=backoff,
+                    )
+                )
+            stats.contexts[task] = RuntimeContext(task.name, q_rec)
+            continue
+        if task.func is not None and task.name in journaled_failures:
+            rec_failure = journaled_failures[task.name]
+            stats.failures.append(rec_failure)
+            obs.count(f"faults.{rec_failure.action}")
+            for p in task.outputs:
+                unavailable.setdefault(p.name, task.name)
+            stats.contexts[task] = RuntimeContext(task.name, q)
+            continue
+        # --- supervisor: cancel the rest once deadline/budget is hit -----
+        if task.func is not None and stats.cancel_reason is None and supervisor is not None:
+            stats.cancel_reason = supervisor.exceeded(
+                stats.tasks_executed - stats.resumed_tasks
+            )
+        if task.func is not None and stats.cancel_reason is not None:
+            stats.failures.append(
+                FailureRecord(
+                    task=task.name,
+                    action="cancelled",
+                    error=stats.cancel_reason,
+                )
+            )
+            obs.count("recovery.cancelled_tasks")
+            for p in task.outputs:
+                unavailable.setdefault(p.name, task.name)
+            stats.contexts[task] = RuntimeContext(task.name, q)
+            continue
         # --- degrade mode: skip tasks whose inputs were lost upstream ----
         skip_cause: Optional[str] = None
         if unavailable:
@@ -251,15 +487,19 @@ def run_program(
                     skip_cause = unavailable[p.name]
                     break
         if skip_cause is not None and task.func is not None:
-            stats.failures.append(
-                FailureRecord(task=task.name, action="skipped", cause=skip_cause)
+            skip_record = FailureRecord(
+                task=task.name, action="skipped", cause=skip_cause
             )
+            stats.failures.append(skip_record)
             obs.count("faults.skipped")
+            if journal is not None:
+                journal.record_failure(skip_record)
             for p in task.outputs:
                 unavailable.setdefault(p.name, task.name)
             stats.contexts[task] = RuntimeContext(task.name, q)
             continue
         # --- collect inputs, accounting re-distribution ------------------
+        redist_before = stats.redistributed_bytes
         values: Dict[str, np.ndarray] = {}
         for p in task.params:
             if not p.mode.reads:
@@ -283,12 +523,19 @@ def run_program(
         env = task.meta.get("env", {})
         ctx = RuntimeContext(task.name, q, env=dict(env) if isinstance(env, dict) else {})
         if task.func is not None:
-            produced, failure = _run_attempts(
-                task, ctx, values, q, obs, faults, retry, stats, sleep
+            n_spec_before = len(stats.speculations)
+            produced, failure, info = _run_attempts(
+                task, ctx, values, q, obs, faults, retry, stats, sleep,
+                speculation, history,
             )
+            if journal is not None:
+                for srec in stats.speculations[n_spec_before:]:
+                    journal.record_speculation(srec.to_dict())
             if failure is not None:
                 stats.failures.append(failure)
                 obs.count("faults.gave_up")
+                if journal is not None:
+                    journal.record_failure(failure)
                 if on_failure == "raise":
                     raise RuntimeError(
                         f"task {task.name!r} failed after {failure.attempts} "
@@ -326,6 +573,17 @@ def run_program(
                 store[name] = out
                 producer_dist[name] = (p.dist.instantiate(p.elements, q), q)
             stats.tasks_executed += 1
+            if journal is not None:
+                journal.record_completion(
+                    task.name,
+                    {name: store[name] for name in produced},
+                    attempts=info["attempts"],
+                    seconds=info["seconds"],
+                    redist_bytes=stats.redistributed_bytes - redist_before,
+                    q=q,
+                    error=info["error"],
+                    backoff_seconds=info["backoff_seconds"],
+                )
         stats.contexts[task] = ctx
     obs.count("runtime.tasks_executed", stats.tasks_executed)
     obs.count("runtime.redistributed_bytes", stats.redistributed_bytes)
@@ -334,6 +592,19 @@ def run_program(
         tasks=stats.tasks_executed,
         redistributed_bytes=stats.redistributed_bytes,
     )
+    if journal is not None:
+        stats.checkpoint_bytes = journal.store.bytes_written
+        obs.count("recovery.resume_skipped_tasks", stats.resumed_tasks)
+        obs.count("recovery.checkpoint_bytes", stats.checkpoint_bytes)
+    if stats.speculations:
+        obs.record(
+            "run_speculation",
+            speculated=len(stats.speculations),
+            wins=sum(1 for s in stats.speculations if s.win),
+            losses=sum(1 for s in stats.speculations if not s.win),
+        )
+    if stats.cancel_reason is not None:
+        obs.record("run_cancelled", reason=stats.cancel_reason)
     if stats.failures:
         obs.record(
             "run_failures",

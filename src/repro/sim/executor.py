@@ -24,6 +24,7 @@ iteration count is configurable for the contention ablation.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from dataclasses import replace as replace_entry
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..cluster.architecture import CoreId
@@ -36,6 +37,7 @@ from ..core.task import MTask
 from ..faults.plan import FaultPlan
 from ..faults.retry import RetryPolicy
 from ..obs import Instrumentation
+from ..recovery.speculation import SpeculationPolicy
 from .engine import CoreResource, Simulator
 from .trace import ExecutionTrace, TraceEntry
 
@@ -64,6 +66,13 @@ class SimulationOptions:
     #: injected failure count exceeds ``max_retries`` is charged its
     #: retried attempts only -- give-up semantics live in the runtime.
     retry: Optional[RetryPolicy] = None
+    #: speculative straggler mitigation: a dispatched task whose charged
+    #: duration exceeds the policy's threshold (factor x the clean
+    #: cost-model estimate, or factor x a quantile of durations already
+    #: dispatched) launches a backup attempt on idle cores at the
+    #: threshold; the first finisher wins and the loser is cancelled.
+    #: ``None`` or a disabled policy leaves the simulation bit-identical.
+    speculation: Optional[SpeculationPolicy] = None
 
 
 def _phase_edges(task: MTask, cores: Sequence[CoreId]):
@@ -133,6 +142,11 @@ def simulate(
             obs.count("faults.retries", e.retries)
         if e.fault_overhead > 0:
             obs.observe("sim.fault_overhead_seconds", e.fault_overhead)
+        if e.speculation == "win":
+            obs.count("speculation.wins")
+            obs.observe("speculation.saved_seconds", e.speculation_saved)
+        elif e.speculation == "loss":
+            obs.count("speculation.losses")
     obs.record("simulate", tasks=len(trace), makespan=trace.makespan)
     return trace
 
@@ -154,6 +168,13 @@ def _run_once(
     policy = options.retry
     if plan is not None and policy is None:
         policy = RetryPolicy()
+    spec = (
+        options.speculation
+        if options.speculation is not None and options.speculation.enabled
+        else None
+    )
+    #: effective durations already dispatched (speculation quantile base)
+    done_durations: List[float] = []
     # program version: task parallel iff any task leaves cores to others
     is_tp = any(
         len(placement.cores_of(t)) < machine.total_cores for t in graph
@@ -190,6 +211,7 @@ def _run_once(
                 all_cores=placement.all_cores,
                 task_parallel_program=is_tp,
             )
+            comp_clean = comp
             retries = 0
             overhead = 0.0
             if plan is not None:
@@ -219,7 +241,79 @@ def _run_once(
                     fault_overhead=overhead,
                 )
             )
-            sim.at(finish, lambda t=t: complete(t))
+            # --- speculative backup for suspected stragglers -------------
+            # The race is decided when the virtual clock actually reaches
+            # the straggler threshold: by then every competing task that
+            # became ready earlier has booked its cores, so the backup can
+            # only grab cores that are genuinely idle -- not cores a
+            # sibling is about to run on.  Costs are deterministic, so the
+            # whole race then resolves in one event: the first finisher
+            # wins, the loser is cancelled at the winner's finish.
+            threshold = (
+                spec.threshold(estimate=comp_clean + comm, completed=done_durations)
+                if spec is not None
+                else None
+            )
+            if threshold is not None and dur > threshold:
+                sim.at(
+                    start + threshold,
+                    lambda t=t, tcores=tcores, start=start, cc=comp_clean,
+                    comm=comm, pf=finish: try_backup(t, tcores, start, cc, comm, pf),
+                )
+            else:
+                if spec is not None:
+                    done_durations.append(dur)
+                sim.at(finish, lambda t=t: complete(t))
+
+    def try_backup(
+        t: MTask,
+        tcores: Sequence[CoreId],
+        start: float,
+        comp_clean: float,
+        comm: float,
+        primary_finish: float,
+    ) -> None:
+        bstart = sim.now
+        taken = set(tcores)
+        idle = [
+            c
+            for c in machine.cores()
+            if c not in taken and cores[c].free_from <= bstart + 1e-12
+        ]
+        if len(idle) < len(tcores):
+            # no room for a backup; the straggler just runs to the end
+            done_durations.append(primary_finish - start)
+            sim.at(primary_finish, lambda: complete(t))
+            return
+        backup_cores = tuple(idle[: len(tcores)])
+        backup_slow = plan.slowdown(t.name, 1) if plan is not None else 1.0
+        backup_finish = bstart + comp_clean * backup_slow + comm
+        if backup_finish < primary_finish:
+            kind = "win"
+            finish = backup_finish
+            # reclaim the cancelled primary's tail on every core where its
+            # booking is still the last one
+            for c in tcores:
+                if cores[c].free_from == primary_finish:
+                    cores[c].busy_time -= primary_finish - finish
+                    cores[c].free_from = finish
+        else:
+            kind = "loss"
+            finish = primary_finish
+        for c in backup_cores:
+            cores[c].book(bstart, finish - bstart)
+        trace.replace(
+            replace_entry(
+                trace[t],
+                finish=finish,
+                speculation=kind,
+                backup_cores=backup_cores,
+                backup_start=bstart,
+                primary_finish=primary_finish,
+            )
+        )
+        done_durations.append(finish - start)
+        sim.at(finish, lambda: complete(t))
 
     def complete(t: MTask) -> None:
         t_finish = sim.now

@@ -26,10 +26,30 @@ class TraceEntry:
     retries: int = 0
     #: seconds of failed attempts + backoff included in the duration
     fault_overhead: float = 0.0
+    #: speculative backup outcome: ``""`` (none), ``"win"`` or ``"loss"``
+    speculation: str = ""
+    #: idle cores the backup attempt ran on
+    backup_cores: Tuple[CoreId, ...] = ()
+    #: launch time of the backup attempt (straggler threshold past start)
+    backup_start: float = 0.0
+    #: when the primary attempt would have finished without the backup
+    primary_finish: float = 0.0
 
     @property
     def duration(self) -> float:
         return self.finish - self.start
+
+    @property
+    def backup_duration(self) -> float:
+        """Core-seconds span the backup attempt occupied (0 without one)."""
+        return self.finish - self.backup_start if self.backup_cores else 0.0
+
+    @property
+    def speculation_saved(self) -> float:
+        """Makespan seconds the winning backup shaved off this task."""
+        return (
+            self.primary_finish - self.finish if self.speculation == "win" else 0.0
+        )
 
 
 @dataclass
@@ -53,6 +73,14 @@ class ExecutionTrace:
         if entry.task in self._index():
             raise ValueError(f"task {entry.task.name!r} traced twice")
         self.entries.append(entry)
+        self._by_task[entry.task] = entry
+
+    def replace(self, entry: TraceEntry) -> None:
+        """Swap the recorded entry of ``entry.task`` (speculation updates)."""
+        old = self._index().get(entry.task)
+        if old is None:
+            raise KeyError(f"task {entry.task.name!r} not traced yet")
+        self.entries[self.entries.index(old)] = entry
         self._by_task[entry.task] = entry
 
     def __getitem__(self, task: MTask) -> TraceEntry:
@@ -87,7 +115,10 @@ class ExecutionTrace:
         if span <= 0:
             return 0.0
         area = span * self.machine.total_cores
-        busy = sum(e.duration * len(e.cores) for e in self.entries)
+        busy = sum(
+            e.duration * len(e.cores) + e.backup_duration * len(e.backup_cores)
+            for e in self.entries
+        )
         return busy / area
 
     def per_node_busy(self) -> Dict[int, float]:
@@ -95,6 +126,8 @@ class ExecutionTrace:
         for e in self.entries:
             for c in e.cores:
                 busy[c.node] = busy.get(c.node, 0.0) + e.duration
+            for c in e.backup_cores:
+                busy[c.node] = busy.get(c.node, 0.0) + e.backup_duration
         return busy
 
     def per_core_busy(self) -> Dict[CoreId, float]:
@@ -103,6 +136,8 @@ class ExecutionTrace:
         for e in self.entries:
             for c in e.cores:
                 busy[c] = busy.get(c, 0.0) + e.duration
+            for c in e.backup_cores:
+                busy[c] = busy.get(c, 0.0) + e.backup_duration
         return busy
 
     def idle_time(self, core: Optional[CoreId] = None) -> float:
@@ -113,6 +148,14 @@ class ExecutionTrace:
         if core is not None:
             return span - busy.get(core, 0.0)
         return span * self.machine.total_cores - sum(busy.values())
+
+    def speculation_summary(self) -> Dict[str, float]:
+        """Win/loss counts and saved makespan seconds of backup attempts."""
+        return {
+            "wins": sum(1 for e in self.entries if e.speculation == "win"),
+            "losses": sum(1 for e in self.entries if e.speculation == "loss"),
+            "saved_seconds": sum(e.speculation_saved for e in self.entries),
+        }
 
     def gantt_lines(self, width: int = 72, by_node: bool = True) -> List[str]:
         """Coarse ASCII Gantt chart of the trace.

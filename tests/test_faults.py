@@ -136,6 +136,33 @@ class TestFaultPlan:
         d = p.to_dict()
         assert d["core_loss"] == {"after_layer": 1, "nodes": 2}
 
+    @pytest.mark.parametrize(
+        "spec, field",
+        [
+            ("7:1.5", "rate"),  # out of range
+            ("7:-0.1", "rate"),
+            ("7:nope", "rate"),
+            ("x:0.2", "seed"),
+            ("2.5:0.2", "seed"),  # non-integer seed
+            ("7:0.2:one:2", "layer"),
+            ("7:0.2:1.5:2", "layer"),
+            ("7:0.2:1:two", "nodes"),
+            ("7:0.2:-1:2", "layer"),  # negative layer
+            ("7:0.2:1:0", "nodes"),  # zero nodes
+        ],
+    )
+    def test_parse_spec_names_bad_field(self, spec, field):
+        with pytest.raises(ValueError) as exc:
+            parse_faults_spec(spec)
+        message = str(exc.value)
+        assert field in message and spec in message
+        assert "\n" not in message  # one-line, CLI-friendly
+
+    @pytest.mark.parametrize("spec", ["7", "7:0.2:1", "7:0.2:1:2:junk", ""])
+    def test_parse_spec_rejects_wrong_shape(self, spec):
+        with pytest.raises(ValueError, match="SEED:RATE"):
+            parse_faults_spec(spec)
+
 
 # ----------------------------------------------------------------------
 # RetryPolicy
@@ -167,6 +194,47 @@ class TestRetryPolicy:
             RetryPolicy(jitter=1.0)
         with pytest.raises(ValueError):
             RetryPolicy(backoff_factor=0.5)
+
+    def test_max_delay_caps_growth_and_overflow(self):
+        r = RetryPolicy(backoff=1.0, backoff_factor=10.0, jitter=0.0, max_delay=5.0)
+        assert r.delay("t", 0) == 1.0
+        assert r.delay("t", 1) == 5.0  # 10.0 clamped
+        # attempt numbers where backoff_factor**attempt overflows float
+        assert r.delay("t", 10_000) == 5.0
+        assert math.isfinite(r.delay("t", 10_000))
+        # jitter never pushes a delay past the cap either
+        j = RetryPolicy(backoff=1.0, backoff_factor=10.0, jitter=0.3, max_delay=5.0)
+        for a in (1, 2, 50, 10_000):
+            assert j.delay("t", a) <= 5.0
+
+    def test_max_delay_validation(self):
+        with pytest.raises(ValueError, match="max_delay"):
+            RetryPolicy(max_delay=0.0)
+        with pytest.raises(ValueError, match="max_delay"):
+            RetryPolicy(max_delay=-1.0)
+        with pytest.raises(ValueError, match="max_delay"):
+            RetryPolicy(max_delay=math.inf)
+
+
+# ----------------------------------------------------------------------
+# satellite: FailureRecord.to_dict backoff emission
+# ----------------------------------------------------------------------
+class TestFailureRecordDict:
+    def test_backoff_emitted_whenever_retries_happened(self):
+        from repro.faults import FailureRecord
+
+        # retried with zero accumulated backoff: field still present,
+        # distinguishable from "absent"
+        rec = FailureRecord("t", "recovered", attempts=3, backoff_seconds=0.0)
+        assert rec.to_dict()["backoff_seconds"] == 0.0
+        rec = FailureRecord("t", "gave_up", attempts=2, backoff_seconds=0.5)
+        assert rec.to_dict()["backoff_seconds"] == 0.5
+
+    def test_backoff_absent_for_single_attempt(self):
+        from repro.faults import FailureRecord
+
+        single = FailureRecord("t", "skipped", attempts=1)
+        assert "backoff_seconds" not in single.to_dict()
 
 
 # ----------------------------------------------------------------------
@@ -433,6 +501,44 @@ class TestRescheduleOnCoreLoss:
         base = self._pipeline(platform).run(diamond_mgraph())
         loss = CoreLoss(after_layer=1, nodes=platform.machine.num_nodes)
         with pytest.raises(ValueError, match="node"):
+            reschedule_on_core_loss(
+                base.graph,
+                base.scheduling.layered,
+                base.trace,
+                platform,
+                consecutive(),
+                loss,
+            )
+
+    def test_loss_before_first_layer_reschedules_everything(self):
+        platform = chic().with_cores(32)
+        plan = FaultPlan(core_loss=CoreLoss(after_layer=0, nodes=1))
+        res = self._pipeline(platform, faults=plan).run(diamond_mgraph())
+        assert res.reschedule is not None and res.reschedule.rescheduled
+        assert res.reschedule.cut == 0
+        assert res.reschedule.prefix_makespan == 0.0
+        # every task re-ran on the reduced platform
+        assert {e.task.name for e in res.trace.entries} == {"a", "b", "c", "d"}
+        per_node = platform.machine.cores_per_node(0)
+        assert res.reschedule.reduced_platform.total_cores == 32 - per_node
+
+    def test_loss_of_all_but_one_node_still_completes(self):
+        platform = chic().with_cores(32)
+        nodes = platform.machine.num_nodes
+        plan = FaultPlan(core_loss=CoreLoss(after_layer=1, nodes=nodes - 1))
+        base = self._pipeline(platform).run(diamond_mgraph())
+        res = self._pipeline(platform, faults=plan).run(diamond_mgraph())
+        assert res.reschedule is not None and res.reschedule.rescheduled
+        per_node = platform.machine.cores_per_node(0)
+        assert res.reschedule.reduced_platform.total_cores == per_node
+        assert {e.task.name for e in res.trace.entries} == {"a", "b", "c", "d"}
+        assert res.makespan >= base.makespan
+
+    def test_losing_more_than_available_raises_cleanly(self):
+        platform = chic().with_cores(32)
+        base = self._pipeline(platform).run(diamond_mgraph())
+        loss = CoreLoss(after_layer=1, nodes=platform.machine.num_nodes + 3)
+        with pytest.raises(ValueError, match="nothing left"):
             reschedule_on_core_loss(
                 base.graph,
                 base.scheduling.layered,
