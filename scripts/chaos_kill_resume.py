@@ -64,15 +64,27 @@ def main(argv=None) -> int:
     ap.add_argument("--n", type=int, default=40, help="BRUSS2D N (default 40)")
     ap.add_argument("--crash-after", type=int, default=5,
                     help="task records committed before the injected crash")
+    ap.add_argument("--backend", default="serial",
+                    metavar="serial|pool[:WORKERS]",
+                    help="execution backend of every run (crash included); "
+                    "the resumed pool run must stay bit-identical to the "
+                    "serial reference (default: serial)")
     ap.add_argument("--crash-child", action="store_true",
                     help=argparse.SUPPRESS)  # internal: the process that dies
     args = ap.parse_args(argv)
     problem = bruss2d(args.n)
 
+    from repro.runtime.backends import parse_backend_spec  # noqa: E402
+
+    def backend():
+        # a fresh instance per run: pool backends hold worker processes
+        return parse_backend_spec(args.backend)
+
     if args.crash_child:
         run_checkpointed_step(
             problem, CFG, args.workdir / "chaos",
             faults=PLAN, retry=RETRY, crash_after=args.crash_after,
+            backend=backend(),
         )
         # the chaos hook must have killed us before getting here
         print("ERROR: crash hook never fired", file=sys.stderr)
@@ -80,7 +92,8 @@ def main(argv=None) -> int:
 
     args.workdir.mkdir(parents=True, exist_ok=True)
 
-    # 1. uninterrupted reference run
+    # 1. uninterrupted reference run (always serial: the pool run must
+    #    reproduce the serial outcome bit-for-bit)
     ref_run, _ = run_checkpointed_step(
         problem, CFG, args.workdir / "reference", faults=PLAN, retry=RETRY
     )
@@ -92,7 +105,8 @@ def main(argv=None) -> int:
     proc = subprocess.run(
         [sys.executable, str(Path(__file__).resolve()),
          "--workdir", str(args.workdir), "--n", str(args.n),
-         "--crash-after", str(args.crash_after), "--crash-child"],
+         "--crash-after", str(args.crash_after),
+         "--backend", args.backend, "--crash-child"],
     )
     if proc.returncode != 137:
         print(f"ERROR: crash child exited {proc.returncode}, expected 137",
@@ -109,7 +123,7 @@ def main(argv=None) -> int:
     # 3. resume and compare bit-for-bit
     res_run, summary = run_checkpointed_step(
         problem, CFG, args.workdir / "chaos",
-        resume=True, faults=PLAN, retry=RETRY,
+        resume=True, faults=PLAN, retry=RETRY, backend=backend(),
     )
     resumed = summarize(res_run)
     if summary["resumed_tasks"] != args.crash_after:

@@ -152,9 +152,11 @@ class Machine:
         return sum(self.node_shapes[node])
 
     def cores_per_proc(self, node: int = 0, proc: int = 0) -> int:
+        """Cores of one processor of one node."""
         return self.node_shapes[node][proc]
 
     def procs_per_node(self, node: int = 0) -> int:
+        """Number of processors on one node."""
         return len(self.node_shapes[node])
 
     def cores(self) -> Tuple[CoreId, ...]:
@@ -172,6 +174,7 @@ class Machine:
         )
 
     def validate_core(self, core: CoreId) -> None:
+        """Raise if ``core`` does not exist on this platform."""
         if core not in self:
             raise ValueError(f"core {core.label} does not exist on {self.name}")
 

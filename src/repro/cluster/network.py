@@ -84,6 +84,7 @@ class HierarchicalNetwork:
             object.__setattr__(self, "nic_bandwidth", self.levels[2].bandwidth)
 
     def level(self, lvl: int) -> LinkLevel:
+        """Link parameters of communication level ``lvl``."""
         if not 0 <= lvl < len(self.levels):
             raise ValueError(f"invalid communication level {lvl}")
         return self.levels[lvl]
@@ -115,6 +116,7 @@ class HierarchicalNetwork:
         return max(range(len(betas)), key=betas.__getitem__)
 
     def describe(self) -> str:
+        """Render the level table as text."""
         rows = []
         for i, lv in enumerate(self.levels):
             rows.append(

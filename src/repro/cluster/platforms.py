@@ -65,6 +65,7 @@ class Platform:
         return replace(self, machine=self.machine.subset(nodes))
 
     def describe(self) -> str:
+        """Describe the machine and its network levels."""
         return f"{self.machine}\n{self.network.describe()}"
 
 

@@ -38,9 +38,11 @@ class ContentionContext:
     in_per_node: Dict[int, int] = field(default_factory=dict)
 
     def out_count(self, node: int) -> int:
+        """Concurrent outgoing transfers at ``node`` (at least 1)."""
         return max(1, self.out_per_node.get(node, 0))
 
     def in_count(self, node: int) -> int:
+        """Concurrent incoming transfers at ``node`` (at least 1)."""
         return max(1, self.in_per_node.get(node, 0))
 
     @staticmethod

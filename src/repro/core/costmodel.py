@@ -330,6 +330,7 @@ class CacheStats:
         return self.requests / m if m else float("inf") if self.total_hits else 1.0
 
     def to_dict(self) -> Dict[str, object]:
+        """Export hit/miss counters per evaluation kind."""
         return {
             "hits": dict(self.hits),
             "misses": dict(self.misses),
@@ -385,26 +386,31 @@ class CachedCostEvaluator:
         return value
 
     def sequential_time(self, task: MTask) -> float:
+        """Memoized ``CostModel.sequential_time``."""
         return self._memo(
             ("sequential_time", task), lambda: self.model.sequential_time(task)
         )
 
     def tcomp(self, task: MTask, q: int) -> float:
         # same arithmetic as CostModel.tcomp, on the memoized Tcomp(M)
+        """Memoized compute term Tcomp(M)/q."""
         if q <= 0:
             raise ValueError("q must be positive")
         return self.sequential_time(task) / q
 
     def tcomm_symbolic(self, task: MTask, q: int) -> float:
+        """Memoized symbolic communication term."""
         return self._memo(
             ("tcomm_symbolic", task, q), lambda: self.model.tcomm_symbolic(task, q)
         )
 
     def tsymb(self, task: MTask, q: int) -> float:
+        """Memoized symbolic total cost Tsymb(M, q)."""
         return self._memo(("tsymb", task, q), lambda: self.model.tsymb(task, q))
 
     def best_symbolic_width(self, task: MTask, max_q: int) -> int:
         # re-implemented over the memoized tsymb so every probe is cached
+        """Width minimising the memoized Tsymb over allowed q."""
         lo = task.min_procs
         hi = task.clamp_procs(max_q)
         best_q, best_t = lo, self.tsymb(task, lo)
@@ -417,6 +423,7 @@ class CachedCostEvaluator:
     def redistribution_time_symbolic(
         self, flows: Sequence[DataFlow], q_src: int, q_dst: int
     ) -> float:
+        """Memoized symbolic redistribution bound."""
         key = ("redistribution_time_symbolic", tuple(flows), q_src, q_dst)
         return self._memo(
             key, lambda: self.model.redistribution_time_symbolic(flows, q_src, q_dst)
@@ -428,6 +435,7 @@ class CachedCostEvaluator:
         src_cores: Sequence[CoreId],
         dst_cores: Sequence[CoreId],
     ) -> float:
+        """Mapped redistribution cost (delegated, not memoized)."""
         key = (
             "redistribution_time",
             tuple(flows),

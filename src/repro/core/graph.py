@@ -49,6 +49,7 @@ class TaskGraph:
     # Construction
     # ------------------------------------------------------------------
     def add_task(self, task: MTask) -> MTask:
+        """Add a task node (idempotent; duplicate names are errors)."""
         if task in self._g:
             return task
         if task.name in self._by_name:
@@ -58,6 +59,7 @@ class TaskGraph:
         return task
 
     def add_tasks(self, tasks: Iterable[MTask]) -> None:
+        """Add several task nodes."""
         for t in tasks:
             self.add_task(t)
 
@@ -139,16 +141,19 @@ class TaskGraph:
         return self._g.number_of_edges()
 
     def task(self, name: str) -> MTask:
+        """Look up a task by name."""
         try:
             return self._by_name[name]
         except KeyError:
             raise KeyError(f"no task named {name!r} in graph {self.name!r}") from None
 
     def edges(self) -> Iterator[Tuple[MTask, MTask, List[DataFlow]]]:
+        """Iterate over ``(producer, consumer, flows)`` edges."""
         for u, v, data in self._g.edges(data=True):
             yield u, v, data["flows"]
 
     def flows(self, producer: MTask, consumer: MTask) -> List[DataFlow]:
+        """Return the data flows on the edge producer -> consumer."""
         if not self._g.has_edge(producer, consumer):
             raise KeyError(
                 f"no edge {producer.name!r} -> {consumer.name!r} in graph {self.name!r}"
@@ -156,24 +161,31 @@ class TaskGraph:
         return list(self._g.edges[producer, consumer]["flows"])
 
     def predecessors(self, task: MTask) -> Tuple[MTask, ...]:
+        """Direct predecessors of ``task``."""
         return tuple(self._g.predecessors(task))
 
     def successors(self, task: MTask) -> Tuple[MTask, ...]:
+        """Direct successors of ``task``."""
         return tuple(self._g.successors(task))
 
     def sources(self) -> Tuple[MTask, ...]:
+        """Tasks with no predecessors."""
         return tuple(t for t in self._g.nodes if self._g.in_degree(t) == 0)
 
     def sinks(self) -> Tuple[MTask, ...]:
+        """Tasks with no successors."""
         return tuple(t for t in self._g.nodes if self._g.out_degree(t) == 0)
 
     def topological_order(self) -> List[MTask]:
+        """Tasks in a topological order."""
         return list(nx.topological_sort(self._g))
 
     def ancestors(self, task: MTask) -> Set[MTask]:
+        """All transitive predecessors of ``task``."""
         return set(nx.ancestors(self._g, task))
 
     def descendants(self, task: MTask) -> Set[MTask]:
+        """All transitive successors of ``task``."""
         return set(nx.descendants(self._g, task))
 
     def independent(self, a: MTask, b: MTask) -> bool:
@@ -213,12 +225,14 @@ class TaskGraph:
         return path
 
     def total_work(self) -> float:
+        """Sum of the sequential work of all tasks (flop)."""
         return sum(t.work for t in self._g.nodes)
 
     # ------------------------------------------------------------------
     # Derived graphs
     # ------------------------------------------------------------------
     def copy(self, name: Optional[str] = None) -> "TaskGraph":
+        """Shallow-copy the graph (tasks are shared, structure is not)."""
         out = TaskGraph(name or self.name)
         out._g = self._g.copy()
         out._by_name = dict(self._by_name)

@@ -73,6 +73,7 @@ class Schedule:
             self.add(e)
 
     def add(self, entry: ScheduledTask) -> None:
+        """Record one scheduled task (each task at most once)."""
         if entry.task in self._by_task:
             raise ValueError(f"task {entry.task.name!r} scheduled twice")
         for c in entry.cores:
@@ -182,6 +183,7 @@ class Layer:
         return [t for g in self.groups for t in g]
 
     def group_of(self, task: MTask) -> int:
+        """Index of the group within its layer that runs ``task``."""
         for l, g in enumerate(self.groups):
             if task in g:
                 return l
@@ -223,9 +225,11 @@ class LayeredSchedule:
         return self.expansion.get(task, [task])
 
     def all_original_tasks(self) -> List[MTask]:
+        """All original (pre-clustering) tasks in layer order."""
         return [m for layer in self.layers for t in layer.tasks for m in self.expand(t)]
 
     def describe(self) -> str:
+        """Human-readable multi-line summary of the schedule."""
         lines = [f"LayeredSchedule on {self.nprocs} cores, {self.num_layers} layers"]
         for i, layer in enumerate(self.layers):
             lines.append(f" layer {i}: {layer.num_groups} groups, sizes {layer.group_sizes}")
@@ -254,15 +258,18 @@ class Placement:
     all_cores: Optional[Tuple[CoreId, ...]] = None
 
     def cores_of(self, task: MTask) -> Tuple[CoreId, ...]:
+        """Physical cores assigned to ``task``."""
         try:
             return self.task_cores[task]
         except KeyError:
             raise KeyError(f"task {task.name!r} has no placement") from None
 
     def width(self, task: MTask) -> int:
+        """Number of cores assigned to ``task``."""
         return len(self.cores_of(task))
 
     def validate(self, graph: TaskGraph) -> None:
+        """Check the mapping covers the graph consistently."""
         for t in graph:
             cores = self.cores_of(t)
             if len(set(cores)) != len(cores):

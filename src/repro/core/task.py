@@ -216,6 +216,7 @@ class MTask:
 
     # ------------------------------------------------------------------
     def param(self, name: str) -> Parameter:
+        """Look up a parameter by name."""
         for p in self.params:
             if p.name == name:
                 return p

@@ -61,6 +61,7 @@ class Distribution1D:
         raise NotImplementedError
 
     def local_size(self, rank: int) -> int:
+        """Number of elements owned by ``rank``."""
         return len(self.local_indices(rank))
 
     def _check_rank(self, rank: int) -> None:
@@ -86,14 +87,17 @@ class BlockCyclic(Distribution1D):
             raise ValueError("block_size must be positive")
 
     def owners(self) -> np.ndarray:
+        """Owning rank of every global index."""
         return (np.arange(self.size) // self.block_size) % self.nprocs
 
     def local_indices(self, rank: int) -> np.ndarray:
+        """Global indices owned by ``rank``."""
         self._check_rank(rank)
         idx = np.arange(self.size)
         return idx[(idx // self.block_size) % self.nprocs == rank]
 
     def local_size(self, rank: int) -> int:
+        """Number of elements owned by ``rank`` (closed form)."""
         self._check_rank(rank)
         full_rounds, rem = divmod(self.size, self.block_size * self.nprocs)
         count = full_rounds * self.block_size
@@ -141,13 +145,16 @@ class Replicated(Distribution1D):
         return True
 
     def owners(self) -> np.ndarray:
+        """Replicated data has no unique owner; raises ``TypeError``."""
         raise TypeError("a replicated distribution has no unique owners")
 
     def local_indices(self, rank: int) -> np.ndarray:
+        """Every rank holds all indices."""
         self._check_rank(rank)
         return np.arange(self.size)
 
     def local_size(self, rank: int) -> int:
+        """Every rank holds all elements."""
         self._check_rank(rank)
         return self.size
 
@@ -197,6 +204,7 @@ class MeshDistribution:
         return flat.reshape(-1)
 
     def local_size(self, rank: int) -> int:
+        """Number of elements owned by ``rank``."""
         if not 0 <= rank < self.nprocs:
             raise ValueError(f"rank {rank} out of range [0, {self.nprocs})")
         coord = np.unravel_index(rank, self.mesh)

@@ -30,7 +30,9 @@ and backup win/loss counts (see
 ``--checkpoint-dir DIR`` runs one *functional* solver step under a
 write-ahead journal + checkpoint store rooted at ``DIR``; with
 ``--resume`` the journaled tasks are skipped and their outputs restored
-(see :mod:`repro.experiments.recovery_run`).
+(see :mod:`repro.experiments.recovery_run`).  ``--backend pool[:W]``
+executes that step on a forked process pool instead of in-process (see
+:mod:`repro.runtime.backends`).
 """
 
 from __future__ import annotations
@@ -112,6 +114,7 @@ def export_traces(selected: List[str], quick: bool, path: Path) -> Path:
 
 
 def main(argv: List[str] = None) -> int:
+    """CLI entry point; returns the process exit code."""
     ap = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Regenerate the paper's tables and figures.",
@@ -163,6 +166,14 @@ def main(argv: List[str] = None) -> int:
         help="with --checkpoint-dir: resume from the journal, skipping "
         "already-completed tasks",
     )
+    ap.add_argument(
+        "--backend",
+        metavar="serial|pool[:WORKERS]",
+        default="serial",
+        help="execution backend of the --checkpoint-dir functional step: "
+        "'serial' (default) or 'pool' for a forked process pool, "
+        "optionally with a worker count (e.g. pool:4)",
+    )
     args = ap.parse_args(argv)
 
     # a sweep/recovery flag alone runs just that; combine with --only for both
@@ -209,6 +220,8 @@ def main(argv: List[str] = None) -> int:
         from ..recovery import parse_speculation_spec
         from .recovery_run import run_checkpointed_step
 
+        from ..runtime.backends import parse_backend_spec
+
         policy = parse_speculation_spec(args.speculate) if args.speculate else None
         _, rec = run_checkpointed_step(
             bruss2d(120 if args.quick else 250),
@@ -216,10 +229,12 @@ def main(argv: List[str] = None) -> int:
             args.checkpoint_dir,
             resume=args.resume,
             speculation=policy,
+            backend=parse_backend_spec(args.backend),
         )
         print("### recovery " + "#" * 52)
         print(
-            f"checkpointed IRK step in {args.checkpoint_dir}: "
+            f"checkpointed IRK step in {args.checkpoint_dir} "
+            f"({rec.get('backend', 'serial')} backend): "
             f"{rec['tasks_executed']} tasks executed, "
             f"{rec['resumed_tasks']} resumed from journal, "
             f"{rec['checkpoint_bytes']} checkpoint bytes"

@@ -40,6 +40,7 @@ class Series:
     y: List[float]
 
     def min_index(self) -> int:
+        """Index of the smallest y value."""
         return min(range(len(self.y)), key=self.y.__getitem__)
 
 
@@ -54,6 +55,7 @@ class ExperimentResult:
     ylabel: str = "time per step [s]"
 
     def add(self, label: str, y: Sequence[float]) -> None:
+        """Append a named series (must match the x grid length)."""
         if len(y) != len(self.x):
             raise ValueError(
                 f"series {label!r} has {len(y)} points, x axis has {len(self.x)}"
@@ -61,6 +63,7 @@ class ExperimentResult:
         self.series.append(Series(label, list(y)))
 
     def get(self, label: str) -> Series:
+        """Look up a series by label."""
         for s in self.series:
             if s.label == label:
                 return s
@@ -83,6 +86,7 @@ class ExperimentResult:
         return "\n".join(rows) + "\n"
 
     def table_str(self, value_format: str = "{:11.4g}") -> str:
+        """Render all series as an aligned text table."""
         width = max(12, max((len(s.label) for s in self.series), default=12) + 1)
         header = f"{self.xlabel:>{width}} | " + " | ".join(
             f"{s.label:>11s}" for s in self.series

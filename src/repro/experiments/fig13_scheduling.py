@@ -125,6 +125,7 @@ def run_epol_times(
 
 
 def run_fig13(quick: bool = False) -> List[ExperimentResult]:
+    """Run the Fig. 13 scheduling-algorithm comparison."""
     if quick:
         return [
             run_pabm_speedups(cores=(64, 256), N=180),

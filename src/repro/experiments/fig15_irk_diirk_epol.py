@@ -29,6 +29,7 @@ DEFAULT_N_GRID = 500  # BRUSS2D N -> n = 2 N^2 = 500k
 
 
 def run_irk_chic(cores=(64, 128, 256, 512), N: int = DEFAULT_N_GRID) -> ExperimentResult:
+    """IRK sparse Brusselator sweep on the CHiC platform."""
     return mapping_sweep(
         bruss2d(N),
         MethodConfig("irk", K=4, m=7),
@@ -39,6 +40,7 @@ def run_irk_chic(cores=(64, 128, 256, 512), N: int = DEFAULT_N_GRID) -> Experime
 
 
 def run_irk_juropa(cores=(64, 128, 256, 512), N: int = DEFAULT_N_GRID) -> ExperimentResult:
+    """IRK sparse Brusselator sweep on the JUROPA platform."""
     return mapping_sweep(
         bruss2d(N),
         MethodConfig("irk", K=4, m=7),
@@ -85,6 +87,7 @@ def run_epol_juropa(cores: int = 512, N: int = DEFAULT_N_GRID) -> ExperimentResu
 
 
 def run_fig15(quick: bool = False) -> List[ExperimentResult]:
+    """Run all Fig. 15 solver/platform panels."""
     N = 180 if quick else DEFAULT_N_GRID
     cores = (64, 256) if quick else (64, 128, 256, 512)
     fixed = 256 if quick else 512

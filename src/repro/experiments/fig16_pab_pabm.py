@@ -34,6 +34,7 @@ DEFAULT_DENSE_N = 4000
 
 
 def run_pab_chic(cores=(64, 128, 256, 512), N: int = DEFAULT_N_GRID) -> ExperimentResult:
+    """PAB sparse Brusselator sweep on the CHiC platform."""
     return mapping_sweep(
         bruss2d(N),
         MethodConfig("pab", K=8),
@@ -44,6 +45,7 @@ def run_pab_chic(cores=(64, 128, 256, 512), N: int = DEFAULT_N_GRID) -> Experime
 
 
 def run_pab_juropa(cores=(64, 128, 256, 512), N: int = DEFAULT_N_GRID) -> ExperimentResult:
+    """PAB sparse Brusselator sweep on the JUROPA platform."""
     return mapping_sweep(
         bruss2d(N),
         MethodConfig("pab", K=8),
@@ -56,6 +58,7 @@ def run_pab_juropa(cores=(64, 128, 256, 512), N: int = DEFAULT_N_GRID) -> Experi
 def run_pabm_dense_chic(
     cores=(64, 128, 256, 512, 1024), n: int = DEFAULT_DENSE_N
 ) -> ExperimentResult:
+    """PABM dense-ODE sweep on the CHiC platform."""
     return speedup_sweep(
         schroed(n),
         MethodConfig("pabm", K=8, m=2),
@@ -68,6 +71,7 @@ def run_pabm_dense_chic(
 def run_pabm_sparse_juropa(
     cores=(64, 128, 256, 512), N: int = DEFAULT_N_GRID
 ) -> ExperimentResult:
+    """PABM sparse Brusselator sweep on the JUROPA platform."""
     return mapping_sweep(
         bruss2d(N),
         MethodConfig("pabm", K=8, m=2),
@@ -78,6 +82,7 @@ def run_pabm_sparse_juropa(
 
 
 def run_fig16(quick: bool = False) -> List[ExperimentResult]:
+    """Run all four Fig. 16 panels."""
     N = 180 if quick else DEFAULT_N_GRID
     n_dense = 1500 if quick else DEFAULT_DENSE_N
     cores = (64, 256) if quick else (64, 128, 256, 512)

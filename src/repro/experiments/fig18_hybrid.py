@@ -65,6 +65,7 @@ def run_hybrid_panel(
 
 
 def run_fig18(quick: bool = False) -> List[ExperimentResult]:
+    """Run the Fig. 18 hybrid MPI+OpenMP sweep."""
     cores = (64, 256) if quick else (64, 128, 256, 512)
     N = 180 if quick else 500
     return [

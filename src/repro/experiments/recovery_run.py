@@ -37,6 +37,8 @@ def run_checkpointed_step(
     faults: Optional[FaultPlan] = None,
     retry: Optional[RetryPolicy] = None,
     crash_after: Optional[int] = None,
+    backend=None,
+    obs=None,
 ) -> Tuple[RunResult, Dict[str, Any]]:
     """Run one functional time step under a write-ahead journal.
 
@@ -47,7 +49,11 @@ def run_checkpointed_step(
     :class:`~repro.runtime.RunResult` and a flat summary dict (tasks
     executed/resumed, checkpoint bytes, speculation wins/losses) for CLI
     reporting.  ``crash_after`` forwards the journal's deterministic
-    kill switch to chaos tests.
+    kill switch to chaos tests.  ``backend`` selects the
+    :class:`~repro.runtime.backends.ExecutionBackend` of the journaled
+    step (the init graph always runs serially); ``obs`` threads an
+    :class:`~repro.obs.Instrumentation` through it so per-worker spans
+    reach the trace exporter.
     """
     build = build_ode_program(problem, cfg, functional=True)
     composed = build.composed_nodes()
@@ -76,6 +82,8 @@ def run_checkpointed_step(
         supervisor=supervisor,
         faults=faults,
         retry=retry,
+        backend=backend,
+        obs=obs,
     )
     summary: Dict[str, Any] = {
         "tasks_executed": run.stats.tasks_executed,
@@ -84,6 +92,8 @@ def run_checkpointed_step(
         "speculation_wins": sum(1 for s in run.stats.speculations if s.win),
         "speculation_losses": sum(1 for s in run.stats.speculations if not s.win),
     }
+    if backend is not None:
+        summary["backend"] = backend.name
     if run.stats.cancel_reason:
         summary["cancelled"] = run.stats.cancel_reason
     return run, summary

@@ -37,6 +37,7 @@ TABLE1_CONFIGS: List[MethodConfig] = [
 
 @dataclass(frozen=True)
 class Table1Row:
+    """One method/version row of Table 1."""
     method: str
     version: str
     measured: StepCommCounts
@@ -82,6 +83,7 @@ def _fmt(ops: Dict[str, float]) -> str:
 
 
 def format_table1(rows: List[Table1Row]) -> str:
+    """Render Table 1 rows as aligned text."""
     lines = [
         "Table 1: collective operations per ODE time step",
         f"{'benchmark':>12s} | {'global':>28s} | {'group-based':>22s} | "

@@ -149,6 +149,7 @@ class FaultPlan:
 
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
+        """Export the fault plan parameters as a dict."""
         out: Dict[str, Any] = {
             "seed": self.seed,
             "failure_rate": self.failure_rate,

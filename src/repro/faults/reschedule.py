@@ -83,6 +83,7 @@ class RescheduleOutcome:
         return sizes
 
     def summary(self) -> Dict[str, object]:
+        """Export the reschedule outcome as a dict."""
         return {
             "after_layer": self.loss.after_layer,
             "lost_nodes": self.loss.nodes,

@@ -122,6 +122,7 @@ class FailureRecord:
     backoff_seconds: float = 0.0
 
     def to_dict(self) -> Dict[str, Any]:
+        """Export the failure record as a dict."""
         out: Dict[str, Any] = {
             "task": self.task,
             "action": self.action,

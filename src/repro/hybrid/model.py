@@ -121,6 +121,7 @@ class HybridCostModel(CostModel):
         all_cores: Optional[Sequence[CoreId]] = None,
         task_parallel_program: Optional[bool] = None,
     ) -> float:
+        """Mapped communication cost plus thread-synchronisation term."""
         h = self.threads_per_process
         if h == 1:
             return super().tcomm_mapped(

@@ -55,6 +55,7 @@ class NPBConfig:
 
 
 def npb_zone_grid(cfg: NPBConfig) -> ZoneGrid:
+    """Zone grid for the configured benchmark and class."""
     return spmz_zones(cfg.cls) if cfg.benchmark == "SP" else btmz_zones(cfg.cls)
 
 

@@ -84,6 +84,7 @@ class ZoneGrid:
         return len(self.zones)
 
     def zone_at(self, ix: int, iy: int) -> Zone:
+        """Zone at grid position ``(ix, iy)``."""
         return self.zones[iy * self.grid_x + ix]
 
     def neighbours(self, zone: Zone) -> List[Tuple[Zone, str]]:
@@ -102,6 +103,7 @@ class ZoneGrid:
         return out
 
     def total_points(self) -> int:
+        """Total grid points over all zones."""
         return sum(z.points for z in self.zones)
 
     def imbalance(self) -> float:

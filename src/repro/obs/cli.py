@@ -16,8 +16,10 @@ Four subcommands make pipeline runs inspectable and gate regressions:
 Run specifications are shared by ``export``/``report``/``gantt``: an ODE
 solver (``--solver irk``), a platform (``--platform chic --cores 64``),
 a problem size (``--n 200``), plus optional fault injection
-(``--faults``), speculative straggler mitigation (``--speculate``) and a
-journaled functional run (``--checkpoint-dir`` / ``--resume``).
+(``--faults``), speculative straggler mitigation (``--speculate``), a
+journaled functional run (``--checkpoint-dir`` / ``--resume``) and the
+execution backend of that functional run (``--backend serial`` or
+``--backend pool[:WORKERS]``).
 """
 
 from __future__ import annotations
@@ -70,6 +72,8 @@ HIGHER_IS_BETTER = (
     "busy_fraction",
     "utilization",
     "speculation_wins",
+    # pool-vs-serial wall-clock speedup from benchmarks/bench_runtime.py
+    "speedup",
     # listed here (checked before the generic ``_seconds`` -> lower
     # fallback) so --include-wall diffs orient it correctly
     "speculation_saved_seconds",
@@ -139,6 +143,14 @@ def _add_run_arguments(ap: argparse.ArgumentParser) -> None:
         help="with --checkpoint-dir: resume from the journal, skipping "
         "already-completed tasks",
     )
+    ap.add_argument(
+        "--backend",
+        metavar="serial|pool[:WORKERS]",
+        default="serial",
+        help="execution backend of the functional --checkpoint-dir run: "
+        "'serial' (default, in-process) or 'pool' for a forked "
+        "process pool, optionally with a worker count (e.g. pool:4)",
+    )
 
 
 def _run_spec(args) -> Tuple[Dict[str, Any], Any, Any]:
@@ -194,17 +206,22 @@ def _run_spec(args) -> Tuple[Dict[str, Any], Any, Any]:
         spec["speculation"] = args.speculate
     if getattr(args, "checkpoint_dir", None):
         from ..experiments.recovery_run import run_checkpointed_step
+        from ..runtime.backends import parse_backend_spec
 
+        backend_spec = getattr(args, "backend", None) or "serial"
         _, recovery = run_checkpointed_step(
             bruss2d(n),
             cfg,
             args.checkpoint_dir,
             resume=args.resume,
             speculation=speculation,
+            backend=parse_backend_spec(backend_spec),
         )
         spec["checkpoint_dir"] = args.checkpoint_dir
         spec["resume"] = bool(args.resume)
         spec["recovery"] = recovery
+        if backend_spec != "serial":
+            spec["backend"] = backend_spec
     return spec, result, cost
 
 
@@ -390,15 +407,46 @@ def _cmd_diff(args) -> int:
     return 1 if regressions else 0
 
 
+#: shared ``--help`` epilog of the run-spec subcommands; kept in sync
+#: with ``_add_run_arguments`` by ``tests/test_docs_flags.py``
+_RUN_EPILOG = """\
+fault-tolerance and recovery flags:
+  --faults SEED:RATE[:LAYER:NODES]   seeded fault injection
+  --speculate FACTOR[:QUANTILE]      speculative backup attempts
+  --checkpoint-dir DIR               journaled functional step
+  --resume                           resume from that journal
+  --backend serial|pool[:WORKERS]    functional execution backend
+
+examples:
+  python -m repro.obs export --solver irk --quick --faults 7:0.2 -o trace.json
+  python -m repro.obs report --solver pabm --speculate 1.5:0.9
+  python -m repro.obs gantt --solver irk --quick --width 100
+  python -m repro.obs export --quick --checkpoint-dir ckpt --backend pool:4
+"""
+
+_DIFF_EPILOG = """\
+examples:
+  python -m repro.obs diff BENCH_pipeline.json new.json --threshold 1.25
+  python -m repro.obs diff BENCH_runtime.json new_runtime.json --verbose
+  python -m repro.obs diff old_run.json new_run.json --include-wall
+"""
+
+
 # ----------------------------------------------------------------------
 def build_parser() -> argparse.ArgumentParser:
+    """Build the ``python -m repro.obs`` argument parser."""
     ap = argparse.ArgumentParser(
         prog="python -m repro.obs",
         description="Inspect pipeline runs: trace export, analytics, Gantt, diffs.",
     )
     sub = ap.add_subparsers(dest="command", required=True)
 
-    p = sub.add_parser("export", help="run a pipeline and export trace-event JSON")
+    p = sub.add_parser(
+        "export",
+        help="run a pipeline and export trace-event JSON",
+        epilog=_RUN_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
     _add_run_arguments(p)
     p.add_argument("-o", "--out", default="trace.json", help="trace output path")
     p.add_argument(
@@ -406,7 +454,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.set_defaults(func=_cmd_export)
 
-    p = sub.add_parser("report", help="print schedule analytics of a run")
+    p = sub.add_parser(
+        "report",
+        help="print schedule analytics of a run",
+        epilog=_RUN_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
     _add_run_arguments(p)
     p.add_argument("--run", help="report a previously exported run JSON instead")
     p.add_argument(
@@ -414,7 +467,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.set_defaults(func=_cmd_report)
 
-    p = sub.add_parser("gantt", help="ASCII Gantt chart of a run")
+    p = sub.add_parser(
+        "gantt",
+        help="ASCII Gantt chart of a run",
+        epilog=_RUN_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
     _add_run_arguments(p)
     p.add_argument("--width", type=int, default=72, help="chart width in cells")
     p.add_argument("--by", choices=("core", "node"), default="core")
@@ -424,7 +482,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_gantt)
 
     p = sub.add_parser(
-        "diff", help="compare two run/benchmark JSONs; non-zero exit on regression"
+        "diff",
+        help="compare two run/benchmark JSONs; non-zero exit on regression",
+        epilog=_DIFF_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     p.add_argument("old", help="baseline JSON (run export or BENCH_*.json)")
     p.add_argument("new", help="candidate JSON")
@@ -447,6 +508,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
     try:
         return args.func(args)

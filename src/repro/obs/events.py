@@ -48,6 +48,7 @@ class SpanRecord:
     parent_id: Optional[int] = None
 
     def to_dict(self) -> Dict[str, Any]:
+        """Export the span as a JSON-serialisable dict."""
         out: Dict[str, Any] = {
             "name": self.name,
             "id": self.sid,
@@ -103,6 +104,30 @@ class Instrumentation:
             rec.duration = self._clock() - rec.start
             self._stack.pop()
 
+    def emit_span(
+        self, name: str, start: float, duration: float, **meta: Any
+    ) -> SpanRecord:
+        """Append an externally timed span.
+
+        Used for work that ran outside this process (e.g. a
+        :class:`~repro.runtime.backends.ProcessPoolBackend` worker
+        attempt): ``start`` must already be converted into this
+        instrumentation's clock frame.  The span nests under the
+        currently open span, if any, but never opens one itself.
+        """
+        rec = SpanRecord(
+            name=name,
+            start=start,
+            duration=duration,
+            parent=self._stack[-1].name if self._stack else None,
+            meta=dict(meta),
+            sid=self._next_sid,
+            parent_id=self._stack[-1].sid if self._stack else None,
+        )
+        self._next_sid += 1
+        self.spans.append(rec)
+        return rec
+
     def span_seconds(self, name: str) -> float:
         """Total duration of all spans with ``name``."""
         return sum(s.duration for s in self.spans if s.name == name)
@@ -123,6 +148,7 @@ class Instrumentation:
         self.counters[name] = value
 
     def counter(self, name: str, default: float = 0) -> float:
+        """Current value of a counter (``default`` if never bumped)."""
         return self.counters.get(name, default)
 
     # ------------------------------------------------------------------
@@ -156,12 +182,14 @@ class Instrumentation:
         self.records.append(entry)
 
     def records_of(self, kind: str) -> List[Dict[str, Any]]:
+        """All structured records of one kind."""
         return [r for r in self.records if r.get("kind") == kind]
 
     # ------------------------------------------------------------------
     # export
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
+        """Export all spans, counters, and records as a dict."""
         out: Dict[str, Any] = {
             "spans": [s.to_dict() for s in self.spans],
             "counters": dict(self.counters),
@@ -174,6 +202,7 @@ class Instrumentation:
         return out
 
     def to_json(self, indent: Optional[int] = 2) -> str:
+        """Export :meth:`to_dict` as a JSON string."""
         return json.dumps(self.to_dict(), indent=indent, default=str)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -41,6 +41,7 @@ class Histogram:
         self._sorted: Optional[List[float]] = None
 
     def observe(self, value: float) -> None:
+        """Record one sample."""
         self.values.append(float(value))
         self._sorted = None
 
@@ -102,6 +103,7 @@ class Histogram:
     def to_dict(self) -> Dict[str, float]:
         # an empty histogram exports only its count: absent stats cannot
         # be mistaken for observed zeros by downstream diffing
+        """Export count and order statistics (empty: count only)."""
         if not self.values:
             return {"count": 0}
         return {
@@ -130,9 +132,11 @@ class Gauge:
         self.value = float(value)
 
     def set(self, value: float) -> None:
+        """Overwrite the gauge with a new value."""
         self.value = float(value)
 
     def to_dict(self) -> Dict[str, float]:
+        """Export the current value."""
         return {"value": self.value}
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -158,6 +162,7 @@ class CoreUsage:
         return self.busy / span if span > 0 else 0.0
 
     def to_dict(self) -> Dict[str, Any]:
+        """Export per-group utilisation fields as a plain dict."""
         return {
             "label": self.label,
             "busy": self.busy,
@@ -188,6 +193,7 @@ class LayerBalance:
         return max(loads) / mean if mean > 0 else 1.0
 
     def to_dict(self) -> Dict[str, Any]:
+        """Export per-layer fields as a plain dict."""
         return {
             "index": self.index,
             "tasks": self.tasks,
@@ -296,6 +302,7 @@ class ScheduleAnalysis:
         return out
 
     def to_dict(self) -> Dict[str, Any]:
+        """Export the full analysis as a JSON-serialisable dict."""
         return {
             "makespan": self.makespan,
             "total_cores": self.total_cores,

@@ -30,6 +30,7 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 __all__ = [
     "MICROS",
     "span_events",
+    "worker_span_events",
     "execution_trace_events",
     "pipeline_trace",
     "merged_trace",
@@ -42,6 +43,8 @@ MICROS = 1e6
 
 #: pid of the wall-clock (instrumentation span) process
 SPAN_PID = 1
+#: pid of the pool-worker wall-clock process (one tid per worker)
+WORKER_PID = 5
 #: first pid of the simulated per-node processes
 CORE_PID_BASE = 10
 
@@ -64,16 +67,20 @@ def span_events(
 
     All spans live on one thread of ``pid``; because spans strictly nest
     in time, the viewer reconstructs the tree from containment.  Span
-    ids and metadata travel in ``args``.
+    ids and metadata travel in ``args``.  Spans carrying a ``worker``
+    meta key ran concurrently on pool workers -- they would break the
+    single-thread nesting invariant and are rendered separately by
+    :func:`worker_span_events`.
     """
-    if not obs.spans:
+    spans = [s for s in obs.spans if "worker" not in s.meta]
+    if not spans:
         return []
     t0 = min(s.start for s in obs.spans)
     events: List[Dict[str, Any]] = [
         _meta(pid, "process_name", process_name),
         _meta(pid, "thread_name", "stages", tid=1),
     ]
-    for s in obs.spans:
+    for s in spans:
         args: Dict[str, Any] = {"id": s.sid}
         if s.parent_id is not None:
             args["parent_id"] = s.parent_id
@@ -85,6 +92,45 @@ def span_events(
                 "cat": "stage",
                 "pid": pid,
                 "tid": 1,
+                "ts": (s.start - t0) * MICROS,
+                "dur": s.duration * MICROS,
+                "args": args,
+            }
+        )
+    return events
+
+
+def worker_span_events(
+    obs, *, pid: int = WORKER_PID, process_name: str = "pool workers (wall clock)"
+) -> List[Dict[str, Any]]:
+    """Complete events for spans executed on pool workers.
+
+    The :class:`~repro.runtime.backends.ProcessPoolBackend` re-emits
+    every worker attempt as a span whose meta carries the executing
+    ``worker`` id; those spans overlap in time (that is the point of the
+    pool), so they get one *thread per worker* in a dedicated process
+    instead of joining the single nested wall-clock track.  Timestamps
+    share :func:`span_events`' normalisation origin so both processes
+    line up in the viewer.
+    """
+    spans = [s for s in obs.spans if "worker" in s.meta]
+    if not spans:
+        return []
+    t0 = min(s.start for s in obs.spans)
+    workers = sorted({int(s.meta["worker"]) for s in spans})
+    events: List[Dict[str, Any]] = [_meta(pid, "process_name", process_name)]
+    for w in workers:
+        events.append(_meta(pid, "thread_name", f"worker {w}", tid=w + 1))
+    for s in spans:
+        args: Dict[str, Any] = {"id": s.sid}
+        args.update(s.meta)
+        events.append(
+            {
+                "ph": "X",
+                "name": str(s.meta.get("task", s.name)),
+                "cat": "speculation" if s.name == "task_backup" else "worker",
+                "pid": pid,
+                "tid": int(s.meta["worker"]) + 1,
                 "ts": (s.start - t0) * MICROS,
                 "dur": s.duration * MICROS,
                 "args": args,
@@ -315,6 +361,7 @@ def pipeline_trace(result, *, flows: bool = True) -> Dict[str, Any]:
     simulated) its execution trace.
     """
     events = span_events(result.obs)
+    events.extend(worker_span_events(result.obs))
     if result.trace is not None:
         events.extend(execution_trace_events(result.trace, result.graph, flows=flows))
     reschedule = getattr(result, "reschedule", None)
@@ -370,6 +417,7 @@ def merged_trace(named_results: Sequence[Tuple[str, Any]]) -> Dict[str, Any]:
     for i, (name, result) in enumerate(named_results):
         offset = i * 1000
         run_events = span_events(result.obs, pid=SPAN_PID + offset)
+        run_events.extend(worker_span_events(result.obs, pid=WORKER_PID + offset))
         if result.trace is not None:
             run_events.extend(
                 execution_trace_events(result.trace, result.graph, pid_offset=offset)

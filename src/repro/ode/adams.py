@@ -45,6 +45,7 @@ class AdamsBlockMethod:
 
     @classmethod
     def with_stages(cls, K: int) -> "AdamsBlockMethod":
+        """Build the method for ``K`` stage blocks."""
         if K < 1:
             raise ValueError("K must be >= 1")
         c = np.arange(1, K + 1, dtype=float) / K

@@ -42,6 +42,7 @@ class StepCommCounts:
     orthogonal_ops: Dict[str, float] = field(default_factory=dict)
 
     def as_dict(self) -> Dict[str, Dict[str, float]]:
+        """Export per-scope operation counts as nested dicts."""
         return {
             "global": dict(self.global_ops),
             "group": dict(self.group_ops),

@@ -146,4 +146,5 @@ class PipelineResult:
         }
 
     def to_json(self, indent: Optional[int] = 2) -> str:
+        """Export :meth:`to_dict` as a JSON string."""
         return json.dumps(self.to_dict(), indent=indent, default=str)

@@ -299,6 +299,7 @@ class RunJournal:
         self._write(rec)
 
     def close(self) -> None:
+        """Flush and close the journal file."""
         if self._fh is not None:
             self._fh.close()
             self._fh = None

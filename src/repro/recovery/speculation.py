@@ -107,6 +107,7 @@ class SpeculationPolicy:
         return max(self.factor * base, self.min_seconds)
 
     def to_dict(self) -> Dict[str, Any]:
+        """Export the policy parameters as a dict."""
         out: Dict[str, Any] = {"factor": self.factor}
         if self.quantile is not None:
             out["quantile"] = self.quantile
@@ -131,6 +132,7 @@ class SpeculationRecord:
     win: bool
 
     def to_dict(self) -> Dict[str, Any]:
+        """Export the speculation outcome as a dict."""
         return {
             "task": self.task,
             "primary_seconds": self.primary_seconds,

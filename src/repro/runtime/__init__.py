@@ -1,5 +1,12 @@
 """Functional (data-carrying) execution of M-task programs."""
 
+from .backends import (
+    ExecutionBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    independent_batches,
+    parse_backend_spec,
+)
 from .context import CollectiveRecord, RuntimeContext
 from .executor import RunResult, RunStats, run_program
 
@@ -9,4 +16,9 @@ __all__ = [
     "run_program",
     "RunResult",
     "RunStats",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "independent_batches",
+    "parse_backend_spec",
 ]

@@ -1,0 +1,33 @@
+"""Execution backends for the functional runtime.
+
+The executor (:func:`repro.runtime.run_program`) owns run *semantics*;
+an :class:`ExecutionBackend` owns the *mechanics* of running ready task
+bodies.  Two implementations ship: the historical, bit-identical
+:class:`SerialBackend` and the genuinely parallel
+:class:`ProcessPoolBackend`.  See :mod:`repro.runtime.backends.base`
+for the batching invariant the split rests on.
+"""
+
+from .base import (
+    AttemptEvent,
+    ExecutionBackend,
+    RunContext,
+    TaskOutcome,
+    TaskRequest,
+    independent_batches,
+    parse_backend_spec,
+)
+from .pool import ProcessPoolBackend
+from .serial import SerialBackend
+
+__all__ = [
+    "AttemptEvent",
+    "ExecutionBackend",
+    "RunContext",
+    "TaskOutcome",
+    "TaskRequest",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "independent_batches",
+    "parse_backend_spec",
+]

@@ -1,0 +1,224 @@
+"""The execution-backend interface of the functional runtime.
+
+:func:`~repro.runtime.run_program` owns the *semantics* of a run --
+dependency order, data re-distribution accounting, fault/retry handling,
+journaling, speculation, supervision -- and delegates the *mechanics* of
+running ready task bodies to an :class:`ExecutionBackend`:
+
+* :class:`~repro.runtime.backends.serial.SerialBackend` executes every
+  task in-process, one at a time, with accounted (not concurrent)
+  timing -- the historical, bit-identical execution path;
+* :class:`~repro.runtime.backends.pool.ProcessPoolBackend` dispatches
+  each batch of independent tasks to a persistent ``fork``-start
+  ``multiprocessing`` worker pool, moving numpy arrays through
+  ``multiprocessing.shared_memory`` instead of pickling them.
+
+The executor hands the backend *batches*: maximal contiguous runs of the
+graph's topological order in which no task depends on another
+(:func:`independent_batches`).  Because batches are contiguous segments
+of the topological order, committing results in batch order reproduces
+exactly the serial commit order -- journals, failure records and
+variable stores stay bit-identical across backends.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+__all__ = [
+    "RunContext",
+    "TaskRequest",
+    "AttemptEvent",
+    "TaskOutcome",
+    "ExecutionBackend",
+    "independent_batches",
+    "parse_backend_spec",
+]
+
+
+@dataclass
+class RunContext:
+    """Everything a backend needs to know about the current run.
+
+    Built once per :func:`~repro.runtime.run_program` call and passed to
+    :meth:`ExecutionBackend.open`.  ``history`` is the live list of
+    completed effective durations (the speculation quantile history) --
+    the executor appends to it at commit time, the pool backend reads it
+    when deciding whether an outstanding task is straggling.
+    """
+
+    graph: Any
+    obs: Any
+    stats: Any = None
+    faults: Optional[Any] = None
+    retry: Optional[Any] = None
+    speculation: Optional[Any] = None
+    sleep: Optional[Callable[[float], None]] = None
+    history: Optional[List[float]] = None
+
+
+@dataclass
+class TaskRequest:
+    """One ready task the executor wants executed.
+
+    ``values`` maps each read parameter instance to its (already
+    re-distribution-accounted) global array; ``redist_bytes`` is the
+    re-distribution volume charged while collecting them (journaled with
+    the completion record).
+    """
+
+    task: Any
+    ctx: Any
+    values: Dict[str, Any]
+    q: int
+    redist_bytes: int = 0
+
+
+@dataclass
+class AttemptEvent:
+    """Wall-clock record of one attempt executed by a pool worker.
+
+    ``start`` is in the *parent* instrumentation clock frame (the pool
+    backend converts worker-side monotonic stamps before reporting), so
+    the events can be emitted as real spans and rendered as per-worker
+    Perfetto tracks.  ``kind`` is ``"ok"``, ``"injected"``, ``"timeout"``
+    or ``"error"``; ``backoff`` the delay accounted before the next
+    attempt (0.0 for the last one).
+    """
+
+    attempt: int
+    start: float
+    duration: float
+    kind: str = "ok"
+    error: str = ""
+    backoff: float = 0.0
+    worker: Optional[int] = None
+
+
+@dataclass
+class TaskOutcome:
+    """What executing one :class:`TaskRequest` produced.
+
+    Exactly one of ``produced`` / ``failure`` is non-``None``.  ``info``
+    carries the journal accounting (attempts, effective seconds, last
+    error, total backoff).  Backends that executed out-of-process also
+    report the per-attempt wall-clock ``events``, the body's collective
+    ``log`` and an optional ``speculation`` record so the executor can
+    reproduce the serial backend's side effects (counters, histograms,
+    failure records) at commit time; the serial backend applies those
+    effects inline and leaves ``events`` empty.
+    """
+
+    produced: Optional[Dict[str, Any]] = None
+    failure: Optional[Any] = None
+    info: Dict[str, Any] = field(default_factory=dict)
+    events: List[AttemptEvent] = field(default_factory=list)
+    collectives: List[Any] = field(default_factory=list)
+    speculation: Optional[Any] = None
+    worker: Optional[int] = None
+
+
+class ExecutionBackend:
+    """How ready task bodies actually run.
+
+    Lifecycle: ``open(run_context)`` once per run, then one
+    :meth:`run_batch` call per independent batch, then ``close()`` (in a
+    ``finally``; backends must tolerate ``close()`` after errors and
+    double ``close()``).
+    """
+
+    #: short name used by CLIs and run metadata
+    name: str = "backend"
+
+    def open(self, run: RunContext) -> None:
+        """Prepare for a run (fork workers, allocate queues, ...)."""
+
+    def run_batch(
+        self,
+        tasks: List[Any],
+        prepare: Callable[[Any], Optional[TaskRequest]],
+        commit: Callable[[TaskRequest, TaskOutcome], None],
+    ) -> None:
+        """Execute one batch of mutually independent tasks.
+
+        ``prepare(task)`` performs the executor's pre-execution phase
+        (resume restore, skip/cancel decisions, input collection) and
+        returns the :class:`TaskRequest` to run -- or ``None`` when the
+        task needs no execution.  ``commit(request, outcome)`` applies
+        the result.  Backends MUST call ``prepare`` in the given task
+        order and ``commit`` in the same order (the serial commit order);
+        only the execution in between may overlap.
+        """
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release resources; must be idempotent."""
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "ExecutionBackend":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+def independent_batches(graph) -> List[List[Any]]:
+    """Split the topological order into maximal independent segments.
+
+    Returns consecutive slices of ``graph.topological_order()`` such
+    that no task in a slice depends on another task of the same slice.
+    Because every batch is a *contiguous* run of the topological order,
+    a transitive dependency into the current batch always surfaces as a
+    direct predecessor inside it, so checking direct predecessors is
+    sufficient.  Concatenating the batches reproduces the topological
+    order exactly -- the property the cross-backend bit-identity of
+    journals and failure records rests on.
+    """
+    batches: List[List[Any]] = []
+    current: List[Any] = []
+    names: set = set()
+    for task in graph.topological_order():
+        if any(p.name in names for p in graph.predecessors(task)):
+            batches.append(current)
+            current, names = [], set()
+        current.append(task)
+        names.add(task.name)
+    if current:
+        batches.append(current)
+    return batches
+
+
+def parse_backend_spec(spec: str):
+    """Parse the ``serial`` / ``pool[:WORKERS]`` CLI backend spec.
+
+    ``serial`` returns a
+    :class:`~repro.runtime.backends.serial.SerialBackend`; ``pool``
+    a :class:`~repro.runtime.backends.pool.ProcessPoolBackend` with the
+    default worker count, ``pool:4`` one with four workers.  Raises a
+    one-line :class:`ValueError` on anything else.
+    """
+    from .pool import ProcessPoolBackend
+    from .serial import SerialBackend
+
+    parts = spec.split(":")
+    if parts[0] == "serial" and len(parts) == 1:
+        return SerialBackend()
+    if parts[0] == "pool" and len(parts) in (1, 2):
+        workers = None
+        if len(parts) == 2:
+            try:
+                workers = int(parts[1])
+            except ValueError:
+                raise ValueError(
+                    f"backend spec {spec!r}: worker count must be an "
+                    f"integer, got {parts[1]!r}"
+                ) from None
+            if workers < 1:
+                raise ValueError(
+                    f"backend spec {spec!r}: worker count must be >= 1"
+                )
+        return ProcessPoolBackend(workers=workers)
+    raise ValueError(
+        f"backend spec {spec!r} must be 'serial', 'pool' or 'pool:WORKERS'"
+    )

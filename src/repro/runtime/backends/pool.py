@@ -1,0 +1,680 @@
+"""Genuinely parallel execution on a persistent process pool.
+
+:class:`ProcessPoolBackend` dispatches each batch of independent
+M-tasks to a pool of long-lived ``multiprocessing`` workers:
+
+* **fork start method.**  Task bodies are closures defined inside the
+  program builders (e.g. the IRK stage functions), which cannot be
+  pickled; the pool therefore *requires* the ``fork`` start method so
+  workers inherit the task registry -- and with it every body -- from
+  the parent's address space.  On platforms without ``fork`` (Windows,
+  and macOS defaults since Python 3.8) :meth:`ProcessPoolBackend.open`
+  raises with a one-line explanation.
+* **shared-memory transfer.**  Input and output numpy arrays cross the
+  process boundary through ``multiprocessing.shared_memory`` segments
+  instead of being pickled through the queues; only the segment
+  descriptors (name, shape, dtype) travel as messages.  Each segment is
+  registered with the (fork-shared) ``resource_tracker`` exactly once
+  by its creator, attached everywhere else without re-registering (see
+  :func:`_attach`), and unlinked exactly once by the parent -- so the
+  tracker neither double-frees nor complains about unknown names.
+* **deterministic faults.**  Workers inherit the run's
+  :class:`~repro.faults.FaultPlan` and :class:`~repro.faults.RetryPolicy`
+  at fork time; because both draw from per-``(task, attempt)`` seeded
+  streams, injected failures, straggler factors and backoff jitter are
+  identical no matter which worker runs which attempt -- the basis of
+  the serial/pool equivalence guarantee.
+* **commit order.**  Results are gathered asynchronously but committed
+  strictly in the batch's (topological) order, so journals, failure
+  records and variable stores stay bit-identical to the serial backend.
+* **concurrent speculation.**  With a
+  :class:`~repro.recovery.SpeculationPolicy`, the parent watches each
+  outstanding primary; once its wall-clock age exceeds the policy
+  threshold a backup of the same task is dispatched to another worker
+  and the two genuinely race -- first successful arrival supplies the
+  outputs, the loser is discarded on arrival.
+
+Per-attempt wall-clock timings are reported back as
+:class:`~repro.runtime.backends.base.AttemptEvent` records (converted
+into the parent instrumentation's clock frame) and re-emitted by the
+executor as real per-worker spans, which the Perfetto exporter renders
+as one track per worker process.
+
+Caveats: a task body that raises a *real* (non-injected) error with no
+retry policy surfaces as a :class:`RuntimeError` carrying the worker
+traceback rather than the original exception type, and a hard worker
+death (segfault, ``os._exit``) aborts the run.  ``time.sleep``-free
+backoff accounting matches the serial backend; delays are never slept
+in workers.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import queue
+import time
+import traceback
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+from multiprocessing import resource_tracker, shared_memory
+
+from ...faults.retry import FailureRecord, InjectedFault, TaskTimeout
+from ...recovery.speculation import SpeculationRecord
+from ..context import RuntimeContext
+from .base import AttemptEvent, ExecutionBackend, RunContext, TaskOutcome, TaskRequest
+
+__all__ = ["ProcessPoolBackend"]
+
+
+# ----------------------------------------------------------------------
+# shared-memory plumbing
+# ----------------------------------------------------------------------
+def _attach(name: str) -> shared_memory.SharedMemory:
+    """Attach an existing segment without re-registering it.
+
+    With the ``fork`` start method parent and workers share one
+    resource-tracker process whose per-name bookkeeping is a *set*:
+    the safe protocol is exactly one register (the creator's) and one
+    unregister (the final ``unlink``) per segment.  Python 3.13 exposes
+    ``track=False`` for this; on older versions the tracker's
+    ``register`` is swapped for a no-op around the attach (both the
+    worker loop and the parent's gather loop are single-threaded, so
+    the swap cannot race).
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # pragma: no cover - depends on Python version
+        register = resource_tracker.register
+        resource_tracker.register = lambda *a, **k: None
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = register
+
+
+def _export_array(arr: np.ndarray) -> Tuple[shared_memory.SharedMemory, Tuple]:
+    """Copy ``arr`` into a fresh shared-memory segment.
+
+    Returns the open segment (caller closes/unlinks) and the picklable
+    descriptor ``(name, shape, dtype)`` the other side attaches with.
+    """
+    arr = np.ascontiguousarray(arr)
+    shm = shared_memory.SharedMemory(create=True, size=max(1, arr.nbytes))
+    if arr.nbytes:
+        view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf)
+        view[...] = arr
+    return shm, (shm.name, arr.shape, str(arr.dtype))
+
+
+def _import_array(desc: Tuple) -> np.ndarray:
+    """Attach a segment descriptor, copy the array out, detach.
+
+    The returned array owns its memory (bodies may keep references long
+    after the segment is gone).  The attach never registers with the
+    resource tracker -- the segment stays owned by its creator.
+    """
+    name, shape, dtype = desc
+    shm = _attach(name)
+    try:
+        if int(np.prod(shape)):
+            view = np.ndarray(shape, dtype=np.dtype(dtype), buffer=shm.buf)
+            return np.array(view, copy=True)
+        return np.empty(shape, dtype=np.dtype(dtype))
+    finally:
+        shm.close()
+
+
+def _discard_outputs(payload: Dict[str, Any]) -> None:
+    """Unlink the output segments of a result nobody will consume."""
+    for desc in (payload.get("outputs") or {}).values():
+        try:
+            shm = _attach(desc[0])
+        except FileNotFoundError:
+            continue
+        shm.close()
+        try:
+            shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - racing cleanup
+            pass
+
+
+# ----------------------------------------------------------------------
+# worker side
+# ----------------------------------------------------------------------
+def _execute_attempts(task, q, env, values, faults, retry) -> Dict[str, Any]:
+    """Worker-side mirror of the serial attempt loop.
+
+    Same control flow and the same deterministic ``(task, attempt)``
+    fault/retry draws as ``backends.serial._run_attempts``, but timings
+    are reported as raw event dicts (monotonic clock) instead of being
+    applied to an :class:`~repro.obs.Instrumentation` -- the parent
+    replays them at commit time.
+    """
+    ctx = RuntimeContext(task.name, q, env=env)
+    name = task.name
+    attempts = retry.max_attempts if retry is not None else 1
+    slowdown = faults.slowdown(name) if faults is not None else 1.0
+    total_backoff = 0.0
+    last_error: Optional[BaseException] = None
+    events: List[Dict[str, Any]] = []
+    info: Dict[str, Any] = {
+        "attempts": attempts,
+        "seconds": 0.0,
+        "error": "",
+        "backoff_seconds": 0.0,
+    }
+    for attempt in range(attempts):
+        start = time.monotonic()
+        try:
+            if faults is not None and faults.fails(name, attempt):
+                raise InjectedFault(
+                    f"injected fault: task {name!r}, attempt {attempt}"
+                )
+            produced = task.func(ctx, values)
+            duration = time.monotonic() - start
+            if retry is not None and retry.timeout is not None:
+                effective = duration * slowdown
+                if effective > retry.timeout:
+                    raise TaskTimeout(
+                        f"task {name!r}, attempt {attempt}: effective duration "
+                        f"{effective:.3g}s exceeds timeout {retry.timeout:g}s"
+                    )
+            events.append(
+                {"attempt": attempt, "start": start, "duration": duration, "kind": "ok"}
+            )
+            info.update(
+                attempts=attempt + 1,
+                seconds=duration * slowdown,
+                error=str(last_error) if attempt else "",
+                backoff_seconds=total_backoff,
+            )
+            if produced is None:
+                produced = {}
+            if not isinstance(produced, dict):
+                info["crash"] = (
+                    f"task {name!r} body must return a dict of outputs, "
+                    f"got {type(produced).__name__}"
+                )
+                return {"produced": None, "failure": None, "info": info, "events": events}
+            return {
+                "produced": produced,
+                "failure": None,
+                "info": info,
+                "events": events,
+                "collectives": list(ctx.log),
+            }
+        except Exception as exc:  # noqa: BLE001 - retry boundary
+            duration = time.monotonic() - start
+            last_error = exc
+            kind = (
+                "timeout"
+                if isinstance(exc, TaskTimeout)
+                else "injected"
+                if isinstance(exc, InjectedFault)
+                else "error"
+            )
+            backoff = 0.0
+            if retry is not None and attempt + 1 < attempts:
+                backoff = retry.delay(name, attempt)
+                total_backoff += backoff
+            events.append(
+                {
+                    "attempt": attempt,
+                    "start": start,
+                    "duration": duration,
+                    "kind": kind,
+                    "error": str(exc),
+                    "backoff": backoff,
+                }
+            )
+            if retry is None and faults is None:
+                info.update(error=str(exc))
+                info["crash"] = traceback.format_exc()
+                return {"produced": None, "failure": None, "info": info, "events": events}
+    info.update(error=str(last_error), backoff_seconds=total_backoff)
+    failure = FailureRecord(
+        task=name,
+        action="gave_up",
+        attempts=attempts,
+        error=str(last_error),
+        backoff_seconds=total_backoff,
+    )
+    return {
+        "produced": None,
+        "failure": failure,
+        "info": info,
+        "events": events,
+        "collectives": list(ctx.log),
+    }
+
+
+def _execute_backup(task, q, env, values) -> Dict[str, Any]:
+    """Worker-side speculative backup: one attempt, no fault injection.
+
+    Mirrors the serial backend's accounting convention -- backups never
+    consume fault draws (their slowdown stream is applied parent-side)
+    and a failing backup is just a lost race, not a task failure.
+    """
+    ctx = RuntimeContext(task.name, q, env=env)
+    start = time.monotonic()
+    try:
+        produced = task.func(ctx, values)
+        duration = time.monotonic() - start
+        if produced is None:
+            produced = {}
+        if not isinstance(produced, dict):
+            raise TypeError("backup body returned a non-dict")
+        return {
+            "produced": produced,
+            "failure": None,
+            "info": {"attempts": 1, "seconds": duration, "error": "", "backoff_seconds": 0.0},
+            "events": [
+                {"attempt": 0, "start": start, "duration": duration, "kind": "ok"}
+            ],
+            "collectives": list(ctx.log),
+        }
+    except Exception as exc:  # noqa: BLE001 - lost race
+        duration = time.monotonic() - start
+        return {
+            "produced": None,
+            "failure": None,
+            "info": {"attempts": 1, "seconds": -1.0, "error": str(exc), "backoff_seconds": 0.0},
+            "events": [
+                {
+                    "attempt": 0,
+                    "start": start,
+                    "duration": duration,
+                    "kind": "error",
+                    "error": str(exc),
+                }
+            ],
+        }
+
+
+def _worker_main(worker_id, parent_pid, inq, outq, registry, faults, retry) -> None:
+    """Entry point of one pool worker (forked child).
+
+    Loops on the shared job queue until a ``stop`` message arrives or
+    the parent disappears (``getppid`` watchdog -- the journal's
+    ``crash_after`` chaos hook kills the parent with ``os._exit``, which
+    skips any orderly shutdown).  Worker processes are best-effort
+    pinned to distinct cores.
+    """
+    try:
+        cores = sorted(os.sched_getaffinity(0))
+        os.sched_setaffinity(0, {cores[worker_id % len(cores)]})
+    except (AttributeError, OSError, IndexError):  # pragma: no cover
+        pass
+    while True:
+        try:
+            msg = inq.get(timeout=1.0)
+        except queue.Empty:
+            if os.getppid() != parent_pid:
+                break
+            continue
+        if msg[0] == "stop":
+            break
+        _, job_id, name, q, env, payload, backup = msg
+        try:
+            values = {k: _import_array(desc) for k, desc in payload.items()}
+            task = registry[name]
+            if backup:
+                result = _execute_backup(task, q, env, values)
+            else:
+                result = _execute_attempts(task, q, env, values, faults, retry)
+            produced = result.pop("produced", None)
+            if produced is not None:
+                descs = {}
+                for out_name, arr in produced.items():
+                    out = np.atleast_1d(np.asarray(arr, dtype=float))
+                    shm, desc = _export_array(out)
+                    shm.close()
+                    descs[out_name] = desc
+                result["outputs"] = descs
+            else:
+                result["outputs"] = None
+            outq.put(("result", job_id, worker_id, result))
+        except BaseException:  # noqa: BLE001 - never kill the worker loop
+            outq.put(
+                (
+                    "result",
+                    job_id,
+                    worker_id,
+                    {
+                        "outputs": None,
+                        "failure": None,
+                        "info": {"crash": traceback.format_exc()},
+                        "events": [],
+                    },
+                )
+            )
+
+
+# ----------------------------------------------------------------------
+# parent side
+# ----------------------------------------------------------------------
+class _Job:
+    """Parent-side state of one dispatched worker job."""
+
+    __slots__ = (
+        "jid",
+        "request",
+        "backup_of",
+        "dispatched",
+        "threshold",
+        "backup_jid",
+        "segments",
+        "payload",
+        "arrivals_left",
+    )
+
+    def __init__(self, jid: int, request: TaskRequest, backup_of: Optional[int] = None):
+        self.jid = jid
+        self.request = request
+        self.backup_of = backup_of
+        self.dispatched = 0.0
+        self.threshold: Optional[float] = None
+        self.backup_jid: Optional[int] = None
+        self.segments: List[shared_memory.SharedMemory] = []
+        self.payload: Dict[str, Tuple] = {}
+        self.arrivals_left = 0
+
+
+class ProcessPoolBackend(ExecutionBackend):
+    """Run independent M-tasks concurrently on forked worker processes.
+
+    Parameters
+    ----------
+    workers:
+        Pool size; defaults to ``os.cpu_count()`` (at least 2).  More
+        workers than cores is fine -- and is exactly how the runtime
+        benchmark demonstrates dispatch concurrency on small machines.
+    poll_interval:
+        Parent-side result-queue poll period in seconds; also bounds
+        how quickly speculation thresholds are noticed.
+    """
+
+    name = "pool"
+
+    def __init__(self, workers: Optional[int] = None, poll_interval: float = 0.02):
+        self.workers = workers
+        self.poll_interval = poll_interval
+        self._run: Optional[RunContext] = None
+        self._procs: List[Any] = []
+        self._inq: Optional[Any] = None
+        self._outq: Optional[Any] = None
+        self._offset = 0.0
+        self._next_job = 0
+        self._jobs: Dict[int, _Job] = {}
+
+    # ------------------------------------------------------------------
+    def open(self, run: RunContext) -> None:
+        """Fork the workers (inheriting task bodies and fault plans)."""
+        if "fork" not in multiprocessing.get_all_start_methods():
+            raise RuntimeError(
+                "ProcessPoolBackend requires the 'fork' start method (task "
+                "bodies are closures and cannot be pickled); it is not "
+                "available on this platform -- use the serial backend"
+            )
+        mp_ctx = multiprocessing.get_context("fork")
+        self._run = run
+        # the resource tracker must exist *before* the fork: started
+        # lazily afterwards, every worker would spawn a private tracker
+        # and register/unregister pairs would land on different ones
+        resource_tracker.ensure_running()
+        # worker events use time.monotonic(); instrumentation spans use
+        # time.perf_counter() -- convert at the boundary
+        self._offset = time.perf_counter() - time.monotonic()
+        self._inq = mp_ctx.Queue()
+        self._outq = mp_ctx.Queue()
+        registry = {t.name: t for t in run.graph.topological_order()}
+        n = self.workers if self.workers is not None else max(2, os.cpu_count() or 1)
+        for wid in range(n):
+            proc = mp_ctx.Process(
+                target=_worker_main,
+                args=(wid, os.getpid(), self._inq, self._outq, registry, run.faults, run.retry),
+                daemon=True,
+            )
+            proc.start()
+            self._procs.append(proc)
+
+    # ------------------------------------------------------------------
+    def run_batch(self, tasks, prepare, commit) -> None:
+        """Prepare in order, execute concurrently, commit in order."""
+        requests = [r for r in (prepare(t) for t in tasks) if r is not None]
+        if not requests:
+            return
+        order = [self._dispatch(req) for req in requests]
+        resolved = self._gather(set(order))
+        for jid, req in zip(order, requests):
+            commit(req, resolved[jid])
+
+    # ------------------------------------------------------------------
+    def _dispatch(self, request: TaskRequest) -> int:
+        jid = self._next_job
+        self._next_job += 1
+        job = _Job(jid, request)
+        for key, arr in request.values.items():
+            shm, desc = _export_array(arr)
+            job.segments.append(shm)
+            job.payload[key] = desc
+        job.arrivals_left = 1
+        job.dispatched = time.perf_counter()
+        self._jobs[jid] = job
+        self._inq.put(
+            ("task", jid, request.task.name, request.q, dict(request.ctx.env), job.payload, False)
+        )
+        return jid
+
+    def _dispatch_backup(self, owner: _Job, threshold: float) -> None:
+        jid = self._next_job
+        self._next_job += 1
+        self._jobs[jid] = _Job(jid, owner.request, backup_of=owner.jid)
+        owner.arrivals_left += 1
+        owner.backup_jid = jid
+        owner.threshold = threshold
+        req = owner.request
+        self._inq.put(
+            ("task", jid, req.task.name, req.q, dict(req.ctx.env), owner.payload, True)
+        )
+
+    # ------------------------------------------------------------------
+    def _gather(self, pending: set) -> Dict[int, TaskOutcome]:
+        run = self._run
+        resolved: Dict[int, TaskOutcome] = {}
+        while pending:
+            try:
+                msg = self._outq.get(timeout=self.poll_interval)
+            except queue.Empty:
+                msg = None
+            if msg is not None:
+                self._handle_result(msg, pending, resolved)
+                continue
+            if any(not p.is_alive() for p in self._procs):
+                raise RuntimeError(
+                    "a pool worker died unexpectedly while tasks were in flight"
+                )
+            if run.speculation is not None and run.history is not None:
+                self._maybe_speculate(pending)
+        return resolved
+
+    def _maybe_speculate(self, pending: set) -> None:
+        run = self._run
+        threshold = run.speculation.threshold(completed=run.history)
+        if threshold is None:
+            return
+        now = time.perf_counter()
+        for jid in list(pending):
+            job = self._jobs.get(jid)
+            if job is None or job.backup_jid is not None:
+                continue
+            if now - job.dispatched > threshold:
+                self._dispatch_backup(job, threshold)
+
+    def _handle_result(self, msg, pending: set, resolved: Dict[int, TaskOutcome]) -> None:
+        _, jid, wid, payload = msg
+        job = self._jobs.get(jid)
+        if job is None:  # job of an earlier batch already released
+            _discard_outputs(payload)
+            return
+        owner_jid = job.backup_of if job.backup_of is not None else jid
+        owner = self._jobs[owner_jid]
+        owner.arrivals_left -= 1
+        if owner_jid not in pending:
+            _discard_outputs(payload)  # race already decided
+        elif job.backup_of is None:
+            outcome = self._primary_outcome(payload, wid, owner)
+            resolved[owner_jid] = outcome
+            pending.discard(owner_jid)
+        else:
+            outcome = self._backup_outcome(payload, wid, owner)
+            if outcome is not None:  # backup won the race
+                resolved[owner_jid] = outcome
+                pending.discard(owner_jid)
+        if owner.arrivals_left == 0:
+            self._release(owner)
+
+    # ------------------------------------------------------------------
+    def _primary_outcome(self, payload, wid, owner: _Job) -> TaskOutcome:
+        produced = self._claim_outputs(payload)
+        info = dict(payload.get("info", {}))
+        events = [
+            AttemptEvent(
+                attempt=e.get("attempt", 0),
+                start=e.get("start", 0.0) + self._offset,
+                duration=e.get("duration", 0.0),
+                kind=e.get("kind", "ok"),
+                error=e.get("error", ""),
+                backoff=e.get("backoff", 0.0),
+                worker=wid,
+            )
+            for e in payload.get("events", [])
+        ]
+        outcome = TaskOutcome(
+            produced=produced,
+            failure=payload.get("failure"),
+            info=info,
+            events=events,
+            collectives=payload.get("collectives", []),
+            worker=wid,
+        )
+        if owner.backup_jid is not None and produced is not None:
+            # primary finished first: the backup lost the race (its
+            # result, still in flight, is discarded on arrival)
+            outcome.speculation = (
+                SpeculationRecord(
+                    task=owner.request.task.name,
+                    primary_seconds=float(info.get("seconds", 0.0)),
+                    backup_seconds=-1.0,
+                    win=False,
+                ),
+                None,
+            )
+        return outcome
+
+    def _backup_outcome(self, payload, wid, owner: _Job) -> Optional[TaskOutcome]:
+        produced = self._claim_outputs(payload)
+        if produced is None:
+            return None  # backup crashed or misbehaved: just a lost race
+        run = self._run
+        name = owner.request.task.name
+        slow = run.faults.slowdown(name, 1) if run.faults is not None else 1.0
+        events = payload.get("events", [])
+        duration = events[0].get("duration", 0.0) if events else 0.0
+        start = events[0].get("start", 0.0) + self._offset if events else 0.0
+        eff_backup = (owner.threshold or 0.0) + duration * slow
+        elapsed = time.perf_counter() - owner.dispatched
+        record = SpeculationRecord(
+            task=name,
+            primary_seconds=elapsed,
+            backup_seconds=eff_backup,
+            win=True,
+        )
+        backup_event = AttemptEvent(
+            attempt=0, start=start, duration=duration, kind="ok", worker=wid
+        )
+        return TaskOutcome(
+            produced=produced,
+            failure=None,
+            info={"attempts": 1, "seconds": eff_backup, "error": "", "backoff_seconds": 0.0},
+            events=[],
+            collectives=payload.get("collectives", []),
+            speculation=(record, backup_event),
+            worker=wid,
+        )
+
+    def _claim_outputs(self, payload) -> Optional[Dict[str, np.ndarray]]:
+        outputs = payload.get("outputs")
+        if outputs is None:
+            return None
+        produced: Dict[str, np.ndarray] = {}
+        for name, desc in outputs.items():
+            shm = _attach(desc[0])
+            try:
+                shape, dtype = desc[1], np.dtype(desc[2])
+                if int(np.prod(shape)):
+                    view = np.ndarray(shape, dtype=dtype, buffer=shm.buf)
+                    produced[name] = np.array(view, copy=True)
+                else:
+                    produced[name] = np.empty(shape, dtype=dtype)
+            finally:
+                shm.close()
+                try:
+                    shm.unlink()
+                except FileNotFoundError:  # pragma: no cover
+                    pass
+        return produced
+
+    def _release(self, owner: _Job) -> None:
+        for shm in owner.segments:
+            shm.close()
+            try:
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover
+                pass
+        owner.segments = []
+        self._jobs.pop(owner.jid, None)
+        if owner.backup_jid is not None:
+            self._jobs.pop(owner.backup_jid, None)
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Stop the workers and release every outstanding segment."""
+        if self._inq is not None:
+            for _ in self._procs:
+                try:
+                    self._inq.put(("stop",))
+                except Exception:  # pragma: no cover - queue torn down
+                    break
+        # every batch has committed by now, so a worker still computing
+        # holds a lost speculation race (or a stale result) nobody will
+        # read -- give it a short grace period, then terminate it rather
+        # than wait out the very straggler speculation already beat
+        for proc in self._procs:
+            proc.join(timeout=0.25)
+        for proc in self._procs:
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=1.0)
+        self._procs = []
+        if self._outq is not None:
+            while True:
+                try:
+                    msg = self._outq.get_nowait()
+                except Exception:
+                    break
+                if msg and msg[0] == "result":
+                    _discard_outputs(msg[3])
+        for job in list(self._jobs.values()):
+            if job.backup_of is None:
+                self._release(job)
+        self._jobs = {}
+        for chan in (self._inq, self._outq):
+            if chan is not None:
+                chan.cancel_join_thread()
+                chan.close()
+        self._inq = None
+        self._outq = None
+        self._run = None

@@ -46,15 +46,19 @@ class RuntimeContext:
 
     # Convenience wrappers matching MPI vocabulary -----------------------
     def allgather(self, total_elements: float, itemsize: int = 8) -> None:
+        """Record an allgather over the group."""
         self.record("allgather", total_elements, itemsize)
 
     def bcast(self, total_elements: float, itemsize: int = 8) -> None:
+        """Record a broadcast over the group."""
         self.record("bcast", total_elements, itemsize)
 
     def allreduce(self, total_elements: float, itemsize: int = 8) -> None:
+        """Record an allreduce over the group."""
         self.record("allreduce", total_elements, itemsize)
 
     def counts_by_op(self) -> Dict[str, int]:
+        """Number of recorded collectives per operation name."""
         out: Dict[str, int] = {}
         for r in self.log:
             out[r.op] = out.get(r.op, 0) + 1

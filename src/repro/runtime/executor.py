@@ -67,6 +67,14 @@ from ..recovery.checkpoint import array_digest
 from ..recovery.journal import JournalError, JournalMismatch, RunJournal
 from ..recovery.speculation import SpeculationPolicy, SpeculationRecord
 from ..recovery.supervisor import Supervisor
+from .backends.base import (
+    ExecutionBackend,
+    RunContext,
+    TaskOutcome,
+    TaskRequest,
+    independent_batches,
+)
+from .backends.serial import SerialBackend
 from .context import RuntimeContext
 
 __all__ = ["RunStats", "RunResult", "run_program"]
@@ -97,6 +105,7 @@ class RunStats:
     cancel_reason: Optional[str] = None
 
     def collective_counts(self) -> Dict[str, int]:
+        """Total recorded collectives per operation, over all groups."""
         out: Dict[str, int] = {}
         for ctx in self.contexts.values():
             for op, k in ctx.counts_by_op().items():
@@ -131,158 +140,55 @@ class RunResult:
         return self.stats.cancel_reason is not None
 
 
-def _speculate(
-    task: MTask,
-    values: Dict[str, np.ndarray],
+def _replay_worker_events(
+    task_name: str,
     q: int,
-    eff_primary: float,
-    threshold: float,
+    outcome: TaskOutcome,
     obs: Instrumentation,
-    faults: Optional[FaultPlan],
     stats: RunStats,
-) -> float:
-    """Race a backup attempt against a straggling (finished) primary.
+) -> None:
+    """Apply the side effects of out-of-process attempts at commit time.
 
-    The functional runtime executes sequentially, so the race is
-    accounted rather than concurrent: the backup launches at
-    ``threshold`` and its effective finish is ``threshold + duration``.
-    Both attempts compute identical outputs for pure bodies, so the
-    winner only changes the accounting, never the variables.  Returns
-    the winning effective duration (fed back into the quantile history).
+    The serial backend runs in-process and updates the instrumentation
+    and stats inline; a pool worker instead reports per-attempt
+    :class:`~repro.runtime.backends.AttemptEvent` records, which this
+    helper replays -- same counters, histograms and failure records as
+    the serial path, plus one real wall-clock span per attempt tagged
+    with the executing worker (rendered as per-worker Perfetto tracks).
     """
-    name = task.name
-    backup_ctx = RuntimeContext(name, q)
-    backup_slow = faults.slowdown(name, 1) if faults is not None else 1.0
-    try:
-        with obs.span("task_backup", task=name, q=q) as backup_span:
-            backup_produced = task.func(backup_ctx, values)
-        del backup_produced  # identical for pure bodies; primary's is kept
-        eff_backup = threshold + backup_span.duration * backup_slow
-    except Exception:  # noqa: BLE001 - backup failure is just a lost race
-        eff_backup = -1.0
-    win = 0.0 <= eff_backup < eff_primary
-    stats.speculations.append(
-        SpeculationRecord(
-            task=name,
-            primary_seconds=eff_primary,
-            backup_seconds=eff_backup,
-            win=win,
-        )
-    )
-    if win:
-        obs.count("speculation.wins")
-        obs.observe("speculation.saved_seconds", eff_primary - eff_backup)
-        return eff_backup
-    obs.count("speculation.losses")
-    return eff_primary
-
-
-def _run_attempts(
-    task: MTask,
-    ctx: RuntimeContext,
-    values: Dict[str, np.ndarray],
-    q: int,
-    obs: Instrumentation,
-    faults: Optional[FaultPlan],
-    retry: Optional[RetryPolicy],
-    stats: RunStats,
-    sleep: Optional[Callable[[float], None]],
-    speculation: Optional[SpeculationPolicy] = None,
-    history: Optional[List[float]] = None,
-):
-    """Execute one task body under the retry policy.
-
-    Returns ``(produced, failure, info)``: exactly one of the first two
-    is non-``None`` -- ``produced`` on success (a ``"recovered"`` record
-    is appended to ``stats`` if earlier attempts failed), ``failure``
-    when every attempt failed.  ``info`` carries the attempt accounting
-    (attempts used, effective seconds, last error, total backoff) for
-    journaling.
-    """
-    name = task.name
-    attempts = retry.max_attempts if retry is not None else 1
-    slowdown = faults.slowdown(name) if faults is not None else 1.0
-    total_backoff = 0.0
-    last_error: Optional[BaseException] = None
-    info: Dict[str, Any] = {
-        "attempts": attempts,
-        "seconds": 0.0,
-        "error": "",
-        "backoff_seconds": 0.0,
-    }
-    for attempt in range(attempts):
-        meta: Dict[str, object] = {"task": name, "q": q}
-        if attempt:
-            meta["attempt"] = attempt
-        try:
-            with obs.span("task", **meta) as task_span:
-                if faults is not None and faults.fails(name, attempt):
-                    raise InjectedFault(
-                        f"injected fault: task {name!r}, attempt {attempt}"
-                    )
-                produced = task.func(ctx, values)
-            if retry is not None and retry.timeout is not None:
-                # the injected straggler factor scales the measured wall
-                # clock, so timeout behaviour is testable deterministically
-                effective = task_span.duration * slowdown
-                if effective > retry.timeout:
-                    raise TaskTimeout(
-                        f"task {name!r}, attempt {attempt}: effective duration "
-                        f"{effective:.3g}s exceeds timeout {retry.timeout:g}s"
-                    )
-            obs.observe("runtime.task_seconds", task_span.duration)
-            if attempt:
-                stats.retries += attempt
-                obs.observe("task_retries", attempt)
-                obs.count("faults.retries", attempt)
+    for ev in outcome.events:
+        meta: Dict[str, object] = {"task": task_name, "q": q}
+        if ev.attempt:
+            meta["attempt"] = ev.attempt
+        if ev.worker is not None:
+            meta["worker"] = ev.worker
+        if ev.kind == "ok":
+            obs.emit_span("task", ev.start, ev.duration, **meta)
+            obs.observe("runtime.task_seconds", ev.duration)
+            if ev.attempt:
+                stats.retries += ev.attempt
+                obs.observe("task_retries", ev.attempt)
+                obs.count("faults.retries", ev.attempt)
                 stats.failures.append(
                     FailureRecord(
-                        task=name,
+                        task=task_name,
                         action="recovered",
-                        attempts=attempt + 1,
-                        error=str(last_error),
-                        backoff_seconds=total_backoff,
+                        attempts=ev.attempt + 1,
+                        error=str(outcome.info.get("error", "")),
+                        backoff_seconds=float(outcome.info.get("backoff_seconds", 0.0)),
                     )
                 )
-            eff_primary = task_span.duration * slowdown
-            if speculation is not None and history is not None:
-                threshold = speculation.threshold(completed=history)
-                if threshold is not None and eff_primary > threshold:
-                    eff_primary = _speculate(
-                        task, values, q, eff_primary, threshold, obs, faults, stats
-                    )
-                history.append(eff_primary)
-            info.update(
-                attempts=attempt + 1,
-                seconds=eff_primary,
-                error=str(last_error) if attempt else "",
-                backoff_seconds=total_backoff,
-            )
-            return produced, None, info
-        except Exception as exc:  # noqa: BLE001 - retry boundary
-            if retry is None and faults is None:
-                raise
-            last_error = exc
+        else:
+            meta["error"] = ev.kind
+            obs.emit_span("task", ev.start, ev.duration, **meta)
             obs.count("faults.failed_attempts")
-            if isinstance(exc, TaskTimeout):
+            if ev.kind == "timeout":
                 obs.count("faults.timeouts")
-            elif isinstance(exc, InjectedFault):
+            elif ev.kind == "injected":
                 obs.count("faults.injected")
-            if retry is not None and attempt + 1 < attempts:
-                delay = retry.delay(name, attempt)
-                total_backoff += delay
-                stats.backoff_seconds += delay
-                obs.observe("runtime.backoff_seconds", delay)
-                if sleep is not None:
-                    sleep(delay)
-    info.update(error=str(last_error), backoff_seconds=total_backoff)
-    return None, FailureRecord(
-        task=name,
-        action="gave_up",
-        attempts=attempts,
-        error=str(last_error),
-        backoff_seconds=total_backoff,
-    ), info
+            if ev.backoff:
+                stats.backoff_seconds += ev.backoff
+                obs.observe("runtime.backoff_seconds", ev.backoff)
 
 
 def _check_header(
@@ -312,6 +218,7 @@ def run_program(
     resume: bool = False,
     speculation: Optional[SpeculationPolicy] = None,
     supervisor: Optional[Supervisor] = None,
+    backend: Optional[ExecutionBackend] = None,
 ) -> RunResult:
     """Execute an M-task graph functionally.
 
@@ -369,6 +276,19 @@ def run_program(
         or task budget is exceeded the remaining tasks are cancelled
         gracefully into ``"cancelled"`` failure records and a partial
         result (``RunResult.partial``) is returned.
+    backend:
+        Optional :class:`~repro.runtime.backends.ExecutionBackend`
+        deciding *how* ready task bodies run.  ``None`` (the default)
+        uses the in-process
+        :class:`~repro.runtime.backends.SerialBackend`, which is
+        bit-identical to the historical executor; a
+        :class:`~repro.runtime.backends.ProcessPoolBackend` runs each
+        batch of independent tasks concurrently on forked workers while
+        committing results in the same order, so variables, journals and
+        failure records stay identical.  Two documented semantic
+        differences on the pool: a supervisor's budget is checked when a
+        batch is *prepared* (not between every completion), and
+        speculation backups become genuinely concurrent races.
     """
     if on_failure not in ("raise", "degrade"):
         raise ValueError("on_failure must be 'raise' or 'degrade'")
@@ -420,7 +340,15 @@ def run_program(
     if supervisor is not None:
         supervisor.start()
 
-    for task in graph.topological_order():
+    def prepare(task: MTask) -> Optional[TaskRequest]:
+        """Pre-execution phase of one task (always in topological order).
+
+        Handles resume restoration, journaled failures, supervisor
+        cancellation, degrade-mode skipping and input collection with
+        re-distribution accounting.  Returns the :class:`TaskRequest`
+        the backend should execute, or ``None`` when the task needs no
+        execution (every side effect already applied here).
+        """
         q = q_of(task)
         # --- resume: restore the journaled prefix instead of re-running --
         if task.func is not None and task.name in completed:
@@ -452,7 +380,7 @@ def run_program(
                     )
                 )
             stats.contexts[task] = RuntimeContext(task.name, q_rec)
-            continue
+            return None
         if task.func is not None and task.name in journaled_failures:
             rec_failure = journaled_failures[task.name]
             stats.failures.append(rec_failure)
@@ -460,7 +388,7 @@ def run_program(
             for p in task.outputs:
                 unavailable.setdefault(p.name, task.name)
             stats.contexts[task] = RuntimeContext(task.name, q)
-            continue
+            return None
         # --- supervisor: cancel the rest once deadline/budget is hit -----
         if task.func is not None and stats.cancel_reason is None and supervisor is not None:
             stats.cancel_reason = supervisor.exceeded(
@@ -478,7 +406,7 @@ def run_program(
             for p in task.outputs:
                 unavailable.setdefault(p.name, task.name)
             stats.contexts[task] = RuntimeContext(task.name, q)
-            continue
+            return None
         # --- degrade mode: skip tasks whose inputs were lost upstream ----
         skip_cause: Optional[str] = None
         if unavailable:
@@ -497,7 +425,7 @@ def run_program(
             for p in task.outputs:
                 unavailable.setdefault(p.name, task.name)
             stats.contexts[task] = RuntimeContext(task.name, q)
-            continue
+            return None
         # --- collect inputs, accounting re-distribution ------------------
         redist_before = stats.redistributed_bytes
         values: Dict[str, np.ndarray] = {}
@@ -519,72 +447,147 @@ def run_program(
                 off_diag = int(counts.sum() - np.trace(counts)) if counts.shape[0] == counts.shape[1] else int(counts.sum())
                 stats.redistributed_bytes += off_diag * p.itemsize
             values[p.name] = arr
-        # --- execute ------------------------------------------------------
         env = task.meta.get("env", {})
         ctx = RuntimeContext(task.name, q, env=dict(env) if isinstance(env, dict) else {})
-        if task.func is not None:
-            n_spec_before = len(stats.speculations)
-            produced, failure, info = _run_attempts(
-                task, ctx, values, q, obs, faults, retry, stats, sleep,
-                speculation, history,
-            )
-            if journal is not None:
-                for srec in stats.speculations[n_spec_before:]:
-                    journal.record_speculation(srec.to_dict())
-            if failure is not None:
-                stats.failures.append(failure)
-                obs.count("faults.gave_up")
-                if journal is not None:
-                    journal.record_failure(failure)
-                if on_failure == "raise":
-                    raise RuntimeError(
-                        f"task {task.name!r} failed after {failure.attempts} "
-                        f"attempt(s): {failure.error}"
-                    )
-                for p in task.outputs:
-                    unavailable[p.name] = task.name
-                stats.contexts[task] = ctx
-                continue
-            if produced is None:
-                produced = {}
-            if not isinstance(produced, dict):
-                raise TypeError(
-                    f"task {task.name!r} body must return a dict of outputs"
-                )
-            expected = {p.name for p in task.outputs}
-            missing = expected - set(produced)
-            extra = set(produced) - expected
-            if missing:
-                raise ValueError(
-                    f"task {task.name!r} did not produce outputs: {sorted(missing)}"
-                )
-            if extra:
-                raise ValueError(
-                    f"task {task.name!r} produced undeclared outputs: {sorted(extra)}"
-                )
-            for name, arr in produced.items():
-                p = task.param(name)
-                out = np.atleast_1d(np.asarray(arr, dtype=float))
-                if out.size != p.elements and p.elements > 1:
-                    raise ValueError(
-                        f"task {task.name!r} output {name!r} has {out.size} "
-                        f"elements, declared {p.elements}"
-                    )
-                store[name] = out
-                producer_dist[name] = (p.dist.instantiate(p.elements, q), q)
-            stats.tasks_executed += 1
-            if journal is not None:
-                journal.record_completion(
-                    task.name,
-                    {name: store[name] for name in produced},
-                    attempts=info["attempts"],
-                    seconds=info["seconds"],
-                    redist_bytes=stats.redistributed_bytes - redist_before,
+        if task.func is None:
+            stats.contexts[task] = ctx
+            return None
+        return TaskRequest(
+            task=task,
+            ctx=ctx,
+            values=values,
+            q=q,
+            redist_bytes=stats.redistributed_bytes - redist_before,
+        )
+
+    #: speculation records already journaled (commit appends in order)
+    spec_journal_idx = [0]
+
+    def commit(request: TaskRequest, outcome: TaskOutcome) -> None:
+        """Post-execution phase of one task (always in commit order).
+
+        Replays out-of-process side effects, resolves failure handling,
+        validates and stores the outputs and journals the completion --
+        identical bookkeeping regardless of which backend executed the
+        body.
+        """
+        task, ctx, q = request.task, request.ctx, request.q
+        if outcome.collectives:
+            ctx.log.extend(outcome.collectives)
+        if outcome.events:
+            _replay_worker_events(task.name, q, outcome, obs, stats)
+        if outcome.speculation is not None:
+            spec_record, backup_event = outcome.speculation
+            if backup_event is not None:
+                obs.emit_span(
+                    "task_backup",
+                    backup_event.start,
+                    backup_event.duration,
+                    task=task.name,
                     q=q,
-                    error=info["error"],
-                    backoff_seconds=info["backoff_seconds"],
+                    worker=backup_event.worker,
                 )
+            stats.speculations.append(spec_record)
+            if spec_record.win:
+                obs.count("speculation.wins")
+                obs.observe(
+                    "speculation.saved_seconds",
+                    spec_record.primary_seconds - spec_record.backup_seconds,
+                )
+            else:
+                obs.count("speculation.losses")
+        if (
+            history is not None
+            and outcome.produced is not None
+            and (outcome.events or outcome.speculation is not None)
+        ):
+            # pool outcomes feed the quantile history at commit time; the
+            # serial backend already appended during execution
+            history.append(float(outcome.info.get("seconds", 0.0)))
+        if journal is not None:
+            for srec in stats.speculations[spec_journal_idx[0]:]:
+                journal.record_speculation(srec.to_dict())
+        spec_journal_idx[0] = len(stats.speculations)
+        failure = outcome.failure
+        if failure is not None:
+            stats.failures.append(failure)
+            obs.count("faults.gave_up")
+            if journal is not None:
+                journal.record_failure(failure)
+            if on_failure == "raise":
+                raise RuntimeError(
+                    f"task {task.name!r} failed after {failure.attempts} "
+                    f"attempt(s): {failure.error}"
+                )
+            for p in task.outputs:
+                unavailable[p.name] = task.name
+            stats.contexts[task] = ctx
+            return
+        produced = outcome.produced
+        if produced is None and "crash" in outcome.info:
+            raise RuntimeError(
+                f"task {task.name!r} crashed in a pool worker:\n"
+                f"{outcome.info['crash']}"
+            )
+        if produced is None:
+            produced = {}
+        if not isinstance(produced, dict):
+            raise TypeError(
+                f"task {task.name!r} body must return a dict of outputs"
+            )
+        expected = {p.name for p in task.outputs}
+        missing = expected - set(produced)
+        extra = set(produced) - expected
+        if missing:
+            raise ValueError(
+                f"task {task.name!r} did not produce outputs: {sorted(missing)}"
+            )
+        if extra:
+            raise ValueError(
+                f"task {task.name!r} produced undeclared outputs: {sorted(extra)}"
+            )
+        for name, arr in produced.items():
+            p = task.param(name)
+            out = np.atleast_1d(np.asarray(arr, dtype=float))
+            if out.size != p.elements and p.elements > 1:
+                raise ValueError(
+                    f"task {task.name!r} output {name!r} has {out.size} "
+                    f"elements, declared {p.elements}"
+                )
+            store[name] = out
+            producer_dist[name] = (p.dist.instantiate(p.elements, q), q)
+        stats.tasks_executed += 1
+        if journal is not None:
+            journal.record_completion(
+                task.name,
+                {name: store[name] for name in produced},
+                attempts=outcome.info["attempts"],
+                seconds=outcome.info["seconds"],
+                redist_bytes=request.redist_bytes,
+                q=q,
+                error=outcome.info["error"],
+                backoff_seconds=outcome.info["backoff_seconds"],
+            )
         stats.contexts[task] = ctx
+
+    run_backend = backend if backend is not None else SerialBackend()
+    run_backend.open(
+        RunContext(
+            graph=graph,
+            obs=obs,
+            stats=stats,
+            faults=faults,
+            retry=retry,
+            speculation=speculation,
+            sleep=sleep,
+            history=history,
+        )
+    )
+    try:
+        for batch in independent_batches(graph):
+            run_backend.run_batch(batch, prepare, commit)
+    finally:
+        run_backend.close()
     obs.count("runtime.tasks_executed", stats.tasks_executed)
     obs.count("runtime.redistributed_bytes", stats.redistributed_bytes)
     obs.record(

@@ -62,6 +62,7 @@ class CPRScheduler(Scheduler):
     def schedule_with_allocation(
         self, graph: TaskGraph
     ) -> Tuple[Schedule, Dict[MTask, int]]:
+        """Schedule the graph and return the final allocation too."""
         P = self.cost.platform.total_cores
         step = max(1, self.granularity)
         alloc: Dict[MTask, int] = {t: t.min_procs for t in graph}

@@ -45,6 +45,7 @@ class MCPAScheduler(Scheduler):
         }
 
     def allocate(self, graph: TaskGraph) -> Dict[MTask, int]:
+        """Compute per-task core allocations by critical-path reduction."""
         P = self.cost.platform.total_cores
         step = max(1, self.granularity)
         caps = self._caps(graph)

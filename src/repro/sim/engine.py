@@ -88,6 +88,7 @@ class CoreResource:
         self.busy_time = 0.0
 
     def earliest_start(self, not_before: float) -> float:
+        """Earliest time the core can start at or after ``not_before``."""
         return max(self.free_from, not_before)
 
     def book(self, start: float, duration: float) -> float:

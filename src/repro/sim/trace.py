@@ -70,6 +70,7 @@ class ExecutionTrace:
         return self._by_task
 
     def add(self, entry: TraceEntry) -> None:
+        """Record one simulated task execution (each task once)."""
         if entry.task in self._index():
             raise ValueError(f"task {entry.task.name!r} traced twice")
         self.entries.append(entry)
@@ -122,6 +123,7 @@ class ExecutionTrace:
         return busy / area
 
     def per_node_busy(self) -> Dict[int, float]:
+        """Busy seconds accumulated per node id."""
         busy: Dict[int, float] = {}
         for e in self.entries:
             for c in e.cores:
@@ -196,6 +198,7 @@ class ExecutionTrace:
         return "\n".join(rows) + "\n"
 
     def summary(self) -> str:
+        """One-line human-readable trace summary."""
         return (
             f"makespan={self.makespan * 1e3:.3f} ms  "
             f"util={self.utilization() * 100:.1f}%  "

@@ -33,16 +33,19 @@ __all__ = [
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
 class Num:
+    """Integer literal."""
     value: int
 
 
 @dataclass(frozen=True)
 class Name:
+    """Reference to a declared constant or loop variable."""
     ident: str
 
 
 @dataclass(frozen=True)
 class BinOp:
+    """Binary arithmetic expression."""
     op: str  # + - * /
     left: "Expr"
     right: "Expr"
@@ -90,6 +93,7 @@ def eval_expr(expr: Expr, env: Dict[str, int]) -> int:
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
 class ConstDecl:
+    """``const name = expr;`` declaration."""
     name: str
     value: Expr
 
@@ -123,6 +127,7 @@ class TaskDecl:
 
 @dataclass(frozen=True)
 class VarDecl:
+    """``var a, b : type;`` declaration inside cmmain."""
     names: Tuple[str, ...]
     type_name: str
 
@@ -140,22 +145,26 @@ class Arg:
 
 @dataclass(frozen=True)
 class Call:
+    """Activation of a basic task with bound arguments."""
     task: str
     args: Tuple[Arg, ...]
 
 
 @dataclass(frozen=True)
 class Seq:
+    """``seq { ... }`` block: statements run one after another."""
     body: Tuple["Stmt", ...]
 
 
 @dataclass(frozen=True)
 class Par:
+    """``par { ... }`` block: statements may run concurrently."""
     body: Tuple["Stmt", ...]
 
 
 @dataclass(frozen=True)
 class ForLoop:
+    """``for var = lo .. hi { ... }`` counted loop."""
     var: str
     lo: Expr
     hi: Expr
@@ -165,6 +174,7 @@ class ForLoop:
 
 @dataclass(frozen=True)
 class WhileLoop:
+    """``while (cond) { ... }`` data-dependent loop."""
     cond: Compare
     body: Tuple["Stmt", ...]
 
@@ -174,6 +184,7 @@ Stmt = Union[Call, Seq, Par, ForLoop, WhileLoop]
 
 @dataclass(frozen=True)
 class CMMain:
+    """The composed ``cmmain`` task: signature plus body statements."""
     name: str
     params: Tuple[ParamDecl, ...]
     variables: Tuple[VarDecl, ...]
@@ -182,12 +193,14 @@ class CMMain:
 
 @dataclass
 class Program:
+    """A whole CM-task program: declarations plus cmmain definitions."""
     consts: List[ConstDecl] = field(default_factory=list)
     types: List[TypeDecl] = field(default_factory=list)
     tasks: List[TaskDecl] = field(default_factory=list)
     mains: List[CMMain] = field(default_factory=list)
 
     def main(self, name: Optional[str] = None) -> CMMain:
+        """Return the cmmain with the given name (or the only one)."""
         if not self.mains:
             raise ValueError("program declares no cmmain")
         if name is None:
@@ -198,6 +211,7 @@ class Program:
         raise KeyError(f"no cmmain named {name!r}")
 
     def task(self, name: str) -> TaskDecl:
+        """Return the basic-task declaration with the given name."""
         for t in self.tasks:
             if t.name == name:
                 return t

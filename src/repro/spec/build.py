@@ -82,12 +82,14 @@ class BuildResult:
     consts: Dict[str, int] = field(default_factory=dict)
 
     def body_of(self, node: MTask) -> TaskGraph:
+        """Return the expanded body graph of a composed node."""
         try:
             return self.bodies[node]
         except KeyError:
             raise KeyError(f"{node.name!r} is not a composed node") from None
 
     def composed_nodes(self) -> List[MTask]:
+        """All nodes of the graph that carry an expanded body."""
         return [t for t in self.graph if t in self.bodies]
 
 
@@ -99,6 +101,7 @@ class _VarInfo:
         self.count = count  #: None for plain vars, array length otherwise
 
     def instances(self, name: str) -> List[str]:
+        """Instance names a symbolic variable expands to."""
         if self.count is None:
             return [name]
         return [f"{name}[{i}]" for i in range(1, self.count + 1)]
@@ -138,6 +141,7 @@ class GraphBuilder:
 
     # ------------------------------------------------------------------
     def base_elements(self, base: str) -> int:
+        """Element count of a base type name."""
         try:
             return self.sizes[base]
         except KeyError:
@@ -151,6 +155,7 @@ class GraphBuilder:
         return f"{stem}#{self._counter}"
 
     def build(self, main_name: Optional[str] = None) -> BuildResult:
+        """Expand the program's cmmain into a hierarchical task graph."""
         main = self.program.main(main_name)
         # variable table: cmmain parameters + local declarations
         variables: Dict[str, _VarInfo] = {}
@@ -251,6 +256,7 @@ class _BuildState:
 
     # -- statement dispatch ------------------------------------------------
     def emit(self, stmt: Stmt, env: Dict[str, int]) -> None:
+        """Emit graph nodes for one statement."""
         if isinstance(stmt, Call):
             self.emit_call(stmt, env)
         elif isinstance(stmt, (Seq, Par)):
@@ -290,6 +296,7 @@ class _BuildState:
         return [], eval_expr(_name_expr(arg.name), env)
 
     def emit_call(self, call: Call, env: Dict[str, int]) -> None:
+        """Emit the M-task for one task activation."""
         decl = self.b.program.task(call.task)
         if len(call.args) != len(decl.params):
             raise ValueError(
@@ -368,6 +375,7 @@ class _BuildState:
 
     # -- while loops → composed nodes -----------------------------------------
     def emit_while(self, loop: WhileLoop, env: Dict[str, int]) -> None:
+        """Emit a composed node wrapping a while-loop body."""
         body_graph = TaskGraph(self.b._fresh("while-body"))
         body_result = BuildResult(body_graph)
         self.b._build_graph(body_graph, list(loop.body), self.variables, env, body_result)

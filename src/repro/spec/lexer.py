@@ -48,6 +48,7 @@ class LexError(ValueError):
 
 @dataclass(frozen=True)
 class Token:
+    """One lexical token with its source position."""
     kind: str  #: ``"ident"``, ``"int"``, ``"keyword"``, ``"symbol"``, ``"eof"``
     text: str
     line: int
@@ -64,6 +65,7 @@ def tokenize(source: str) -> List[Token]:
     n = len(source)
 
     def error(msg: str) -> LexError:
+        """Build a ``LexError`` pointing at the current position."""
         return LexError(f"line {line}, column {col}: {msg}")
 
     while i < n:

@@ -49,22 +49,26 @@ class _Parser:
         return self.tokens[self.pos]
 
     def error(self, msg: str) -> ParseError:
+        """Build a ``ParseError`` pointing at the current token."""
         t = self.cur
         return ParseError(f"line {t.line}, column {t.col}: {msg} (found {t.text!r})")
 
     def advance(self) -> Token:
+        """Consume and return the current token (EOF is sticky)."""
         t = self.cur
         if t.kind != "eof":
             self.pos += 1
         return t
 
     def accept(self, kind: str, text: Optional[str] = None) -> Optional[Token]:
+        """Consume the current token if it matches, else return ``None``."""
         t = self.cur
         if t.kind == kind and (text is None or t.text == text):
             return self.advance()
         return None
 
     def expect(self, kind: str, text: Optional[str] = None) -> Token:
+        """Consume a token of the given kind/text or raise a parse error."""
         t = self.accept(kind, text)
         if t is None:
             want = text or kind
@@ -73,6 +77,7 @@ class _Parser:
 
     # -- expressions ----------------------------------------------------
     def parse_expr(self) -> Expr:
+        """Parse an additive expression (``term (('+'|'-') term)*``)."""
         left = self.parse_term()
         while self.cur.kind == "symbol" and self.cur.text in ("+", "-"):
             op = self.advance().text
@@ -80,6 +85,7 @@ class _Parser:
         return left
 
     def parse_term(self) -> Expr:
+        """Parse a multiplicative expression (``atom (('*'|'/') atom)*``)."""
         left = self.parse_atom()
         while self.cur.kind == "symbol" and self.cur.text in ("*", "/"):
             op = self.advance().text
@@ -87,6 +93,7 @@ class _Parser:
         return left
 
     def parse_atom(self) -> Expr:
+        """Parse a literal, identifier, or parenthesised expression."""
         if self.cur.kind == "int":
             return Num(int(self.advance().text))
         if self.cur.kind == "ident":
@@ -100,6 +107,7 @@ class _Parser:
         raise self.error("expected expression")
 
     def parse_compare(self) -> Compare:
+        """Parse a binary comparison (loop conditions)."""
         left = self.parse_expr()
         if self.cur.kind != "symbol" or self.cur.text not in _COMPARE_OPS:
             raise self.error("expected comparison operator")
@@ -109,6 +117,7 @@ class _Parser:
 
     # -- declarations ---------------------------------------------------
     def parse_param(self) -> ParamDecl:
+        """Parse one ``name : type : access : distribution`` parameter."""
         name = self.expect("ident").text
         self.expect("symbol", ":")
         type_name = self.expect("ident").text
@@ -123,6 +132,7 @@ class _Parser:
         return ParamDecl(name, type_name, mode, dist)
 
     def parse_param_list(self) -> Tuple[ParamDecl, ...]:
+        """Parse a parenthesised, comma-separated parameter list."""
         self.expect("symbol", "(")
         params: List[ParamDecl] = []
         if not self.accept("symbol", ")"):
@@ -133,6 +143,7 @@ class _Parser:
         return tuple(params)
 
     def parse_const(self) -> ConstDecl:
+        """Parse a ``const name = expr;`` declaration."""
         self.expect("keyword", "const")
         name = self.expect("ident").text
         self.expect("symbol", "=")
@@ -141,6 +152,7 @@ class _Parser:
         return ConstDecl(name, value)
 
     def parse_type(self) -> TypeDecl:
+        """Parse a ``type name = ...;`` declaration."""
         self.expect("keyword", "type")
         name = self.expect("ident").text
         self.expect("symbol", "=")
@@ -153,6 +165,7 @@ class _Parser:
         return TypeDecl(name, base, count)
 
     def parse_task(self) -> TaskDecl:
+        """Parse a basic ``task`` declaration (signature only)."""
         self.expect("keyword", "task")
         name = self.expect("ident").text
         params = self.parse_param_list()
@@ -160,6 +173,7 @@ class _Parser:
         return TaskDecl(name, params)
 
     def parse_var_decl(self) -> VarDecl:
+        """Parse a ``var a, b : type;`` declaration."""
         self.expect("keyword", "var")
         names = [self.expect("ident").text]
         while self.accept("symbol", ","):
@@ -171,6 +185,7 @@ class _Parser:
 
     # -- module expressions ----------------------------------------------
     def parse_arg(self) -> Arg:
+        """Parse one call argument, optionally indexed (``mu[k]``)."""
         name = self.expect("ident").text
         index: Optional[Expr] = None
         if self.accept("symbol", "["):
@@ -179,6 +194,7 @@ class _Parser:
         return Arg(name, index)
 
     def parse_call(self) -> Call:
+        """Parse a task activation ``name(arg, ...)``."""
         name = self.expect("ident").text
         self.expect("symbol", "(")
         args: List[Arg] = []
@@ -191,6 +207,7 @@ class _Parser:
         return Call(name, tuple(args))
 
     def parse_block(self) -> Tuple[Stmt, ...]:
+        """Parse a ``{ stmt* }`` block into a statement tuple."""
         self.expect("symbol", "{")
         stmts: List[Stmt] = []
         while not self.accept("symbol", "}"):
@@ -198,6 +215,7 @@ class _Parser:
         return tuple(stmts)
 
     def parse_stmt(self) -> Stmt:
+        """Parse one statement: seq/par/for/while block or a call."""
         if self.accept("keyword", "seq"):
             return Seq(self.parse_block())
         if self.accept("keyword", "par"):
@@ -224,6 +242,7 @@ class _Parser:
         raise self.error("expected statement")
 
     def parse_cmmain(self) -> CMMain:
+        """Parse the ``cmmain`` composed-task definition."""
         self.expect("keyword", "cmmain")
         name = self.expect("ident").text
         params = self.parse_param_list()
@@ -239,6 +258,7 @@ class _Parser:
 
     # -- program ----------------------------------------------------------
     def parse_program(self) -> Program:
+        """Parse a whole CM-task program (declarations then cmmain)."""
         prog = Program()
         while self.cur.kind != "eof":
             if self.cur.kind != "keyword":

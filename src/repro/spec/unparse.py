@@ -38,6 +38,7 @@ _PRECEDENCE = {"+": 1, "-": 1, "*": 2, "/": 2}
 
 
 def unparse_expr(expr: Expr, parent_prec: int = 0) -> str:
+    """Render an expression back to CM-task source syntax."""
     if isinstance(expr, Num):
         return str(expr.value)
     if isinstance(expr, Name):
@@ -64,6 +65,7 @@ def _unparse_arg(a: Arg) -> str:
 
 
 def unparse_stmt(stmt: Stmt, indent: int = 0) -> List[str]:
+    """Render one statement as indented source lines."""
     pad = "  " * indent
     if isinstance(stmt, Call):
         args = ", ".join(_unparse_arg(a) for a in stmt.args)

@@ -1,0 +1,126 @@
+"""Anti-drift checks: every CLI flag the documentation mentions must be
+accepted by the real parsers, and the shared fault-tolerance/recovery
+flag set must exist identically on every run-producing command (the
+README table and the ``--help`` epilogs promise exactly that)."""
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.__main__ import main as experiments_main  # noqa: F401
+from repro.obs.cli import _DIFF_EPILOG, _RUN_EPILOG, build_parser
+
+ROOT = Path(__file__).resolve().parent.parent
+
+#: the shared flag set the README's table documents
+SHARED_FLAGS = ["--faults", "--speculate", "--checkpoint-dir", "--resume",
+                "--backend"]
+
+RUN_COMMANDS = ["export", "report", "gantt"]
+
+
+def _option_strings(parser):
+    return {s for a in parser._actions for s in a.option_strings}
+
+
+def _subparser(parser, name):
+    for action in parser._actions:
+        if hasattr(action, "choices") and isinstance(action.choices, dict):
+            if name in action.choices:
+                return action.choices[name]
+    raise AssertionError(f"no subcommand {name!r}")
+
+
+def experiments_parser():
+    """Rebuild the ``python -m repro.experiments`` parser.
+
+    The module builds its parser inside ``main``; parse ``--help`` is
+    destructive, so probe by parsing real flag combinations instead.
+    """
+    import argparse
+
+    from repro.experiments import __main__ as mod
+
+    # reconstruct exactly as main() does, up to parse_args
+    captured = {}
+    original = argparse.ArgumentParser.parse_args
+
+    def capture(self, *a, **kw):
+        captured["parser"] = self
+        raise SystemExit(0)
+
+    argparse.ArgumentParser.parse_args = capture
+    try:
+        with pytest.raises(SystemExit):
+            mod.main([])
+    finally:
+        argparse.ArgumentParser.parse_args = original
+    return captured["parser"]
+
+
+class TestObsEpilogs:
+    @pytest.mark.parametrize("cmd", RUN_COMMANDS)
+    def test_epilog_flags_parse(self, cmd):
+        sub = _subparser(build_parser(), cmd)
+        options = _option_strings(sub)
+        for flag in re.findall(r"^\s+(--[a-z-]+)", _RUN_EPILOG, re.M):
+            assert flag in options, f"{cmd}: epilog documents unknown {flag}"
+
+    @pytest.mark.parametrize("cmd", RUN_COMMANDS)
+    def test_epilog_attached(self, cmd):
+        sub = _subparser(build_parser(), cmd)
+        assert sub.epilog == _RUN_EPILOG
+
+    def test_diff_epilog_attached_and_valid(self):
+        sub = _subparser(build_parser(), "diff")
+        assert sub.epilog == _DIFF_EPILOG
+        options = _option_strings(sub)
+        for flag in re.findall(r"(--[a-z-]+)", _DIFF_EPILOG):
+            assert flag in options, f"diff epilog documents unknown {flag}"
+
+    @pytest.mark.parametrize("cmd", RUN_COMMANDS)
+    def test_epilog_example_lines_parse(self, cmd):
+        """Every epilog example for this command must actually parse."""
+        parser = build_parser()
+        for line in _RUN_EPILOG.splitlines():
+            line = line.strip()
+            if not line.startswith("python -m repro.obs " + cmd):
+                continue
+            argv = line.split()[3:]
+            args = parser.parse_args(argv)
+            assert args.command == cmd
+
+
+class TestSharedFlagSet:
+    @pytest.mark.parametrize("cmd", RUN_COMMANDS)
+    def test_obs_run_commands_share_the_flags(self, cmd):
+        options = _option_strings(_subparser(build_parser(), cmd))
+        for flag in SHARED_FLAGS:
+            assert flag in options, f"{cmd} lost documented flag {flag}"
+
+    def test_experiments_shares_the_flags(self):
+        options = _option_strings(experiments_parser())
+        for flag in SHARED_FLAGS:
+            assert flag in options, f"experiments lost documented flag {flag}"
+
+    def test_chaos_script_accepts_backend(self):
+        text = (ROOT / "scripts" / "chaos_kill_resume.py").read_text()
+        assert '"--backend"' in text
+
+
+class TestReadmeFlagTable:
+    def table_flags(self):
+        readme = (ROOT / "README.md").read_text()
+        return re.findall(r"^\s*\|\s*`(--[a-z-]+)`", readme, re.M)
+
+    def test_readme_table_matches_parsers(self):
+        flags = self.table_flags()
+        assert sorted(flags) == sorted(SHARED_FLAGS), (
+            "README flag table drifted from the shared flag set"
+        )
+        obs_options = _option_strings(_subparser(build_parser(), "export"))
+        exp_options = _option_strings(experiments_parser())
+        for flag in flags:
+            assert flag in obs_options, f"README documents unknown {flag}"
+            assert flag in exp_options, f"README documents unknown {flag}"

@@ -1,0 +1,77 @@
+"""Local mirror of the CI ``interrogate`` docstring-coverage gate.
+
+CI runs ``interrogate src/repro`` with the ``[tool.interrogate]``
+configuration in pyproject.toml (fail-under 90, ignoring __init__,
+magic/private members, properties, and nested definitions). This test
+applies the same rules with the stdlib ``ast`` module so the gate also
+holds in environments where interrogate is not installed."""
+
+import ast
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+FAIL_UNDER = 90.0
+
+
+def _is_private(name):
+    return name.startswith("_") and not name.startswith("__")
+
+
+def _is_magic(name):
+    return name.startswith("__") and name.endswith("__")
+
+
+def _is_property(node):
+    decorators = [ast.unparse(d) for d in node.decorator_list]
+    return any("property" in d or ".setter" in d for d in decorators)
+
+
+def _iter_definitions(path):
+    """Yield ``(qualname, has_docstring)`` per interrogate's rules."""
+    tree = ast.parse(path.read_text())
+    yield f"{path}:module", bool(ast.get_docstring(tree))
+
+    def walk(node):
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.ClassDef):
+                if not _is_private(child.name):
+                    yield (
+                        f"{path}:{child.lineno}:{child.name}",
+                        bool(ast.get_docstring(child)),
+                    )
+                yield from walk(child)
+            elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue  # nested function
+                name = child.name
+                if (
+                    name == "__init__"
+                    or _is_magic(name)
+                    or _is_private(name)
+                    or _is_property(child)
+                ):
+                    continue
+                yield (
+                    f"{path}:{child.lineno}:{name}",
+                    bool(ast.get_docstring(child)),
+                )
+
+    yield from walk(tree)
+
+
+def test_docstring_coverage_meets_the_gate():
+    total = have = 0
+    missing = []
+    for path in sorted(SRC.rglob("*.py")):
+        for qualname, documented in _iter_definitions(path):
+            total += 1
+            if documented:
+                have += 1
+            else:
+                missing.append(qualname)
+    pct = 100.0 * have / total
+    preview = "\n".join(missing[:20])
+    assert pct >= FAIL_UNDER, (
+        f"docstring coverage {pct:.1f}% < {FAIL_UNDER}% "
+        f"({len(missing)} undocumented)\n{preview}"
+    )
