@@ -58,7 +58,9 @@ def bench_solver(cfg: MethodConfig) -> dict:
     obs = Instrumentation()
     result = pipe.run(graph, obs)
     stats = result.cache
-    # isolate the g-search: run just the scheduling stage on a fresh cache
+    # isolate the g-search: run just the scheduling stage on a fresh
+    # cache -- its Tsymb probes are batch-evaluated, not memoized, so
+    # the interesting number is the batched cell count
     gsearch_cost = CachedCostEvaluator(CostModel(plat))
     fixed_group_scheduler(gsearch_cost, paper_group_count(cfg)).schedule(graph)
     gstats = gsearch_cost.stats
@@ -74,8 +76,7 @@ def bench_solver(cfg: MethodConfig) -> dict:
         "cache_requests": stats.requests,
         "cache_hit_rate": stats.hit_rate,
         "evaluation_reduction": stats.evaluation_reduction,
-        "gsearch_cache_hit_rate": gstats.hit_rate,
-        "gsearch_evaluation_reduction": gstats.evaluation_reduction,
+        "gsearch_batched_cells": gstats.total_batched,
         "predicted_makespan": result.predicted_makespan,
         "simulated_makespan": result.trace.makespan,
         "busy_fraction": analysis.busy_fraction,
@@ -96,14 +97,14 @@ def main(argv: list) -> int:
     }
     out_path.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"{'solver':>8s} | {'sched [ms]':>10s} | {'total [ms]':>10s} | "
-          f"{'hit rate':>8s} | {'evals saved':>11s} | {'g-search':>10s} | "
+          f"{'hit rate':>8s} | {'evals saved':>11s} | {'batched':>8s} | "
           f"{'makespan [s]':>12s}")
     for r in rows:
         print(f"{r['solver']:>8s} | {r['schedule_seconds'] * 1e3:10.2f} | "
               f"{r['pipeline_seconds'] * 1e3:10.2f} | "
               f"{r['cache_hit_rate'] * 100:7.1f}% | "
               f"{r['evaluation_reduction']:10.2f}x | "
-              f"{r['gsearch_evaluation_reduction']:9.2f}x | "
+              f"{r['gsearch_batched_cells']:8d} | "
               f"{r['simulated_makespan']:12.6g}")
     print(f"\nwrote {out_path}")
     return 0

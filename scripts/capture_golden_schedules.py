@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Capture golden layered schedules for the paper workloads.
+
+Writes ``tests/data/golden_schedules.json``: for every paper solver and
+a couple of core counts, the exact decisions of the layer-based
+scheduler -- per-layer group membership (task names in order) and group
+sizes -- plus the predicted makespan as an exact ``float.hex()`` string.
+
+``tests/test_schedule_golden.py`` asserts that the scheduler reproduces
+this file bit-for-bit; the file is regenerated only when the algorithm's
+*decisions* intentionally change (a refactor that merely changes the
+asymptotics must leave it untouched).
+
+Run:  PYTHONPATH=src python scripts/capture_golden_schedules.py
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.cluster import chic
+from repro.core import CostModel
+from repro.experiments.common import paper_group_count
+from repro.ode import MethodConfig, bruss2d, step_graph
+from repro.scheduling import LayerBasedScheduler, fixed_group_scheduler
+
+SOLVERS = (
+    MethodConfig("irk", K=4, m=7),
+    MethodConfig("diirk", K=4, m=3, I=2),
+    MethodConfig("epol", K=8),
+    MethodConfig("pab", K=8),
+    MethodConfig("pabm", K=8, m=2),
+)
+CORES = (64, 256)
+N = 500
+
+
+def schedule_fingerprint(scheduler, graph) -> dict:
+    """Exact decision record of one scheduler run."""
+    result = scheduler.schedule(graph)
+    layered = result.layered
+    layers = []
+    for layer in layered.layers:
+        layers.append(
+            {
+                "groups": [[t.name for t in grp] for grp in layer.groups],
+                "group_sizes": list(layer.group_sizes),
+            }
+        )
+    makespan = result.predicted_makespan(scheduler.cost)
+    return {
+        "layers": layers,
+        "predicted_makespan_hex": float(makespan).hex(),
+        "predicted_makespan": makespan,
+    }
+
+
+def main() -> int:
+    out = {}
+    for cfg in SOLVERS:
+        graph = step_graph(bruss2d(N), cfg)
+        for cores in CORES:
+            plat = chic().with_cores(cores)
+            for variant, scheduler in (
+                ("gsearch", LayerBasedScheduler(CostModel(plat))),
+                (
+                    "fixed",
+                    fixed_group_scheduler(CostModel(plat), paper_group_count(cfg)),
+                ),
+                (
+                    "noadjust",
+                    LayerBasedScheduler(CostModel(plat), adjust=False),
+                ),
+            ):
+                key = f"{cfg.method}/{cores}/{variant}"
+                out[key] = schedule_fingerprint(scheduler, graph)
+                print(key, out[key]["predicted_makespan"])
+    path = Path(__file__).resolve().parent.parent / "tests" / "data" / "golden_schedules.json"
+    path.write_text(json.dumps({"schema": "repro.golden_schedules/1", "n": N, "runs": out}, indent=1) + "\n")
+    print(f"wrote {path} ({len(out)} runs)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -28,7 +28,7 @@ Typical use::
     print(result.report())    # per-stage timings + cost-cache hit rate
 """
 
-from . import cluster, comm, core, distribution, hybrid, mapping, npb, obs, ode
+from . import cluster, comm, core, distribution, graphs, hybrid, mapping, npb, obs, ode
 from . import pipeline, runtime, scheduling, sim, spec
 
 __version__ = "1.1.0"
@@ -38,6 +38,7 @@ __all__ = [
     "comm",
     "core",
     "distribution",
+    "graphs",
     "hybrid",
     "mapping",
     "npb",

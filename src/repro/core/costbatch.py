@@ -1,0 +1,183 @@
+"""Vectorized symbolic costing: the *cost* half of the decide/cost split.
+
+The layer-based ``g``-search probes ``Tsymb(M, q)`` for every task of a
+layer at every candidate group width.  The scalar path
+(:meth:`~repro.core.costmodel.CostModel.tsymb` behind a
+:class:`~repro.core.costmodel.CachedCostEvaluator`) evaluates those
+probes one Python call at a time, which dominates scheduling time once
+layers hold thousands of tasks.  This module evaluates the same costs as
+one numpy computation per layer:
+
+* :func:`collective_time_symbolic_batch` -- the closed-form default-
+  mapping-pattern collective costs of
+  :func:`repro.comm.collectives.collective_time_symbolic`, over arrays
+  of group widths;
+* :func:`symbolic_cost_table` -- the full ``Tsymb`` grid for a list of
+  tasks over a list of candidate widths, honouring each task's
+  ``min_procs``/``max_procs`` clamp exactly like the scalar path.
+
+**Bit-identity contract.**  Every arithmetic expression here mirrors the
+scalar code's operation order (IEEE-754 double operations are
+deterministic, so equal operation sequences give equal bits).  Masked
+contributions are added as ``+0.0``, which is a bitwise no-op for the
+non-negative costs produced here.  ``tests/test_schedule_scale.py``
+asserts ``symbolic_cost_table == tsymb`` with exact ``==`` under
+hypothesis-generated tasks, platforms and widths.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..cluster.network import HierarchicalNetwork
+from .task import MTask
+
+__all__ = ["collective_time_symbolic_batch", "symbolic_cost_table", "effective_widths"]
+
+#: sentinel for "no max_procs bound" in the integer clamp arrays
+_NO_MAX = np.iinfo(np.int64).max
+
+
+def collective_time_symbolic_batch(
+    op: str,
+    network: HierarchicalNetwork,
+    widths,
+    total_bytes,
+) -> np.ndarray:
+    """Vectorized :func:`~repro.comm.collectives.collective_time_symbolic`.
+
+    ``widths`` is an integer-valued array of group widths, ``total_bytes``
+    an array broadcastable against it.  Entries with fewer than two
+    participants cost ``0.0``, exactly like the scalar dispatch.
+    """
+    q = np.asarray(widths, dtype=np.float64)
+    nbytes = np.broadcast_to(np.asarray(total_bytes, dtype=np.float64), q.shape)
+    lvl = network.slowest_level
+    alpha, beta = network.alpha(lvl), network.beta(lvl)
+    out = np.zeros(q.shape, dtype=np.float64)
+    live = q >= 2.0
+    if not live.any():
+        return out
+    ql, nl = q[live], nbytes[live]
+    if op in ("allgather", "scatter", "gather", "alltoall"):
+        vals = (ql - 1.0) * (alpha + (nl / ql) * beta)
+    elif op in ("bcast", "reduce"):
+        vals = np.ceil(np.log2(ql)) * (alpha + nl * beta)
+    elif op == "allreduce":
+        vals = 2.0 * (ql - 1.0) * (alpha + (nl / ql) * beta)
+    elif op == "ptp":
+        vals = alpha + nl * beta
+    elif op == "barrier":
+        vals = np.ceil(np.log2(ql)) * 2.0 * alpha
+    else:
+        raise ValueError(f"unknown collective op {op!r}")
+    out[live] = vals
+    return out
+
+
+def effective_widths(tasks: Sequence[MTask], widths) -> np.ndarray:
+    """Per-(task, width) effective group width after the moldability clamp.
+
+    Mirrors ``t.clamp_procs(max(q, t.min_procs))``: raise the raw width
+    to ``min_procs``, then cap it at ``max_procs`` when set.  Returns an
+    ``int64`` array of shape ``(len(tasks), len(widths))``.
+    """
+    w = np.asarray(widths, dtype=np.int64)
+    n = len(tasks)
+    minp = np.fromiter((t.min_procs for t in tasks), dtype=np.int64, count=n)
+    maxp = np.fromiter(
+        (t.max_procs if t.max_procs is not None else _NO_MAX for t in tasks),
+        dtype=np.int64,
+        count=n,
+    )
+    eff = np.maximum(w[np.newaxis, :], minp[:, np.newaxis])
+    np.minimum(eff, maxp[:, np.newaxis], out=eff)
+    return eff
+
+
+def _slot_classes(
+    tasks: Sequence[MTask], slot: int
+) -> List[Tuple[Tuple[str, str, bool], List[int]]]:
+    """Task indices owning communication slot ``slot``, grouped by the
+    spec fields that select a formula (op, scope, task_parallel_only)."""
+    classes: dict = {}
+    for i, t in enumerate(tasks):
+        if len(t.comm) > slot:
+            c = t.comm[slot]
+            classes.setdefault((c.op, c.scope, c.task_parallel_only), []).append(i)
+    return list(classes.items())
+
+
+def symbolic_cost_table(model, tasks: Sequence[MTask], widths) -> np.ndarray:
+    """``Tsymb`` grid: ``table[i, j] == model.tsymb(tasks[i], eff(i, j))``
+    with ``eff(i, j) = tasks[i].clamp_procs(max(widths[j], min_procs))``.
+
+    One numpy evaluation replaces ``len(tasks) * len(widths)`` scalar
+    cost-model calls; results are bitwise identical to the scalar path.
+    ``model`` is a :class:`~repro.core.costmodel.CostModel` (callers
+    holding a :class:`~repro.core.costmodel.CachedCostEvaluator` should
+    go through its ``tsymb_table`` method, which unwraps and counts).
+    """
+    n = len(tasks)
+    w = np.asarray(widths, dtype=np.int64)
+    if n == 0 or w.size == 0:
+        return np.zeros((n, w.size), dtype=np.float64)
+    platform = model.platform
+    network = platform.network
+    P = platform.total_cores
+
+    eff = effective_widths(tasks, w)
+    eff_f = eff.astype(np.float64)
+
+    # Tcomp(M)/q -- same two divisions as sequential_time + tcomp
+    work = np.fromiter((t.work for t in tasks), dtype=np.float64, count=n)
+    seq = work / model.core_rate
+    tcomp = seq[:, np.newaxis] / eff_f
+
+    # Tcomm under dmp, accumulated slot by slot in each task's spec
+    # order (the scalar loop's summation order)
+    comm = np.zeros_like(tcomp)
+    max_slots = max((len(t.comm) for t in tasks), default=0)
+    for slot in range(max_slots):
+        contrib = np.zeros_like(tcomp)
+        for (op, scope, tpo), idxs in _slot_classes(tasks, slot):
+            idx = np.asarray(idxs, dtype=np.intp)
+            rows_eff = eff[idx]
+            rows_eff_f = eff_f[idx]
+            tb = np.fromiter(
+                (tasks[i].comm[slot].total_bytes for i in idxs),
+                dtype=np.float64,
+                count=len(idxs),
+            )
+            cnt = np.fromiter(
+                (tasks[i].comm[slot].count for i in idxs),
+                dtype=np.float64,
+                count=len(idxs),
+            )
+            if scope == "group":
+                vals = collective_time_symbolic_batch(
+                    op, network, rows_eff_f, tb[:, np.newaxis]
+                )
+            elif scope == "global":
+                width = np.full(rows_eff.shape, float(P))
+                vals = collective_time_symbolic_batch(
+                    op, network, width, tb[:, np.newaxis]
+                )
+                if tpo:
+                    # ops a data-parallel (q == P) execution never issues
+                    vals = np.where(rows_eff >= P, 0.0, vals)
+            else:  # orthogonal: one participant per concurrent group
+                # integer arithmetic exactly as the scalar path:
+                # width = max(1, P // max(1, q))
+                width = np.maximum(1, P // np.maximum(1, rows_eff))
+                # nbytes = total_bytes * width / max(1, q)
+                nbytes = tb[:, np.newaxis] * width.astype(np.float64)
+                nbytes = nbytes / np.maximum(1, rows_eff).astype(np.float64)
+                vals = collective_time_symbolic_batch(
+                    op, network, width.astype(np.float64), nbytes
+                )
+            contrib[idx] = cnt[:, np.newaxis] * vals
+        comm += contrib
+    return tcomp + comm

@@ -133,6 +133,19 @@ class CostModel:
         """``Tsymb(M, q) = T(M, q, dmp)`` -- the scheduler's cost."""
         return self.tcomp(task, q) + self.tcomm_symbolic(task, q)
 
+    def tsymb_table(self, tasks: Sequence[MTask], widths: Sequence[int]):
+        """Vectorized ``Tsymb`` grid over ``tasks`` x candidate ``widths``.
+
+        ``table[i, j]`` equals ``tsymb(tasks[i], w)`` for
+        ``w = tasks[i].clamp_procs(max(widths[j], tasks[i].min_procs))``
+        -- the exact probe the layer scheduler's ``g``-search issues --
+        computed in one numpy evaluation (see :mod:`repro.core.costbatch`).
+        Results are bitwise identical to the scalar :meth:`tsymb`.
+        """
+        from .costbatch import symbolic_cost_table
+
+        return symbolic_cost_table(self, tasks, widths)
+
     def best_symbolic_width(self, task: MTask, max_q: int) -> int:
         """Core count in ``[min_procs, max_q]`` minimising ``Tsymb``.
 
@@ -302,9 +315,12 @@ class CacheStats:
 
     hits: Dict[str, int] = field(default_factory=dict)
     misses: Dict[str, int] = field(default_factory=dict)
+    #: evaluations performed through the *batched* (vectorized) path,
+    #: per method; these bypass the per-call cache entirely
+    batched: Dict[str, int] = field(default_factory=dict)
 
-    def _bump(self, table: Dict[str, int], key: str) -> None:
-        table[key] = table.get(key, 0) + 1
+    def _bump(self, table: Dict[str, int], key: str, n: int = 1) -> None:
+        table[key] = table.get(key, 0) + n
 
     @property
     def total_hits(self) -> int:
@@ -313,6 +329,11 @@ class CacheStats:
     @property
     def total_misses(self) -> int:
         return sum(self.misses.values())
+
+    @property
+    def total_batched(self) -> int:
+        """Evaluations answered by vectorized batch calls."""
+        return sum(self.batched.values())
 
     @property
     def requests(self) -> int:
@@ -334,6 +355,7 @@ class CacheStats:
         return {
             "hits": dict(self.hits),
             "misses": dict(self.misses),
+            "batched": dict(self.batched),
             "requests": self.requests,
             "hit_rate": self.hit_rate,
             "evaluation_reduction": self.evaluation_reduction,
@@ -407,6 +429,19 @@ class CachedCostEvaluator:
     def tsymb(self, task: MTask, q: int) -> float:
         """Memoized symbolic total cost Tsymb(M, q)."""
         return self._memo(("tsymb", task, q), lambda: self.model.tsymb(task, q))
+
+    def tsymb_table(self, tasks: Sequence[MTask], widths: Sequence[int]):
+        """Vectorized ``Tsymb`` grid (see :meth:`CostModel.tsymb_table`).
+
+        Batch evaluation sidesteps the per-call cache on purpose -- one
+        numpy call is cheaper than ``len(tasks) * len(widths)`` dict
+        probes -- and is accounted separately in ``stats.batched`` so the
+        observability layer can report how much work the batch path
+        absorbed.
+        """
+        table = self.model.tsymb_table(tasks, widths)
+        self.stats._bump(self.stats.batched, "tsymb", int(table.size))
+        return table
 
     def best_symbolic_width(self, task: MTask, max_q: int) -> int:
         # re-implemented over the memoized tsymb so every probe is cached

@@ -12,6 +12,7 @@ invariants: acyclicity, unique task names, and well-formed data flows.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
@@ -44,6 +45,7 @@ class TaskGraph:
         self.name = name
         self._g: nx.DiGraph = nx.DiGraph()
         self._by_name: Dict[str, MTask] = {}
+        self._defer_validation = False
 
     # ------------------------------------------------------------------
     # Construction
@@ -78,12 +80,81 @@ class TaskGraph:
             existing: List[DataFlow] = self._g.edges[producer, consumer]["flows"]
             existing.extend(flows)
         else:
-            self._g.add_edge(producer, consumer, flows=list(flows))
-            if not nx.is_directed_acyclic_graph(self._g):
-                self._g.remove_edge(producer, consumer)
+            # the new edge closes a cycle iff the graph already has a
+            # path consumer ->..-> producer; a targeted reverse
+            # reachability check early-exits far before the full-graph
+            # DAG test the class used to run per edge
+            if not self._defer_validation and self._has_path(consumer, producer):
                 raise ValueError(
                     f"edge {producer.name!r} -> {consumer.name!r} would create a cycle"
                 )
+            self._g.add_edge(producer, consumer, flows=list(flows))
+
+    def _has_path(self, src: MTask, dst: MTask) -> bool:
+        """Whether a directed path ``src ->..-> dst`` exists (iterative DFS)."""
+        if src is dst:
+            return True
+        succ = self._g.succ
+        seen = {src}
+        stack = [src]
+        while stack:
+            for nxt in succ[stack.pop()]:
+                if nxt is dst:
+                    return True
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append(nxt)
+        return False
+
+    def add_edges_bulk(
+        self, edges: Iterable[Tuple[MTask, MTask, Sequence[DataFlow]]]
+    ) -> None:
+        """Add many dependency edges with one structural check at the end.
+
+        The fast path for whole-graph rewrites (chain contraction) whose
+        output edges are distinct by construction: it writes straight
+        into the adjacency structure and validates once, instead of
+        paying :meth:`add_dependency`'s per-edge node/duplicate/cycle
+        machinery.  Callers must guarantee (a) both endpoints were added
+        via :meth:`add_task` and (b) no ``(producer, consumer)`` pair
+        repeats -- duplicates would overwrite instead of merging flows.
+        Acyclicity is still enforced: the closing check raises and no
+        partial state survives the caller's exception.
+        """
+        g = self._g
+        succ, pred = g._succ, g._pred
+        for producer, consumer, flows in edges:
+            if producer is consumer:
+                raise ValueError(f"self-dependency on task {producer.name!r}")
+            if producer not in succ or consumer not in succ:
+                raise ValueError("add_edges_bulk endpoints must be added tasks")
+            data = {"flows": list(flows)}
+            succ[producer][consumer] = data
+            pred[consumer][producer] = data
+        nx._clear_cache(g)
+        if not self._defer_validation:
+            self.validate()
+
+    @contextmanager
+    def deferred_validation(self) -> Iterator["TaskGraph"]:
+        """Skip per-edge cycle checks inside the block; one
+        :meth:`validate` call on exit covers the whole batch.
+
+        Bulk construction (the synthetic generators, chain contraction)
+        adds ``E`` edges known-good by construction; per-edge checks make
+        that quadratic.  Inside this context :meth:`add_dependency` is
+        O(1) amortised, and the single closing validation is O(V + E).
+        Nesting is allowed -- only the outermost block validates.
+        """
+        if self._defer_validation:
+            yield self
+            return
+        self._defer_validation = True
+        try:
+            yield self
+        finally:
+            self._defer_validation = False
+        self.validate()
 
     def connect(self, producer: MTask, consumer: MTask) -> List[DataFlow]:
         """Connect two tasks by matching output/input parameter names.
@@ -167,6 +238,19 @@ class TaskGraph:
     def successors(self, task: MTask) -> Tuple[MTask, ...]:
         """Direct successors of ``task``."""
         return tuple(self._g.successors(task))
+
+    def predecessor_index(self) -> Dict[MTask, List[MTask]]:
+        """Predecessor adjacency of every task as one dict.
+
+        One O(V + E) pass; whole-graph passes (layering, chain finding,
+        batch splitting) index into this instead of building a fresh
+        tuple per :meth:`predecessors` call.
+        """
+        return {t: list(ps) for t, ps in self._g.pred.items()}
+
+    def successor_index(self) -> Dict[MTask, List[MTask]]:
+        """Successor adjacency of every task as one dict (O(V + E))."""
+        return {t: list(ss) for t, ss in self._g.succ.items()}
 
     def sources(self) -> Tuple[MTask, ...]:
         """Tasks with no predecessors."""

@@ -1,0 +1,31 @@
+"""Synthetic M-task DAG generators for scale testing and benchmarking.
+
+The paper's workloads top out at a few hundred M-tasks per time step;
+exercising the scheduler's asymptotics needs graphs several orders of
+magnitude larger.  This package generates seeded, fully deterministic
+DAG families -- :func:`chain_graph`, :func:`fork_join_graph`,
+:func:`layered_graph` and :func:`random_dag` -- whose tasks carry
+realistic work, moldability bounds and collective specs, so the
+vectorized cost path is exercised end to end.
+
+:func:`synthesize` is the keyed entry point the scale benchmark
+(``benchmarks/bench_schedule_scale.py``) sweeps over.
+"""
+
+from .synthetic import (
+    FAMILIES,
+    chain_graph,
+    fork_join_graph,
+    layered_graph,
+    random_dag,
+    synthesize,
+)
+
+__all__ = [
+    "FAMILIES",
+    "chain_graph",
+    "fork_join_graph",
+    "layered_graph",
+    "random_dag",
+    "synthesize",
+]

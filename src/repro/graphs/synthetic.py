@@ -1,0 +1,211 @@
+"""Seeded generators for the synthetic DAG families.
+
+Every generator takes an integer ``seed`` and drives all randomness
+through one ``random.Random(seed)`` instance, so a (family, size, seed)
+triple always produces the same graph -- tasks, parameters, collectives
+and edges alike.  Graphs are built inside
+:meth:`~repro.core.graph.TaskGraph.deferred_validation`, so construction
+is O(V + E) with a single closing acyclicity check.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Optional
+
+from ..core.graph import DataFlow, TaskGraph
+from ..core.task import CollectiveSpec, MTask
+
+__all__ = [
+    "chain_graph",
+    "fork_join_graph",
+    "layered_graph",
+    "random_dag",
+    "synthesize",
+    "FAMILIES",
+]
+
+#: collective shapes a generated task draws from (op, scope, tpo); a
+#: mix of the patterns the ODE workloads exhibit (Table 1)
+_COMM_MENU = (
+    ("allgather", "group", False),
+    ("bcast", "global", True),
+    ("allreduce", "group", False),
+    ("ptp", "orthogonal", False),
+)
+
+
+def _make_task(rng: random.Random, name: str, elements: int) -> MTask:
+    """One synthetic task: lognormal-ish work, occasional moldability
+    bounds, zero to two collective specs."""
+    work = elements * rng.uniform(5.0, 50.0)
+    min_procs = rng.choice((1, 1, 1, 1, 2, 4))
+    max_procs: Optional[int] = rng.choice((None, None, None, 256))
+    comm = []
+    for _ in range(rng.randint(0, 2)):
+        op, scope, tpo = rng.choice(_COMM_MENU)
+        comm.append(
+            CollectiveSpec(
+                op=op,
+                total_elements=float(rng.randint(1, elements)),
+                count=float(rng.randint(1, 4)),
+                scope=scope,
+                task_parallel_only=tpo,
+            )
+        )
+    return MTask(
+        name=name,
+        work=work,
+        comm=tuple(comm),
+        min_procs=min_procs,
+        max_procs=max_procs,
+    )
+
+
+def _flow(rng: random.Random, var: str, elements: int) -> DataFlow:
+    return DataFlow(var=var, elements=rng.randint(1, elements))
+
+
+def chain_graph(n: int, *, seed: int = 0, elements: int = 1024) -> TaskGraph:
+    """A single linear chain of ``n`` tasks (contraction stress case)."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    rng = random.Random(seed)
+    g = TaskGraph(f"synthetic/chain-{n}-s{seed}")
+    with g.deferred_validation():
+        prev: Optional[MTask] = None
+        for i in range(n):
+            t = g.add_task(_make_task(rng, f"c{i}", elements))
+            if prev is not None:
+                g.add_dependency(prev, t, [_flow(rng, "x", elements)])
+            prev = t
+    return g
+
+
+def fork_join_graph(
+    n: int, *, width: int = 32, seed: int = 0, elements: int = 1024
+) -> TaskGraph:
+    """Repeated fork-join stages: fork -> ``width`` parallel tasks -> join.
+
+    ``n`` is the approximate total task count; the generator emits
+    ``ceil`` stages of ``width + 2`` tasks until it is reached.
+    """
+    if n <= 0 or width <= 0:
+        raise ValueError("n and width must be positive")
+    rng = random.Random(seed)
+    g = TaskGraph(f"synthetic/forkjoin-{n}-w{width}-s{seed}")
+    with g.deferred_validation():
+        made = 0
+        stage = 0
+        prev_join: Optional[MTask] = None
+        while made < n:
+            fork = g.add_task(_make_task(rng, f"fork{stage}", elements))
+            if prev_join is not None:
+                g.add_dependency(prev_join, fork, [_flow(rng, "y", elements)])
+            body = []
+            for j in range(width):
+                t = g.add_task(_make_task(rng, f"b{stage}_{j}", elements))
+                g.add_dependency(fork, t, [_flow(rng, "x", elements)])
+                body.append(t)
+            join = g.add_task(_make_task(rng, f"join{stage}", elements))
+            for t in body:
+                g.add_dependency(t, join, [_flow(rng, "x", elements)])
+            made += width + 2
+            stage += 1
+            prev_join = join
+    return g
+
+
+def layered_graph(
+    n: int,
+    *,
+    width: int = 64,
+    edge_density: float = 0.1,
+    seed: int = 0,
+    elements: int = 1024,
+) -> TaskGraph:
+    """A wide layered DAG: ``ceil(n / width)`` layers of ``width`` tasks.
+
+    Edges run only between consecutive layers; each task of a
+    non-initial layer keeps at least one predecessor (connectivity), and
+    further cross edges appear with probability ``edge_density``.  This
+    is the scheduler's hot shape: wide independent layers driving the
+    ``g``-search.
+    """
+    if n <= 0 or width <= 0:
+        raise ValueError("n and width must be positive")
+    if not 0.0 <= edge_density <= 1.0:
+        raise ValueError("edge_density must be within [0, 1]")
+    rng = random.Random(seed)
+    g = TaskGraph(f"synthetic/layered-{n}-w{width}-s{seed}")
+    with g.deferred_validation():
+        prev_layer: List[MTask] = []
+        made = 0
+        li = 0
+        while made < n:
+            cur = []
+            for j in range(min(width, n - made)):
+                t = g.add_task(_make_task(rng, f"l{li}_{j}", elements))
+                cur.append(t)
+            made += len(cur)
+            if prev_layer:
+                for t in cur:
+                    g.add_dependency(
+                        rng.choice(prev_layer), t, [_flow(rng, "x", elements)]
+                    )
+                    for p in prev_layer:
+                        if rng.random() < edge_density:
+                            g.add_dependency(p, t, [_flow(rng, "x", elements)])
+            prev_layer = cur
+            li += 1
+    return g
+
+
+def random_dag(
+    n: int,
+    *,
+    max_preds: int = 3,
+    seed: int = 0,
+    elements: int = 1024,
+) -> TaskGraph:
+    """A random DAG over a fixed topological order.
+
+    Task ``i`` draws up to ``max_preds`` predecessors uniformly from a
+    recent window of earlier tasks, which keeps the depth/width mix
+    irregular -- neither chain- nor layer-shaped.
+    """
+    if n <= 0:
+        raise ValueError("n must be positive")
+    rng = random.Random(seed)
+    g = TaskGraph(f"synthetic/random-{n}-s{seed}")
+    with g.deferred_validation():
+        tasks: List[MTask] = []
+        for i in range(n):
+            t = g.add_task(_make_task(rng, f"r{i}", elements))
+            if tasks:
+                window = tasks[-256:]
+                k = rng.randint(1, max_preds)
+                for p in rng.sample(window, min(k, len(window))):
+                    g.add_dependency(p, t, [_flow(rng, "x", elements)])
+            tasks.append(t)
+    return g
+
+
+#: the benchmarkable families, keyed as the scale sweep names them
+FAMILIES: Dict[str, Callable[..., TaskGraph]] = {
+    "chain": chain_graph,
+    "forkjoin": fork_join_graph,
+    "layered": layered_graph,
+    "random": random_dag,
+}
+
+
+def synthesize(family: str, n: int, *, seed: int = 0, **kwargs) -> TaskGraph:
+    """Generate a graph of ``family`` with roughly ``n`` tasks."""
+    try:
+        fn = FAMILIES[family]
+    except KeyError:
+        raise ValueError(
+            f"unknown family {family!r}; known: {sorted(FAMILIES)}"
+        ) from None
+    return fn(n, seed=seed, **kwargs)

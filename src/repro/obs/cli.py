@@ -67,8 +67,6 @@ LOWER_IS_BETTER = (
 HIGHER_IS_BETTER = (
     "cache_hit_rate",
     "evaluation_reduction",
-    "gsearch_cache_hit_rate",
-    "gsearch_evaluation_reduction",
     "busy_fraction",
     "utilization",
     "speculation_wins",

@@ -233,6 +233,14 @@ class ScheduleAnalysis:
     speculation_wins: int = 0
     speculation_losses: int = 0
     speculation_saved_seconds: float = 0.0
+    #: cost-evaluator counters (runs through a
+    #: :class:`~repro.core.costmodel.CachedCostEvaluator` only; zero
+    #: otherwise so cache-less exports stay unchanged).  ``cache_batched``
+    #: counts Tsymb cells answered by vectorized batch tables -- the
+    #: decide/cost split's replacement for scalar g-search probes.
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_batched: int = 0
 
     # ------------------------------------------------------------------
     @property
@@ -259,6 +267,12 @@ class ScheduleAnalysis:
         durations) as a fraction of the makespan; 1.0 means the run is
         completely serialised on its critical path."""
         return self.critical_path / self.makespan if self.makespan > 0 else 0.0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Scalar cost-cache hit rate (0.0 when no cache was active)."""
+        n = self.cache_hits + self.cache_misses
+        return self.cache_hits / n if n else 0.0
 
     @property
     def mean_layer_imbalance(self) -> float:
@@ -299,6 +313,11 @@ class ScheduleAnalysis:
             out["speculation_wins"] = float(self.speculation_wins)
             out["speculation_losses"] = float(self.speculation_losses)
             out["speculation_saved_seconds"] = self.speculation_saved_seconds
+        if self.cache_hits or self.cache_misses or self.cache_batched:
+            out["cache_hits"] = float(self.cache_hits)
+            out["cache_misses"] = float(self.cache_misses)
+            out["cache_hit_rate"] = self.cache_hit_rate
+            out["cache_batched"] = float(self.cache_batched)
         return out
 
     def to_dict(self) -> Dict[str, Any]:
@@ -337,6 +356,18 @@ class ScheduleAnalysis:
                     }
                 }
                 if self.speculation_wins or self.speculation_losses
+                else {}
+            ),
+            **(
+                {
+                    "cache": {
+                        "hits": self.cache_hits,
+                        "misses": self.cache_misses,
+                        "hit_rate": self.cache_hit_rate,
+                        "batched": self.cache_batched,
+                    }
+                }
+                if self.cache_hits or self.cache_misses or self.cache_batched
                 else {}
             ),
         }
@@ -380,6 +411,13 @@ class ScheduleAnalysis:
                 f"  speculation         {self.speculation_wins} wins / "
                 f"{self.speculation_losses} losses, "
                 f"{self.speculation_saved_seconds:.4g} s saved"
+            )
+        if self.cache_hits or self.cache_misses or self.cache_batched:
+            lines.append(
+                f"  cost cache          {self.cache_hits} hits / "
+                f"{self.cache_misses} misses "
+                f"({self.cache_hit_rate * 100:.1f} %), "
+                f"{self.cache_batched} batched cells"
             )
         if per_core:
             lines.append("  per-core usage:")
@@ -496,4 +534,9 @@ def analyze(result) -> ScheduleAnalysis:
                 analysis.group_size_distribution[size] = (
                     analysis.group_size_distribution.get(size, 0) + 1
                 )
+    cache = getattr(result, "cache", None)
+    if cache is not None:
+        analysis.cache_hits = cache.total_hits
+        analysis.cache_misses = cache.total_misses
+        analysis.cache_batched = cache.total_batched
     return analysis

@@ -212,6 +212,7 @@ class SchedulingPipeline:
             obs.set_counter("cache.hits", stats.total_hits)
             obs.set_counter("cache.misses", stats.total_misses)
             obs.set_counter("cache.hit_rate", stats.hit_rate)
+            obs.set_counter("cache.batched", stats.total_batched)
         obs.gauge("pipeline.predicted_makespan", predicted)
         if trace is not None:
             obs.gauge("pipeline.simulated_makespan", trace.makespan)

@@ -11,11 +11,19 @@ resizes the subsets proportionally to their accumulated sequential work.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Sequence
+import heapq
+from collections import deque
+from typing import Callable, Dict, List, Optional, Sequence
 
 from ..core.task import MTask
 
-__all__ = ["equal_partition", "lpt_assign", "round_robin_assign", "adjust_group_sizes"]
+__all__ = [
+    "equal_partition",
+    "lpt_assign",
+    "lpt_assign_indices",
+    "round_robin_assign",
+    "adjust_group_sizes",
+]
 
 
 def equal_partition(total: int, g: int) -> List[int]:
@@ -40,14 +48,38 @@ def lpt_assign(
     modified greedy scheduler with 4/3 sub-optimality bound referenced in
     Section 3.2).  Ties fall to the lowest-indexed subset, which keeps
     the result deterministic.
+
+    The open subsets live in a min-heap keyed on ``(load, index)``, so
+    one assignment costs ``O(log g)`` instead of the former ``O(g)``
+    linear scan -- ``O(n log n + n log g)`` per call overall.  ``time_of``
+    is evaluated exactly once per task; every decision (including
+    tie-breaks and the floating-point load accumulation order) is
+    identical to the scan implementation.
     """
-    groups: List[List[MTask]] = [[] for _ in range(g)]
-    loads = [0.0] * g
-    order = sorted(tasks, key=lambda t: (-time_of(t), t.name))
-    for t in order:
-        l = min(range(g), key=lambda i: (loads[i], i))
-        groups[l].append(t)
-        loads[l] += time_of(t)
+    tasks = list(tasks)
+    times = [time_of(t) for t in tasks]
+    order = sorted(range(len(tasks)), key=lambda i: (-times[i], tasks[i].name))
+    idx_groups = lpt_assign_indices(order, times, g)
+    return [[tasks[i] for i in grp] for grp in idx_groups]
+
+
+def lpt_assign_indices(
+    order: Sequence[int], times: Sequence[float], g: int
+) -> List[List[int]]:
+    """Index-level LPT core: deal task indices (pre-sorted by decreasing
+    ``times`` with a deterministic tie-break) to ``g`` subsets.
+
+    This is the exact decision loop of :func:`lpt_assign` minus the task
+    objects; the ``g``-search calls it directly so one sort per distinct
+    cost column serves every candidate ``g`` probing that column.
+    """
+    groups: List[List[int]] = [[] for _ in range(g)]
+    heap = [(0.0, l) for l in range(g)]  # ascending indices: already a heap
+    replace = heapq.heapreplace
+    for i in order:
+        load, l = heap[0]
+        groups[l].append(i)
+        replace(heap, (load + times[i], l))
     return groups
 
 
@@ -67,6 +99,7 @@ def adjust_group_sizes(
     groups: Sequence[Sequence[MTask]],
     seq_work: Callable[[MTask], float],
     total_cores: int,
+    tseq: Optional[Sequence[float]] = None,
 ) -> List[int]:
     """Group adjustment: sizes proportional to accumulated sequential work.
 
@@ -77,13 +110,25 @@ def adjust_group_sizes(
     of its widest task.  Largest remainder avoids Python's banker's
     rounding (``round(2.5) == 2``), which biased ``.5`` ideals toward
     even group sizes.
+
+    ``tseq`` optionally supplies the per-group accumulated sequential
+    work (one float per group, summed in group order); callers that
+    already hold batch-evaluated costs pass it to skip the per-task
+    ``seq_work`` probes.  The repair loops run in ``O(g log g + d)`` for
+    a core deficit ``d`` -- groups are ordered once and cycled through a
+    deque, never re-sorted or re-scanned.
     """
     g = len(groups)
     if g == 0:
         return []
     if g > total_cores:
         raise ValueError(f"{g} groups cannot share {total_cores} cores")
-    tseq = [sum(seq_work(t) for t in grp) for grp in groups]
+    if tseq is None:
+        tseq = [sum(seq_work(t) for t in grp) for grp in groups]
+    else:
+        tseq = list(tseq)
+        if len(tseq) != g:
+            raise ValueError(f"tseq has {len(tseq)} entries for {g} groups")
     total_work = sum(tseq)
     floors = [max((max((t.min_procs for t in grp), default=1)), 1) for grp in groups]
     if sum(floors) > total_cores:
@@ -104,23 +149,27 @@ def adjust_group_sizes(
     sizes = [max(f, b) for f, b in zip(floors, base)]
     # repair the floor clamping so sizes sum to total_cores
     diff = total_cores - sum(sizes)
-    # fractional parts guide who gains/loses first
-    order_gain = sorted(range(g), key=lambda i: (sizes[i] - ideal[i], i))
-    order_lose = sorted(range(g), key=lambda i: (ideal[i] - sizes[i], i))
-    k = 0
-    while diff > 0:
-        sizes[order_gain[k % g]] += 1
-        diff -= 1
-        k += 1
-    while diff < 0:
-        shrunk = False
-        for i in order_lose:
-            if diff == 0:
-                break
+    # fractional parts guide who gains/loses first; sorted once, then
+    # cycled -- a group at its floor leaves the rotation for good (sizes
+    # only shrink here, so it can never become shrinkable again)
+    if diff > 0:
+        order_gain = sorted(range(g), key=lambda i: (sizes[i] - ideal[i], i))
+        k = 0
+        while diff > 0:
+            sizes[order_gain[k % g]] += 1
+            diff -= 1
+            k += 1
+    elif diff < 0:
+        order_lose = sorted(range(g), key=lambda i: (ideal[i] - sizes[i], i))
+        rotation = deque(i for i in order_lose if sizes[i] > floors[i])
+        while diff < 0:
+            if not rotation:  # unreachable: feasibility checked above
+                raise ValueError(
+                    "cannot satisfy min_procs floors within total cores"
+                )
+            i = rotation.popleft()
+            sizes[i] -= 1
+            diff += 1
             if sizes[i] > floors[i]:
-                sizes[i] -= 1
-                diff += 1
-                shrunk = True
-        if diff < 0 and not shrunk:  # unreachable: feasibility checked above
-            raise ValueError("cannot satisfy min_procs floors within total cores")
+                rotation.append(i)
     return sizes

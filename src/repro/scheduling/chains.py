@@ -27,27 +27,34 @@ __all__ = ["find_linear_chains", "contract_chains"]
 def find_linear_chains(graph: TaskGraph) -> List[List[MTask]]:
     """All maximal linear chains with at least two members.
 
-    Chains are disjoint; members are returned in execution order.
+    Chains are disjoint; members are returned in execution order.  The
+    pass walks a prebuilt adjacency index -- one topological sweep plus
+    one step per chain edge, strictly O(V + E) (the former per-call
+    ``successors()``/``predecessors()`` tuples made long chains cost a
+    fresh allocation per probe; a 10^4-node chain now resolves in one
+    walk).
     """
+    succ = graph.successor_index()
+    pred = graph.predecessor_index()
 
     def chain_edge(u: MTask, v: MTask) -> bool:
         # u -> v may be merged iff v is u's only successor and u is v's
         # only predecessor.
-        return len(graph.successors(u)) == 1 and len(graph.predecessors(v)) == 1
+        return len(succ[u]) == 1 and len(pred[v]) == 1
 
     chains: List[List[MTask]] = []
     seen = set()
     for t in graph.topological_order():
         if t in seen:
             continue
-        preds = graph.predecessors(t)
+        preds = pred[t]
         extendable_back = len(preds) == 1 and chain_edge(preds[0], t)
         if extendable_back:
             continue  # not a chain head; will be reached from its head
         chain = [t]
         cur = t
         while True:
-            succs = graph.successors(cur)
+            succs = succ[cur]
             if len(succs) != 1:
                 break
             nxt = succs[0]
@@ -97,11 +104,20 @@ def contract_chains(graph: TaskGraph) -> Tuple[TaskGraph, Dict[MTask, List[MTask
             node_of[member] = merged
 
     out = TaskGraph(f"{graph.name}/chained")
-    for t in graph:
-        out.add_task(node_of.get(t, t))
-    for u, v, flows in graph.edges():
-        cu, cv = node_of.get(u, u), node_of.get(v, v)
-        if cu is cv:
-            continue  # interior chain edge
-        out.add_dependency(cu, cv, flows)
+    # bulk construction: contracting maximal linear chains of a DAG
+    # preserves acyclicity, and since only a chain's entry has external
+    # in-edges and only its exit external out-edges, no two source edges
+    # map to the same contracted pair -- the preconditions of the O(1)
+    # per-edge add_edges_bulk path, with one closing validation
+    with out.deferred_validation():
+        for t in graph:
+            out.add_task(node_of.get(t, t))
+        def rewired():
+            get = node_of.get
+            for u, v, flows in graph.edges():
+                cu, cv = get(u, u), get(v, v)
+                if cu is not cv:  # drop interior chain edges
+                    yield cu, cv, flows
+
+        out.add_edges_bulk(rewired())
     return out, expansion

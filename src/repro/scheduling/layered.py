@@ -23,14 +23,14 @@ running the scheduler through the pipeline's
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.costmodel import CostModel
 from ..core.graph import TaskGraph
 from ..core.schedule import Layer, LayeredSchedule
 from ..core.task import MTask
 from ..obs import Instrumentation
-from .allocation import adjust_group_sizes, equal_partition, lpt_assign, round_robin_assign
+from .allocation import adjust_group_sizes, equal_partition, lpt_assign_indices
 from .base import Scheduler, SchedulingResult
 from .chains import contract_chains
 from .layers import build_layers
@@ -76,10 +76,6 @@ class LayerBasedScheduler(Scheduler):
             raise ValueError("assignment must be 'lpt' or 'roundrobin'")
 
     # ------------------------------------------------------------------
-    def _assign(self, tasks, time_of, g):
-        fn = lpt_assign if self.assignment == "lpt" else round_robin_assign
-        return fn(tasks, time_of, g)
-
     def _candidates(self, n_tasks: int) -> List[int]:
         max_g = min(self.nprocs, n_tasks)
         if self.candidate_groups is not None:
@@ -99,20 +95,78 @@ class LayerBasedScheduler(Scheduler):
         min_size = min(equal_partition(self.nprocs, g))
         return all(t.min_procs <= min_size for t in tasks)
 
+    def _cost_columns(
+        self, tasks: Sequence[MTask], feasible: Sequence[int]
+    ) -> Tuple[Dict[int, List[float]], int]:
+        """Batch-evaluate every ``Tsymb`` column the ``g``-search reads.
+
+        The search probes each task at two kinds of width: the equal
+        subset estimate ``P // g`` of every candidate, and the
+        ``equal_partition`` sizes of every possible non-empty group count
+        (``floor(P/k)`` and its ceiling) -- ``O(sqrt(P) + |candidates|)``
+        distinct widths in total.  One ``tsymb_table`` call scores all of
+        them; the returned map gives the per-task cost column of each raw
+        width as plain Python floats (bitwise equal to scalar ``tsymb``).
+        """
+        P = self.nprocs
+        widths = set()
+        for g in feasible:
+            widths.add(P // g)
+        for k in range(1, max(feasible) + 1):
+            base, rem = divmod(P, k)
+            widths.add(base)
+            if rem:
+                widths.add(base + 1)
+        ordered = sorted(widths)
+        table = self.cost.tsymb_table(tasks, ordered)
+        columns = {w: table[:, j].tolist() for j, w in enumerate(ordered)}
+        return columns, len(ordered)
+
     def schedule_layer(
         self, tasks: Sequence[MTask], obs: Optional[Instrumentation] = None
     ) -> Tuple[Layer, float]:
-        """Schedule one layer; returns the layer and its ``Tmin``."""
+        """Schedule one layer; returns the layer and its ``Tmin``.
+
+        *Decide* and *cost* are split: all symbolic cost columns the
+        search can touch are batch-evaluated up front
+        (:meth:`_cost_columns`), then the ``g``-search, LPT assignment
+        and load maximisation run on plain float lookups without calling
+        the cost model again.  Decisions -- including floating-point
+        accumulation order and tie-breaks -- are bit-identical to the
+        historical scalar implementation.
+        """
         obs = obs if obs is not None else Instrumentation()
         P = self.nprocs
-        best: Optional[Tuple[float, int, List[List[MTask]], List[int]]] = None
+        tasks = list(tasks)
+        max_minp = max((t.min_procs for t in tasks), default=1)
+        feasible = []
         for g in self._candidates(len(tasks)):
-            if not self._layer_feasible(tasks, g):
-                continue
+            if g <= 0:
+                # matches the scalar path: probing a degenerate group
+                # count fails inside equal_partition
+                equal_partition(P, g)
+            if max_minp <= P // g:  # == _layer_feasible(tasks, g)
+                feasible.append(g)
+        best: Optional[Tuple[float, int, List[List[int]], List[int]]] = None
+        if feasible:
+            columns, n_widths = self._cost_columns(tasks, feasible)
+            obs.count("gsearch.batch_widths", n_widths)
+            n = len(tasks)
+            # LPT's task order depends only on the cost column, so one
+            # sort per distinct width serves every candidate probing it
+            order_cache: Dict[int, List[int]] = {}
+        for g in feasible:
             obs.count("gsearch.probes")
             q_est = P // g  # the equal subset size the paper assumes
-            time_of = lambda t, q=q_est: self.cost.tsymb(t, t.clamp_procs(max(q, t.min_procs)))
-            groups = self._assign(tasks, time_of, g)
+            est = columns[q_est]
+            if self.assignment == "lpt":
+                order = order_cache.get(q_est)
+                if order is None:
+                    order = sorted(range(n), key=lambda i: (-est[i], tasks[i].name))
+                    order_cache[q_est] = order
+                groups = lpt_assign_indices(order, est, g)
+            else:
+                groups = [list(range(gi, n, g)) for gi in range(g)]  # roundrobin
             # a candidate g larger than the number of tasks with distinct
             # loads leaves LPT groups empty; drop them *before* costing so
             # their cores widen the real groups instead of idling (the
@@ -124,10 +178,8 @@ class LayerBasedScheduler(Scheduler):
             sizes = equal_partition(P, len(groups))
             loads = []
             for gi, grp in enumerate(groups):
-                q = sizes[gi]
-                loads.append(
-                    sum(self.cost.tsymb(t, t.clamp_procs(max(q, t.min_procs))) for t in grp)
-                )
+                col = columns[sizes[gi]]
+                loads.append(sum(map(col.__getitem__, grp)))
             tact = max(loads) if loads else 0.0
             if best is None or tact < best[0] - 1e-15:
                 best = (tact, g, groups, sizes)
@@ -136,7 +188,8 @@ class LayerBasedScheduler(Scheduler):
                 "no feasible group count for layer "
                 f"[{', '.join(t.name for t in tasks)}] on {P} cores"
             )
-        tact, g, groups, sizes = best
+        tact, g, idx_groups, sizes = best
+        groups = [[tasks[i] for i in grp] for grp in idx_groups]
         if self.adjust and len(groups) > 1:
             with obs.span("adjust"):
                 sizes = adjust_group_sizes(groups, self.cost.sequential_time, self.nprocs)

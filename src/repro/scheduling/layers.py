@@ -20,11 +20,16 @@ __all__ = ["build_layers", "layer_index"]
 
 
 def layer_index(graph: TaskGraph) -> Dict[MTask, int]:
-    """Layer number of every task (longest-path depth from the sources)."""
+    """Layer number of every task (longest-path depth from the sources).
+
+    One pass over a prebuilt predecessor index -- strictly O(V + E),
+    no per-task adjacency tuples.
+    """
+    preds = graph.predecessor_index()
     depth: Dict[MTask, int] = {}
     for t in graph.topological_order():
-        preds = graph.predecessors(t)
-        depth[t] = 0 if not preds else 1 + max(depth[p] for p in preds)
+        ps = preds[t]
+        depth[t] = 1 + max(depth[p] for p in ps) if ps else 0
     return depth
 
 
@@ -33,12 +38,23 @@ def build_layers(graph: TaskGraph) -> List[List[MTask]]:
 
     Tasks within a returned layer are pairwise independent by
     construction; layers are ordered so that all dependencies point from
-    earlier to later layers.
+    earlier to later layers.  O(V + E): one :func:`layer_index` pass
+    plus one bucketing pass in topological order (which fixes the
+    within-layer task order the rest of the scheduler depends on).
     """
-    depth = layer_index(graph)
-    if not depth:
+    order = graph.topological_order()
+    if not order:
         return []
-    layers: List[List[MTask]] = [[] for _ in range(max(depth.values()) + 1)]
-    for t in graph.topological_order():
+    preds = graph.predecessor_index()
+    depth: Dict[MTask, int] = {}
+    nlayers = 0
+    for t in order:
+        ps = preds[t]
+        d = 1 + max(depth[p] for p in ps) if ps else 0
+        depth[t] = d
+        if d + 1 > nlayers:
+            nlayers = d + 1
+    layers: List[List[MTask]] = [[] for _ in range(nlayers)]
+    for t in order:
         layers[depth[t]].append(t)
     return layers

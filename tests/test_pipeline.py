@@ -125,14 +125,20 @@ class TestPipelineMatchesManualChain:
 
 class TestCostCachePayoff:
     def test_gsearch_hit_rate(self, problem, platform):
-        """Acceptance: >= 2x fewer cost evaluations during the layer
-        g-search with the memoized evaluator."""
+        """Acceptance: the g-search's Tsymb probes are answered by
+        vectorized batch tables, not per-call scalar evaluations; the
+        scalar cache still covers the remaining (simulation-side) calls."""
         graph = step_graph(problem, CONFIGS["pabm"])
         pipe = SchedulingPipeline(LayerBasedScheduler(CostModel(platform)))
         res = pipe.run(graph)
         assert res.cache is not None
-        assert res.cache.hit_rate >= 0.5
-        assert res.cache.evaluation_reduction >= 2.0
+        # batch cells far outnumber the scalar Tsymb evaluations that
+        # remain (makespan prediction / simulation)
+        assert res.cache.total_batched > 0
+        assert res.cache.batched["tsymb"] >= 2 * res.cache.misses["tsymb"]
+        # repeated scalar probes still memoize
+        assert res.cache.total_hits > 0
+        assert res.cache.evaluation_reduction > 1.0
         assert res.obs.counter("cache.hits") == res.cache.total_hits
 
     def test_cache_opt_out(self, platform):

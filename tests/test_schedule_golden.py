@@ -1,0 +1,84 @@
+"""Bit-identity of the scheduler against golden paper-workload schedules.
+
+``tests/data/golden_schedules.json`` (written by
+``scripts/capture_golden_schedules.py``) records, for every paper solver
+at two core counts and three scheduler variants, the exact decisions of
+the layer-based scheduler: per-layer group membership in order, group
+sizes, and the predicted makespan as a ``float.hex()`` string.
+
+This suite asserts the current code reproduces every run *bit-for-bit*.
+It is the safety net for the decide/cost split: batching the cost
+evaluation, the heap-based LPT, the deque-based group adjustment and the
+bulk graph construction are all pure optimisations and must not move a
+single task between groups or change one bit of the predicted makespan.
+Regenerate the golden file only when the algorithm's decisions change
+on purpose.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cluster import chic
+from repro.core import CostModel
+from repro.experiments.common import paper_group_count
+from repro.ode import MethodConfig, bruss2d, step_graph
+from repro.scheduling import LayerBasedScheduler, fixed_group_scheduler
+
+GOLDEN_PATH = Path(__file__).parent / "data" / "golden_schedules.json"
+GOLDEN = json.loads(GOLDEN_PATH.read_text())
+
+SOLVERS = {
+    "irk": MethodConfig("irk", K=4, m=7),
+    "diirk": MethodConfig("diirk", K=4, m=3, I=2),
+    "epol": MethodConfig("epol", K=8),
+    "pab": MethodConfig("pab", K=8),
+    "pabm": MethodConfig("pabm", K=8, m=2),
+}
+
+
+def test_golden_file_schema():
+    assert GOLDEN["schema"] == "repro.golden_schedules/1"
+    assert len(GOLDEN["runs"]) == 30
+
+
+@pytest.fixture(scope="module")
+def graphs():
+    """Build each solver's step graph once for all 6 runs that use it."""
+    n = GOLDEN["n"]
+    return {name: step_graph(bruss2d(n), cfg) for name, cfg in SOLVERS.items()}
+
+
+def _scheduler(variant: str, method: str, cores: int):
+    plat = chic().with_cores(cores)
+    if variant == "gsearch":
+        return LayerBasedScheduler(CostModel(plat))
+    if variant == "fixed":
+        return fixed_group_scheduler(CostModel(plat), paper_group_count(SOLVERS[method]))
+    if variant == "noadjust":
+        return LayerBasedScheduler(CostModel(plat), adjust=False)
+    raise AssertionError(variant)
+
+
+@pytest.mark.parametrize("key", sorted(GOLDEN["runs"]))
+def test_schedule_is_bit_identical(key, graphs):
+    method, cores, variant = key.split("/")
+    ref = GOLDEN["runs"][key]
+    scheduler = _scheduler(variant, method, int(cores))
+    result = scheduler.schedule(graphs[method])
+
+    layers = [
+        {
+            "groups": [[t.name for t in grp] for grp in layer.groups],
+            "group_sizes": list(layer.group_sizes),
+        }
+        for layer in result.layered.layers
+    ]
+    assert layers == ref["layers"], f"{key}: group decisions diverged from golden"
+
+    makespan = result.predicted_makespan(scheduler.cost)
+    assert float(makespan).hex() == ref["predicted_makespan_hex"], (
+        f"{key}: makespan {makespan!r} is not bit-identical to golden "
+        f"{ref['predicted_makespan']!r}"
+    )
