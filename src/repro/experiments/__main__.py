@@ -134,6 +134,12 @@ def main(argv: List[str] = None) -> int:
         "pipeline run per selected artefact",
     )
     ap.add_argument(
+        "--registry-dir",
+        metavar="DIR",
+        help="append one RunRecord per selected artefact (its representative "
+        "pipeline run) to the run registry rooted at DIR",
+    )
+    ap.add_argument(
         "--faults",
         metavar="SEED:RATE[:LAYER:NODES]",
         help="append a deterministic fault-injection sweep over the paper "
@@ -185,34 +191,36 @@ def main(argv: List[str] = None) -> int:
         args.out.mkdir(parents=True, exist_ok=True)
 
     for name in selected:
-        t0 = time.time()
+        # perf_counter, not time.time(): the printed per-artefact duration
+        # must stay monotonic under wall-clock (NTP) adjustments
+        t0 = time.perf_counter()
         print(f"### {name} " + "#" * (60 - len(name)))
         tables = ARTEFACTS[name](args.quick)
         text = "\n\n".join(tables)
         print(text)
-        print(f"({time.time() - t0:.1f}s)\n")
+        print(f"({time.perf_counter() - t0:.1f}s)\n")
         if args.out:
             (args.out / f"{name}.txt").write_text(text + "\n")
     if args.faults:
         from .faults_sweep import run_faults_sweep
 
-        t0 = time.time()
+        t0 = time.perf_counter()
         print("### faults " + "#" * 54)
         text = run_faults_sweep(args.faults, args.quick).table_str()
         print(text)
-        print(f"({time.time() - t0:.1f}s)\n")
+        print(f"({time.perf_counter() - t0:.1f}s)\n")
         if args.out:
             (args.out / "faults.txt").write_text(text + "\n")
     if args.speculate:
         from .speculation_sweep import run_speculation_sweep
 
-        t0 = time.time()
+        t0 = time.perf_counter()
         print("### speculation " + "#" * 49)
         text = run_speculation_sweep(
             args.speculate, args.straggler_faults, args.quick
         ).table_str()
         print(text)
-        print(f"({time.time() - t0:.1f}s)\n")
+        print(f"({time.perf_counter() - t0:.1f}s)\n")
         if args.out:
             (args.out / "speculation.txt").write_text(text + "\n")
     if args.checkpoint_dir:
@@ -239,9 +247,36 @@ def main(argv: List[str] = None) -> int:
             f"{rec['resumed_tasks']} resumed from journal, "
             f"{rec['checkpoint_bytes']} checkpoint bytes"
         )
-    if args.trace_out:
-        path = export_traces(selected, args.quick, args.trace_out)
-        print(f"wrote trace-event JSON for {len(selected)} artefact run(s) to {path}")
+    if args.trace_out or args.registry_dir:
+        # one representative run per artefact, shared by both exports
+        runs = [(name, _representative_run(name, args.quick)) for name in selected]
+        if args.trace_out:
+            from ..obs.perfetto import merged_trace, write_trace
+
+            path = write_trace(args.trace_out, merged_trace(runs))
+            print(
+                f"wrote trace-event JSON for {len(runs)} artefact run(s) to {path}"
+            )
+        if args.registry_dir:
+            from ..obs.registry import RunRegistry, record_from_result
+
+            registry = RunRegistry(args.registry_dir)
+            for name, result in runs:
+                registry.append(
+                    record_from_result(
+                        result,
+                        spec={
+                            "artefact": name,
+                            "solver": REPRESENTATIVE[name][0],
+                            "platform": "chic",
+                            "quick": bool(args.quick),
+                        },
+                        timestamp=time.time(),
+                    )
+                )
+            print(
+                f"appended {len(runs)} run record(s) to {registry.path}"
+            )
     return 0
 
 

@@ -4,12 +4,19 @@
   (:class:`Instrumentation`: spans, counters, records, histograms);
 * :mod:`repro.obs.metrics` -- :class:`Histogram` / :class:`Gauge`
   primitives and the derived :class:`ScheduleAnalysis`;
+* :mod:`repro.obs.registry` -- the labeled :class:`MetricsRegistry`
+  (with Prometheus text exposition) and the persistent
+  :class:`RunRegistry` of digest-keyed :class:`RunRecord` entries;
+* :mod:`repro.obs.calibrate` -- predicted-vs-actual cost-model
+  calibration (:class:`CalibrationReport`);
 * :mod:`repro.obs.perfetto` -- Chrome trace-event / Perfetto export;
 * :mod:`repro.obs.gantt` -- terminal-side Gantt rendering;
 * :mod:`repro.obs.cli` -- the ``python -m repro.obs`` command line
-  (export, report, gantt and the benchmark regression ``diff`` gate).
+  (export, report, gantt, the benchmark regression ``diff`` gate,
+  ``history``/``trend`` over the run registry, ``calib`` and ``prom``).
 """
 
+from .calibrate import CalibrationReport, TaskCalibration, calibrate_result, calibrate_spans
 from .events import Instrumentation, SpanRecord
 from .gantt import render_layers, render_trace
 from .metrics import Gauge, Histogram, ScheduleAnalysis, analyze
@@ -21,14 +28,38 @@ from .perfetto import (
     validate_trace_events,
     write_trace,
 )
+from .registry import (
+    Counter,
+    MetricsRegistry,
+    RunRecord,
+    RunRegistry,
+    options_digest,
+    program_digest,
+    publish_result,
+    record_from_result,
+    topology_digest,
+)
 
 __all__ = [
     "Instrumentation",
     "SpanRecord",
     "Histogram",
     "Gauge",
+    "Counter",
     "ScheduleAnalysis",
     "analyze",
+    "MetricsRegistry",
+    "RunRecord",
+    "RunRegistry",
+    "program_digest",
+    "topology_digest",
+    "options_digest",
+    "record_from_result",
+    "publish_result",
+    "CalibrationReport",
+    "TaskCalibration",
+    "calibrate_result",
+    "calibrate_spans",
     "span_events",
     "execution_trace_events",
     "pipeline_trace",

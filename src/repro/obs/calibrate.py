@@ -1,0 +1,344 @@
+"""Predicted-vs-actual calibration of the symbolic cost model.
+
+Every scheduling decision is driven by ``Tsymb(M, q)``; this module
+measures how well those predictions match what actually happened, task
+by task, at the width each task was scheduled on.  Two "actual" sources
+are supported:
+
+* **sim mode** (:func:`calibrate_result`) -- the simulated
+  :class:`~repro.sim.trace.TraceEntry` durations, minus injected fault
+  overhead.  The simulator prices time with the same platform model, so
+  residuals here isolate *scheduling-time* mispricing (contention,
+  redistribution waits, speculative re-execution) from platform error.
+* **wall mode** (:func:`calibrate_spans`) -- wall-clock ``task`` spans
+  recorded by :class:`~repro.runtime.backends.SerialBackend` /
+  :class:`~repro.runtime.backends.ProcessPoolBackend`.  Wall seconds and
+  model seconds live on different scales, so a least-squares scale
+  factor is fitted first and residuals are measured against the scaled
+  predictions -- the report grades the *shape* of the model, not the
+  unit.
+
+Both produce a :class:`CalibrationReport`: signed bias, MAPE, residual
+quantiles, worst offenders, and groupings by layer / group width /
+collective mix.  ``python -m repro.obs calib --gate`` turns the report
+into a CI gate that fails when bias or MAPE drift past thresholds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from .metrics import Histogram
+
+__all__ = [
+    "TaskCalibration",
+    "CalibrationReport",
+    "calibrate_result",
+    "calibrate_spans",
+]
+
+
+@dataclass
+class TaskCalibration:
+    """One task's predicted-vs-actual join at its scheduled width."""
+
+    task: str
+    width: int
+    predicted: float
+    actual: float
+    #: layer index in the layered schedule (``None`` for dynamic runs)
+    layer: Optional[int] = None
+    #: group index within the layer (``None`` for dynamic runs)
+    group: Optional[int] = None
+    #: sorted comma-joined collective ops of the task (``"none"`` if pure)
+    collectives: str = "none"
+
+    def residual(self, scale: float = 1.0) -> float:
+        """Signed relative error ``(actual - scale*pred) / (scale*pred)``.
+
+        Positive means the model was *optimistic* (task ran slower than
+        priced); ``0.0`` when the scaled prediction is zero.
+        """
+        ref = self.predicted * scale
+        if ref <= 0.0:
+            return 0.0
+        return (self.actual - ref) / ref
+
+    def to_dict(self, scale: float = 1.0) -> Dict[str, Any]:
+        """Export the join plus its residual at ``scale``."""
+        return {
+            "task": self.task,
+            "width": self.width,
+            "predicted": self.predicted,
+            "actual": self.actual,
+            "residual": self.residual(scale),
+            **({"layer": self.layer} if self.layer is not None else {}),
+            **({"group": self.group} if self.group is not None else {}),
+            "collectives": self.collectives,
+        }
+
+
+def _group_stats(
+    rows: List[TaskCalibration], scale: float
+) -> Dict[str, float]:
+    """Bias / MAPE / count summary of one row group."""
+    residuals = [r.residual(scale) for r in rows]
+    n = len(residuals)
+    return {
+        "tasks": n,
+        "bias": sum(residuals) / n if n else 0.0,
+        "mape": sum(abs(e) for e in residuals) / n if n else 0.0,
+    }
+
+
+@dataclass
+class CalibrationReport:
+    """Accuracy report of the cost model over one run.
+
+    ``bias`` is the mean *signed* relative error (positive: the model
+    was optimistic, tasks ran slower than priced); ``mape`` the mean
+    absolute relative error.  Wall-clock reports carry the fitted
+    ``scale`` (model seconds -> wall seconds); simulator reports use
+    ``scale == 1.0``.
+    """
+
+    mode: str  # "sim" or "wall"
+    rows: List[TaskCalibration] = field(default_factory=list)
+    scale: float = 1.0
+
+    # ------------------------------------------------------------------
+    @property
+    def count(self) -> int:
+        """Number of joined (predicted, actual) pairs."""
+        return len(self.rows)
+
+    @property
+    def residuals(self) -> List[float]:
+        """Signed relative errors of every row, at the fitted scale."""
+        return [r.residual(self.scale) for r in self.rows]
+
+    @property
+    def bias(self) -> float:
+        """Mean signed relative error (0.0 with no rows)."""
+        res = self.residuals
+        return sum(res) / len(res) if res else 0.0
+
+    @property
+    def mape(self) -> float:
+        """Mean absolute percentage error (0.0 with no rows)."""
+        res = self.residuals
+        return sum(abs(e) for e in res) / len(res) if res else 0.0
+
+    def residual_quantiles(self) -> Dict[str, float]:
+        """p50/p90/p99 of the *absolute* relative errors."""
+        h = Histogram("abs_residual", (abs(e) for e in self.residuals))
+        return {"p50": h.p50, "p90": h.p90, "p99": h.p99}
+
+    def worst(self, top: int = 5) -> List[TaskCalibration]:
+        """The ``top`` rows with the largest absolute residual."""
+        return sorted(
+            self.rows,
+            key=lambda r: (-abs(r.residual(self.scale)), r.task),
+        )[:top]
+
+    # ------------------------------------------------------------------
+    def _grouped(self, key) -> Dict[str, Dict[str, float]]:
+        groups: Dict[str, List[TaskCalibration]] = {}
+        for row in self.rows:
+            groups.setdefault(str(key(row)), []).append(row)
+        return {
+            label: _group_stats(rows, self.scale)
+            for label, rows in sorted(groups.items())
+        }
+
+    def by_width(self) -> Dict[str, Dict[str, float]]:
+        """Bias/MAPE grouped by scheduled group width."""
+        return self._grouped(lambda r: r.width)
+
+    def by_layer(self) -> Dict[str, Dict[str, float]]:
+        """Bias/MAPE grouped by schedule layer (static schedules only)."""
+        return self._grouped(
+            lambda r: r.layer if r.layer is not None else "dynamic"
+        )
+
+    def by_collectives(self) -> Dict[str, Dict[str, float]]:
+        """Bias/MAPE grouped by the task's collective mix."""
+        return self._grouped(lambda r: r.collectives)
+
+    # ------------------------------------------------------------------
+    def gate(self, max_bias: float = 0.25, max_mape: float = 0.35) -> List[str]:
+        """Threshold check; returns a list of violations (empty = pass).
+
+        ``max_bias`` bounds the *absolute* mean signed error, ``max_mape``
+        the mean absolute error.  A report with no joined rows fails --
+        an empty join means the calibration itself is broken, and a gate
+        that silently passes on no data is worse than no gate.
+        """
+        problems: List[str] = []
+        if not self.rows:
+            problems.append("no (predicted, actual) pairs joined")
+            return problems
+        if abs(self.bias) > max_bias:
+            problems.append(
+                f"bias {self.bias:+.3f} exceeds +/-{max_bias:g}"
+            )
+        if self.mape > max_mape:
+            problems.append(f"MAPE {self.mape:.3f} exceeds {max_mape:g}")
+        return problems
+
+    # ------------------------------------------------------------------
+    def to_dict(self, top: int = 5) -> Dict[str, Any]:
+        """JSON-serialisable export (summary plus worst offenders)."""
+        return {
+            "mode": self.mode,
+            "scale": self.scale,
+            "tasks": self.count,
+            "bias": self.bias,
+            "mape": self.mape,
+            "residual_quantiles": self.residual_quantiles(),
+            "by_width": self.by_width(),
+            "by_layer": self.by_layer(),
+            "by_collectives": self.by_collectives(),
+            "worst": [r.to_dict(self.scale) for r in self.worst(top)],
+        }
+
+    def report(self, top: int = 5) -> str:
+        """Human-readable multi-line summary."""
+        lines = [
+            f"cost-model calibration ({self.mode} mode): "
+            f"{self.count} tasks joined",
+        ]
+        if self.mode == "wall":
+            lines.append(f"  fitted scale        {self.scale:.6g} s/model-s")
+        q = self.residual_quantiles()
+        lines += [
+            f"  signed bias         {self.bias:+7.2%}",
+            f"  MAPE                {self.mape:7.2%}",
+            f"  |residual| p50      {q['p50']:7.2%}",
+            f"  |residual| p90      {q['p90']:7.2%}",
+            f"  |residual| p99      {q['p99']:7.2%}",
+        ]
+        for label, groups in (
+            ("width", self.by_width()),
+            ("layer", self.by_layer()),
+            ("collectives", self.by_collectives()),
+        ):
+            if len(groups) > 1:
+                parts = ", ".join(
+                    f"{k}: {v['bias']:+.1%}" for k, v in groups.items()
+                )
+                lines.append(f"  bias by {label:<11s} {parts}")
+        offenders = self.worst(top)
+        if offenders:
+            lines.append(f"  worst offenders (top {len(offenders)}):")
+            for r in offenders:
+                lines.append(
+                    f"    {r.task:<24s} w={r.width:<4d} "
+                    f"pred {r.predicted * self.scale:.4g}  "
+                    f"actual {r.actual:.4g}  "
+                    f"residual {r.residual(self.scale):+7.2%}"
+                )
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# joins
+# ----------------------------------------------------------------------
+def _collective_mix(task) -> str:
+    """Sorted comma-joined collective ops of ``task`` (``"none"`` if pure)."""
+    ops = sorted({c.op for c in getattr(task, "comm", ())})
+    return ",".join(ops) if ops else "none"
+
+
+def _membership(scheduling) -> Dict[Any, Tuple[int, int]]:
+    """Map task -> (layer index, group index) from a layered schedule."""
+    out: Dict[Any, Tuple[int, int]] = {}
+    layered = getattr(scheduling, "layered", None)
+    if layered is None:
+        return out
+    for li, layer in enumerate(layered.layers):
+        for gi, group in enumerate(layer.groups):
+            for node in group:
+                for member in layered.expand(node):
+                    out[member] = (li, gi)
+    return out
+
+
+def calibrate_result(result, cost=None) -> CalibrationReport:
+    """Simulator-mode calibration of a pipeline run.
+
+    Joins ``Tsymb(task, width)`` -- evaluated through ``cost`` or the
+    evaluator the pipeline ran with (``result.cost``) -- against the
+    fault-free simulated durations of ``result.trace``.  Requires a
+    simulated run and a cost evaluator.
+    """
+    trace = getattr(result, "trace", None)
+    if trace is None:
+        raise ValueError(
+            "cannot calibrate a run without an execution trace "
+            "(the pipeline ran with simulate=False)"
+        )
+    cost = cost if cost is not None else getattr(result, "cost", None)
+    if cost is None:
+        raise ValueError(
+            "no cost evaluator available: pass cost=... or run the "
+            "pipeline through SchedulingPipeline (which records it)"
+        )
+    member = _membership(getattr(result, "scheduling", None))
+    rows = []
+    for task, width, actual in trace.actuals():
+        layer_group = member.get(task, (None, None))
+        rows.append(
+            TaskCalibration(
+                task=task.name,
+                width=width,
+                predicted=float(cost.tsymb(task, width)),
+                actual=actual,
+                layer=layer_group[0],
+                group=layer_group[1],
+                collectives=_collective_mix(task),
+            )
+        )
+    return CalibrationReport(mode="sim", rows=rows, scale=1.0)
+
+
+def calibrate_spans(graph, cost, obs, scale: Optional[float] = None) -> CalibrationReport:
+    """Wall-clock-mode calibration from backend task spans.
+
+    Joins ``Tsymb`` against the ``task`` spans that
+    :class:`~repro.runtime.backends.SerialBackend` and
+    :class:`~repro.runtime.backends.ProcessPoolBackend` record in
+    ``obs`` (an :class:`~repro.obs.Instrumentation`), matching by task
+    name and scheduled width ``q``; failed attempts (spans with an
+    ``error`` tag) are excluded.  Unless ``scale`` is given, the model
+    seconds -> wall seconds factor is fitted by least squares
+    (``sum(pred*actual) / sum(pred^2)``) so the report measures model
+    *shape*, not units.
+    """
+    by_name = {t.name: t for t in graph.topological_order()}
+    rows: List[TaskCalibration] = []
+    for span in obs.spans:
+        if span.name != "task" or "task" not in span.meta:
+            continue
+        if "error" in span.meta:
+            continue
+        task = by_name.get(str(span.meta["task"]))
+        if task is None:
+            continue
+        width = int(span.meta.get("q", 1))
+        rows.append(
+            TaskCalibration(
+                task=task.name,
+                width=width,
+                predicted=float(cost.tsymb(task, width)),
+                actual=float(span.duration),
+                collectives=_collective_mix(task),
+            )
+        )
+    rows.sort(key=lambda r: r.task)
+    if scale is None:
+        num = sum(r.predicted * r.actual for r in rows)
+        den = sum(r.predicted * r.predicted for r in rows)
+        scale = num / den if den > 0 else 1.0
+    return CalibrationReport(mode="wall", rows=rows, scale=scale)

@@ -1,6 +1,6 @@
 """The ``python -m repro.obs`` command line.
 
-Four subcommands make pipeline runs inspectable and gate regressions:
+Eight subcommands make pipeline runs inspectable and gate regressions:
 
 * ``export`` -- run one instrumented pipeline and write Perfetto
   trace-event JSON (``--out``) plus a flat run-metrics JSON
@@ -11,15 +11,27 @@ Four subcommands make pipeline runs inspectable and gate regressions:
 * ``diff`` -- compare two run-metrics JSONs (or two
   ``BENCH_pipeline.json`` benchmark files) and exit non-zero when any
   watched metric regressed past ``--threshold``; CI uses this as the
-  benchmark regression gate.
+  benchmark regression gate;
+* ``calib`` -- predicted-vs-actual cost-model calibration
+  (:mod:`repro.obs.calibrate`): per-task ``Tsymb`` residuals against
+  the simulated trace and, with ``--checkpoint-dir``, against the
+  wall-clock spans of a functional backend run; ``--gate`` turns the
+  report into a non-zero exit when bias/MAPE exceed thresholds;
+* ``prom`` -- run a pipeline and render its labeled metrics registry in
+  Prometheus text-exposition format;
+* ``history`` / ``trend`` -- list the persistent run registry
+  (``--registry-dir``) and detect metric drift across the last N
+  records of a matching digest key.
 
-Run specifications are shared by ``export``/``report``/``gantt``: an ODE
-solver (``--solver irk``), a platform (``--platform chic --cores 64``),
-a problem size (``--n 200``), plus optional fault injection
+Run specifications are shared by
+``export``/``report``/``gantt``/``calib``/``prom``: an ODE solver
+(``--solver irk``), a platform (``--platform chic --cores 64``), a
+problem size (``--n 200``), plus optional fault injection
 (``--faults``), speculative straggler mitigation (``--speculate``), a
-journaled functional run (``--checkpoint-dir`` / ``--resume``) and the
+journaled functional run (``--checkpoint-dir`` / ``--resume``), the
 execution backend of that functional run (``--backend serial`` or
-``--backend pool[:WORKERS]``).
+``--backend pool[:WORKERS]``) and a persistent run registry
+(``--registry-dir``) every run appends its :class:`RunRecord` to.
 """
 
 from __future__ import annotations
@@ -149,14 +161,26 @@ def _add_run_arguments(ap: argparse.ArgumentParser) -> None:
         "'serial' (default, in-process) or 'pool' for a forked "
         "process pool, optionally with a worker count (e.g. pool:4)",
     )
+    ap.add_argument(
+        "--registry-dir",
+        metavar="DIR",
+        help="append one digest-keyed RunRecord of this run to the "
+        "persistent run registry (runs.jsonl) under DIR "
+        "(queried by the history/trend subcommands)",
+    )
 
 
-def _run_spec(args) -> Tuple[Dict[str, Any], Any, Any]:
+def _run_spec(args, obs=None) -> Tuple[Dict[str, Any], Any, Any]:
     """Run the pipeline described by the CLI flags.
 
     Returns ``(spec, result, cost)`` -- the run description, the
     :class:`~repro.pipeline.PipelineResult` and the cost model bound to
-    the target platform (for symbolic re-rendering).
+    the target platform (for symbolic re-rendering).  ``obs`` threads a
+    caller-supplied :class:`~repro.obs.Instrumentation` through both the
+    pipeline and the optional functional ``--checkpoint-dir`` run (the
+    ``prom``/``calib`` subcommands attach a metrics registry this way).
+    With ``--registry-dir``, one :class:`~repro.obs.RunRecord` of the
+    pipeline run is appended to the persistent registry.
     """
     from ..cluster.platforms import by_name
     from ..core.costmodel import CostModel
@@ -189,6 +213,7 @@ def _run_spec(args) -> Tuple[Dict[str, Any], Any, Any]:
         version=args.version,
         cost=cost,
         options=options,
+        obs=obs,
     )
     spec = {
         "solver": args.solver,
@@ -214,12 +239,23 @@ def _run_spec(args) -> Tuple[Dict[str, Any], Any, Any]:
             resume=args.resume,
             speculation=speculation,
             backend=parse_backend_spec(backend_spec),
+            obs=obs,
         )
         spec["checkpoint_dir"] = args.checkpoint_dir
         spec["resume"] = bool(args.resume)
         spec["recovery"] = recovery
         if backend_spec != "serial":
             spec["backend"] = backend_spec
+    if getattr(args, "registry_dir", None):
+        import time
+
+        from .registry import RunRegistry, record_from_result
+
+        registry = RunRegistry(args.registry_dir)
+        path = registry.append(
+            record_from_result(result, spec=spec, timestamp=time.time())
+        )
+        print(f"appended run record to {path}")
     return spec, result, cost
 
 
@@ -247,10 +283,18 @@ def _print_recovery(spec: Dict[str, Any]) -> None:
 # ----------------------------------------------------------------------
 def _cmd_export(args) -> int:
     from .perfetto import pipeline_trace, write_trace
+    from .registry import program_digest
 
     spec, result, _ = _run_spec(args)
     _print_recovery(spec)
-    doc = pipeline_trace(result)
+    run_meta = {
+        "solver": spec["solver"],
+        "platform": spec["platform"],
+        "cores": spec["cores"],
+        "backend": spec.get("backend", "sim"),
+        "program_digest": program_digest(result.graph),
+    }
+    doc = pipeline_trace(result, run_meta=run_meta)
     path = write_trace(args.out, doc)
     print(f"wrote {len(doc['traceEvents'])} trace events to {path}")
     if args.run_json:
@@ -259,6 +303,7 @@ def _cmd_export(args) -> int:
             "spec": spec,
             "metrics": result.metrics(),
             "analysis": result.analysis().to_dict(),
+            "calibration": result.calibration().to_dict(),
         }
         run_path = Path(args.run_json)
         run_path.parent.mkdir(parents=True, exist_ok=True)
@@ -280,6 +325,14 @@ def _cmd_report(args) -> int:
                 f"busy {analysis.get('busy_fraction', 0.0) * 100:.2f} %  "
                 f"critical-path share "
                 f"{analysis.get('critical_path_share', 0.0) * 100:.2f} %"
+            )
+        calib = payload.get("calibration")
+        if calib:
+            print(
+                f"  calibration ({calib.get('mode', 'sim')}): "
+                f"{calib.get('tasks', 0)} tasks, "
+                f"bias {calib.get('bias', 0.0):+.2%}, "
+                f"MAPE {calib.get('mape', 0.0):.2%}"
             )
         return 0
     spec, result, _ = _run_spec(args)
@@ -390,7 +443,8 @@ def _cmd_diff(args) -> int:
     width = max(len(r["metric"]) for r in rows)
     print(f"{'metric':<{width}s} | {'old':>12s} | {'new':>12s} | ratio")
     print("-" * (width + 42))
-    for r in rows:
+    # worst relative delta first, so the biggest regression tops the table
+    for r in sorted(rows, key=lambda r: (-r["ratio"], r["metric"])):
         if not args.verbose and not r["regressed"]:
             continue
         mark = "  REGRESSED" if r["regressed"] else ""
@@ -402,24 +456,198 @@ def _cmd_diff(args) -> int:
         f"{len(rows)} metrics compared, {len(regressions)} regression(s) "
         f"past threshold {args.threshold:g}"
     )
+    for r in sorted(regressions, key=lambda r: (-r["ratio"], r["metric"])):
+        print(
+            f"  REGRESSED {r['metric']}: {r['old']:.6g} -> {r['new']:.6g} "
+            f"(ratio {r['ratio']:.3f} > {args.threshold:g})"
+        )
     return 1 if regressions else 0
+
+
+# ----------------------------------------------------------------------
+# run registry: history / trend
+# ----------------------------------------------------------------------
+def _format_ts(ts: float) -> str:
+    """Local-time ``YYYY-mm-dd HH:MM:SS`` rendering of an epoch stamp."""
+    import time
+
+    return time.strftime("%Y-%m-%d %H:%M:%S", time.localtime(ts))
+
+
+def _cmd_history(args) -> int:
+    from .registry import RunRegistry
+
+    registry = RunRegistry(args.registry_dir)
+    records = registry.history(key=args.key, last=args.last)
+    if not records:
+        print(f"no run records under {registry.path}", file=sys.stderr)
+        return 2
+    for r in records:
+        print(
+            f"{_format_ts(r.get('timestamp', 0.0))}  "
+            f"{r.get('key', '?'):<38s} "
+            f"{r.get('solver') or '?':<6s} "
+            f"{r.get('backend', '?'):<6s} "
+            f"cores={r.get('cores', 0):<5d} "
+            f"makespan={r.get('makespan', 0.0):.6g}"
+        )
+    print(f"{len(records)} run record(s) in {registry.path}")
+    return 0
+
+
+def _cmd_trend(args) -> int:
+    from .registry import RunRegistry
+
+    registry = RunRegistry(args.registry_dir)
+    summary = registry.trend(
+        metric=args.metric,
+        key=args.key,
+        last=args.last,
+        threshold=args.threshold,
+    )
+    if summary["count"] < 2:
+        print(
+            f"need at least 2 comparable records for {args.metric!r}, "
+            f"found {summary['count']}",
+            file=sys.stderr,
+        )
+        return 2
+    scope = f" for key {args.key}" if args.key else ""
+    print(f"trend of {args.metric} over {summary['count']} record(s){scope}:")
+    print(f"  baseline (median)   {summary['baseline']:.6g}")
+    print(f"  latest              {summary['latest']:.6g}")
+    print(
+        f"  oriented ratio      {summary['ratio']:.3f} "
+        f"(>1 is worse; direction: {summary['direction']})"
+    )
+    if summary["drifted"]:
+        print(f"  DRIFTED past threshold {args.threshold:g}")
+        return 1
+    print(f"  within threshold {args.threshold:g}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# calibration / prometheus
+# ----------------------------------------------------------------------
+class _ScaledCost:
+    """Proxy cost evaluator scaling ``tsymb`` by a constant factor.
+
+    The ``calib --distort`` testing aid: an intentionally mispriced
+    model the calibration gate must reject.  Everything except
+    ``tsymb`` passes through to the wrapped evaluator.
+    """
+
+    def __init__(self, inner, factor: float) -> None:
+        self._inner = inner
+        self._factor = float(factor)
+
+    def tsymb(self, task, q: int) -> float:
+        """The wrapped ``Tsymb`` scaled by the distortion factor."""
+        return self._inner.tsymb(task, q) * self._factor
+
+    def __getattr__(self, name: str):
+        """Delegate every other attribute to the wrapped evaluator."""
+        return getattr(self._inner, name)
+
+
+def _cmd_calib(args) -> int:
+    from .calibrate import calibrate_spans
+
+    # the functional run is driven below with its own instrumentation,
+    # so the sim pipeline run stays clean of wall-clock spans
+    checkpoint_dir = getattr(args, "checkpoint_dir", None)
+    args.checkpoint_dir = None
+    spec, result, cost = _run_spec(args)
+    eval_cost = result.cost if result.cost is not None else cost
+    if args.distort != 1.0:
+        eval_cost = _ScaledCost(eval_cost, args.distort)
+        print(f"cost model distorted by x{args.distort:g} (testing aid)")
+    report = result.calibration(cost=eval_cost)
+    print(report.report(top=args.top))
+    if checkpoint_dir:
+        from ..experiments.recovery_run import run_checkpointed_step
+        from ..ode import MethodConfig, bruss2d
+        from ..ode.programs import build_ode_program
+        from ..runtime.backends import parse_backend_spec
+        from .events import Instrumentation
+
+        n = 120 if args.quick else args.n
+        cfg = MethodConfig(args.solver, **SOLVER_CFGS[args.solver])
+        wall_obs = Instrumentation()
+        backend_spec = getattr(args, "backend", None) or "serial"
+        run_checkpointed_step(
+            bruss2d(n),
+            cfg,
+            checkpoint_dir,
+            resume=args.resume,
+            backend=parse_backend_spec(backend_spec),
+            obs=wall_obs,
+        )
+        build = build_ode_program(bruss2d(n), cfg, functional=True)
+        body = build.body_of(build.composed_nodes()[0])
+        wall = calibrate_spans(body, eval_cost, wall_obs)
+        print()
+        print(f"wall-clock calibration ({backend_spec} backend):")
+        print(wall.report(top=args.top))
+    if args.gate:
+        problems = report.gate(max_bias=args.max_bias, max_mape=args.max_mape)
+        if problems:
+            for problem in problems:
+                print(f"CALIBRATION GATE FAILED: {problem}", file=sys.stderr)
+            return 1
+        print(
+            f"calibration gate passed (|bias| {abs(report.bias):.3f} <= "
+            f"{args.max_bias:g}, MAPE {report.mape:.3f} <= {args.max_mape:g})"
+        )
+    return 0
+
+
+def _cmd_prom(args) -> int:
+    from .events import Instrumentation
+    from .registry import MetricsRegistry, publish_result
+
+    registry = MetricsRegistry()
+    obs = Instrumentation(registry=registry)
+    spec, result, _ = _run_spec(args, obs=obs)
+    publish_result(
+        registry,
+        result,
+        solver=spec["solver"],
+        platform=spec["platform"],
+        cores=spec["cores"],
+        backend=spec.get("backend", "sim"),
+    )
+    text = registry.render_prometheus()
+    if args.out:
+        _print_recovery(spec)
+        out = Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(text)
+        print(f"wrote {len(text.splitlines())} exposition lines to {out}")
+    else:
+        sys.stdout.write(text)
+    return 0
 
 
 #: shared ``--help`` epilog of the run-spec subcommands; kept in sync
 #: with ``_add_run_arguments`` by ``tests/test_docs_flags.py``
 _RUN_EPILOG = """\
-fault-tolerance and recovery flags:
+fault-tolerance, recovery and telemetry flags:
   --faults SEED:RATE[:LAYER:NODES]   seeded fault injection
   --speculate FACTOR[:QUANTILE]      speculative backup attempts
   --checkpoint-dir DIR               journaled functional step
   --resume                           resume from that journal
   --backend serial|pool[:WORKERS]    functional execution backend
+  --registry-dir DIR                 append a RunRecord to the run registry
 
 examples:
   python -m repro.obs export --solver irk --quick --faults 7:0.2 -o trace.json
   python -m repro.obs report --solver pabm --speculate 1.5:0.9
   python -m repro.obs gantt --solver irk --quick --width 100
   python -m repro.obs export --quick --checkpoint-dir ckpt --backend pool:4
+  python -m repro.obs calib --solver irk --quick --gate
+  python -m repro.obs prom --quick --registry-dir runs
 """
 
 _DIFF_EPILOG = """\
@@ -427,6 +655,14 @@ examples:
   python -m repro.obs diff BENCH_pipeline.json new.json --threshold 1.25
   python -m repro.obs diff BENCH_runtime.json new_runtime.json --verbose
   python -m repro.obs diff old_run.json new_run.json --include-wall
+"""
+
+#: ``--help`` epilog of the registry-querying subcommands
+_REGISTRY_EPILOG = """\
+examples:
+  python -m repro.obs history --registry-dir runs --last 10
+  python -m repro.obs trend --registry-dir runs --metric makespan --last 10
+  python -m repro.obs trend --registry-dir runs --key 83a632 --threshold 1.1
 """
 
 
@@ -502,6 +738,110 @@ def build_parser() -> argparse.ArgumentParser:
         "-v", "--verbose", action="store_true", help="print all compared metrics"
     )
     p.set_defaults(func=_cmd_diff)
+
+    p = sub.add_parser(
+        "calib",
+        help="predicted-vs-actual cost-model calibration (with --gate: CI gate)",
+        epilog=_RUN_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    _add_run_arguments(p)
+    p.add_argument(
+        "--top", type=int, default=5, help="worst offenders to list (default 5)"
+    )
+    p.add_argument(
+        "--gate",
+        action="store_true",
+        help="exit non-zero when |bias| or MAPE exceed the thresholds",
+    )
+    p.add_argument(
+        "--max-bias",
+        type=float,
+        default=1.0,
+        help="gate threshold on |mean signed relative error| (default 1.0)",
+    )
+    p.add_argument(
+        "--max-mape",
+        type=float,
+        default=1.0,
+        help="gate threshold on mean absolute relative error (default 1.0)",
+    )
+    p.add_argument(
+        "--distort",
+        type=float,
+        default=1.0,
+        metavar="FACTOR",
+        help="scale Tsymb by FACTOR before calibrating -- a deliberately "
+        "mispriced model for exercising the gate (default 1.0: honest)",
+    )
+    p.set_defaults(func=_cmd_calib)
+
+    p = sub.add_parser(
+        "prom",
+        help="run a pipeline and render its metrics in Prometheus text format",
+        epilog=_RUN_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    _add_run_arguments(p)
+    p.add_argument(
+        "-o", "--out", help="write the exposition to a file instead of stdout"
+    )
+    p.set_defaults(func=_cmd_prom)
+
+    p = sub.add_parser(
+        "history",
+        help="list the persistent run registry",
+        epilog=_REGISTRY_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    p.add_argument(
+        "--registry-dir",
+        required=True,
+        metavar="DIR",
+        help="run-registry directory (holds runs.jsonl)",
+    )
+    p.add_argument(
+        "--key", help="filter by digest-key prefix (program/topology/options)"
+    )
+    p.add_argument(
+        "--last", type=int, default=None, help="show only the N most recent records"
+    )
+    p.set_defaults(func=_cmd_history)
+
+    p = sub.add_parser(
+        "trend",
+        help="detect metric drift across recent run records",
+        epilog=_REGISTRY_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    p.add_argument(
+        "--registry-dir",
+        required=True,
+        metavar="DIR",
+        help="run-registry directory (holds runs.jsonl)",
+    )
+    p.add_argument(
+        "--metric",
+        default="makespan",
+        help="record field or metrics entry to track (default: makespan)",
+    )
+    p.add_argument(
+        "--key", help="filter by digest-key prefix (program/topology/options)"
+    )
+    p.add_argument(
+        "--last",
+        type=int,
+        default=10,
+        help="window size: latest record vs the median of the earlier "
+        "records in the window (default 10)",
+    )
+    p.add_argument(
+        "--threshold",
+        type=float,
+        default=1.25,
+        help="oriented worst/better ratio before the drift exit (default 1.25)",
+    )
+    p.set_defaults(func=_cmd_trend)
     return ap
 
 

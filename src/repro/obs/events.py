@@ -67,12 +67,30 @@ class SpanRecord:
 class Instrumentation:
     """Collector for spans, counters and structured records.
 
-    The default clock is :func:`time.perf_counter`; tests inject a fake
-    clock for deterministic durations.
+    The default clock is :func:`time.perf_counter` -- a *monotonic*
+    clock, so span durations never go negative under NTP adjustments;
+    tests inject a fake clock for deterministic durations.  The epoch
+    origin sampled at construction (:attr:`epoch`, :meth:`epoch_of`)
+    maps clock timestamps back to wall-clock time for trace alignment.
+
+    An optional :class:`~repro.obs.registry.MetricsRegistry` can be
+    attached; :meth:`publish` then mirrors live heartbeat gauges into it
+    with labels (backends report tasks done/total, per-worker busy
+    fraction, speculation in flight through this hook).
     """
 
-    def __init__(self, clock: Callable[[], float] = time.perf_counter) -> None:
+    def __init__(
+        self,
+        clock: Callable[[], float] = time.perf_counter,
+        registry: Optional[Any] = None,
+    ) -> None:
         self._clock = clock
+        #: optional labeled MetricsRegistry mirroring published gauges
+        self.registry = registry
+        #: ``(epoch seconds, clock seconds)`` sampled together at
+        #: construction: wall time of any span is
+        #: ``epoch[0] + (span.start - epoch[1])``
+        self.epoch: tuple = (time.time(), self._clock())
         self.spans: List[SpanRecord] = []
         self.counters: Dict[str, float] = {}
         self.records: List[Dict[str, Any]] = []
@@ -80,6 +98,10 @@ class Instrumentation:
         self.gauges: Dict[str, Gauge] = {}
         self._stack: List[SpanRecord] = []
         self._next_sid: int = 1
+
+    def epoch_of(self, clock_time: float) -> float:
+        """Wall-clock epoch seconds of a clock timestamp (trace alignment)."""
+        return self.epoch[0] + (clock_time - self.epoch[1])
 
     # ------------------------------------------------------------------
     # spans
@@ -172,6 +194,26 @@ class Instrumentation:
             self.gauges[name].set(value)
         return self.gauges[name]
 
+    def publish(self, name: str, value: float, **labels: Any) -> None:
+        """Publish a live heartbeat gauge, mirrored into the registry.
+
+        Always lands in the plain :attr:`gauges` (keyed
+        ``name{k=v,...}`` when labels are given, so distinct label sets
+        stay distinct); when a
+        :class:`~repro.obs.registry.MetricsRegistry` is attached, the
+        labeled gauge there is updated too -- that is what
+        ``repro.obs prom`` renders while a backend run is in flight.
+        """
+        if labels:
+            key = name + "{" + ",".join(
+                f"{k}={labels[k]}" for k in sorted(labels)
+            ) + "}"
+        else:
+            key = name
+        self.gauge(key, value)
+        if self.registry is not None:
+            self.registry.gauge(name, **labels).set(value)
+
     # ------------------------------------------------------------------
     # structured records
     # ------------------------------------------------------------------
@@ -194,6 +236,10 @@ class Instrumentation:
             "spans": [s.to_dict() for s in self.spans],
             "counters": dict(self.counters),
             "records": [dict(r) for r in self.records],
+            "epoch_origin": {
+                "epoch_seconds": self.epoch[0],
+                "clock_seconds": self.epoch[1],
+            },
         }
         if self.histograms:
             out["histograms"] = {k: h.to_dict() for k, h in self.histograms.items()}

@@ -353,12 +353,18 @@ def _sorted_events(events: Iterable[Dict[str, Any]]) -> List[Dict[str, Any]]:
     )
 
 
-def pipeline_trace(result, *, flows: bool = True) -> Dict[str, Any]:
+def pipeline_trace(
+    result, *, flows: bool = True, run_meta: Optional[Dict[str, Any]] = None
+) -> Dict[str, Any]:
     """The full trace-event JSON document of one pipeline run.
 
     ``result`` is a :class:`~repro.pipeline.PipelineResult`; the
     document merges its instrumentation spans and (when the pipeline
-    simulated) its execution trace.
+    simulated) its execution trace.  ``run_meta`` (solver, cores,
+    backend, program digest, ...) is stamped into ``otherData["run"]``
+    and as ``process_labels`` metadata on every process, so an archived
+    trace stays self-describing; ``None`` keeps the document
+    byte-identical to earlier releases.
     """
     events = span_events(result.obs)
     events.extend(worker_span_events(result.obs))
@@ -397,6 +403,26 @@ def pipeline_trace(result, *, flows: bool = True) -> Dict[str, Any]:
             other["speculation_summary"] = result.trace.speculation_summary()
     if reschedule is not None:
         other["reschedule"] = reschedule.summary()
+    if run_meta:
+        other["run"] = dict(run_meta)
+        label = ", ".join(f"{k}={v}" for k, v in run_meta.items())
+        for pid in sorted(
+            {
+                ev["pid"]
+                for ev in events
+                if ev.get("ph") == "M" and ev.get("name") == "process_name"
+            }
+        ):
+            events.append(
+                {
+                    "ph": "M",
+                    "name": "process_labels",
+                    "pid": pid,
+                    "tid": 0,
+                    "ts": 0,
+                    "args": {"labels": label},
+                }
+            )
     return {
         "traceEvents": _sorted_events(events),
         "displayTimeUnit": "ms",

@@ -1,0 +1,541 @@
+"""Labeled metrics registry and the persistent cross-run registry.
+
+Two registries live here, one in-memory and one on disk:
+
+* :class:`MetricsRegistry` -- labeled counters, gauges and histograms
+  (``registry.gauge("backend_tasks_done", backend="pool")``) wrapping
+  the label-less :class:`~repro.obs.metrics.Histogram` /
+  :class:`~repro.obs.metrics.Gauge` primitives, with a Prometheus
+  text-exposition renderer (:meth:`MetricsRegistry.render_prometheus`).
+  Backends publish live heartbeat gauges through it (tasks done/total,
+  per-worker busy fraction, speculation in flight) via
+  :meth:`~repro.obs.Instrumentation.publish`.
+* :class:`RunRegistry` -- an append-only JSONL store of structured
+  :class:`RunRecord` entries, one per pipeline/runtime run, keyed by
+  the content digests of the program, the topology and the run options
+  (reusing the :mod:`repro.recovery` digest machinery).  The records
+  are deterministic: two identical runs produce byte-identical JSON
+  modulo the injected ``timestamp``.
+
+``python -m repro.obs history`` lists recorded runs, ``trend`` detects
+metric drift across the last N records of a matching digest key, and
+``prom`` renders a run's registry in Prometheus text format.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..recovery.checkpoint import json_digest
+from .metrics import Gauge, Histogram
+
+__all__ = [
+    "Counter",
+    "MetricsRegistry",
+    "RunRecord",
+    "RunRegistry",
+    "program_digest",
+    "topology_digest",
+    "options_digest",
+    "record_from_result",
+    "publish_result",
+]
+
+#: label key type: a canonically sorted tuple of (name, value) pairs
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+class Counter:
+    """A monotonically increasing metric (Prometheus ``counter``)."""
+
+    def __init__(self, name: str = "", value: float = 0.0) -> None:
+        self.name = name
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative) to the counter."""
+        if amount < 0:
+            raise ValueError("counters only go up; use a gauge instead")
+        self.value += float(amount)
+
+    def to_dict(self) -> Dict[str, float]:
+        """Export the current value."""
+        return {"value": self.value}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Counter({self.name!r}, {self.value:g})"
+
+
+def _label_key(labels: Dict[str, Any]) -> LabelKey:
+    """Canonical, hashable form of a label set."""
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prom_name(name: str) -> str:
+    """Sanitize a metric name into the Prometheus charset."""
+    name = _NAME_RE.sub("_", name)
+    if name and name[0].isdigit():
+        name = "_" + name
+    return name
+
+
+def _prom_escape(value: str) -> str:
+    """Escape a label value for the text exposition format."""
+    return value.replace("\\", r"\\").replace('"', r'\"').replace("\n", r"\n")
+
+
+def _prom_labels(labels: LabelKey, extra: Tuple[Tuple[str, str], ...] = ()) -> str:
+    """Render a label set as ``{k="v",...}`` (empty string for none)."""
+    pairs = tuple(labels) + tuple(extra)
+    if not pairs:
+        return ""
+    body = ",".join(f'{_prom_name(k)}="{_prom_escape(v)}"' for k, v in pairs)
+    return "{" + body + "}"
+
+
+def _prom_value(value: float) -> str:
+    """Render a sample value (Prometheus spells non-finite values out)."""
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(float(value))
+
+
+class MetricsRegistry:
+    """Families of labeled counters, gauges and histograms.
+
+    A *family* is one metric name; each distinct label set within it is
+    a separate child metric.  Children are created on first access and
+    returned on every later access with the same labels, so callers can
+    freely write ``registry.counter("runs_total", solver="irk").inc()``
+    in hot paths.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Dict[LabelKey, Counter]] = {}
+        self._gauges: Dict[str, Dict[LabelKey, Gauge]] = {}
+        self._histograms: Dict[str, Dict[LabelKey, Histogram]] = {}
+        self._help: Dict[str, str] = {}
+
+    # ------------------------------------------------------------------
+    def _family(self, store, cls, name: str, help: str, labels) -> Any:
+        if help and name not in self._help:
+            self._help[name] = help
+        family = store.setdefault(name, {})
+        key = _label_key(labels)
+        child = family.get(key)
+        if child is None:
+            child = cls(name)
+            family[key] = child
+        return child
+
+    def counter(self, name: str, help: str = "", **labels: Any) -> Counter:
+        """The counter ``name`` with the given label set."""
+        return self._family(self._counters, Counter, name, help, labels)
+
+    def gauge(self, name: str, help: str = "", **labels: Any) -> Gauge:
+        """The gauge ``name`` with the given label set."""
+        return self._family(self._gauges, Gauge, name, help, labels)
+
+    def histogram(self, name: str, help: str = "", **labels: Any) -> Histogram:
+        """The histogram ``name`` with the given label set."""
+        return self._family(self._histograms, Histogram, name, help, labels)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Export every family as ``name -> [{labels, ...metric}, ...]``."""
+        out: Dict[str, Any] = {}
+        for kind, store in (
+            ("counters", self._counters),
+            ("gauges", self._gauges),
+            ("histograms", self._histograms),
+        ):
+            section: Dict[str, List[Dict[str, Any]]] = {}
+            for name, family in sorted(store.items()):
+                section[name] = [
+                    {"labels": dict(key), **metric.to_dict()}
+                    for key, metric in sorted(family.items())
+                ]
+            if section:
+                out[kind] = section
+        return out
+
+    def render_prometheus(self) -> str:
+        """Render every metric in the Prometheus text exposition format.
+
+        Counters and gauges render one sample per label set; histograms
+        render as *summaries* (``{quantile="..."}`` samples plus
+        ``_sum``/``_count``) because observations are kept exactly and
+        quantiles are computed client-side.
+        """
+        lines: List[str] = []
+
+        def header(name: str, prom: str, kind: str) -> None:
+            help_text = self._help.get(name)
+            if help_text:
+                lines.append(f"# HELP {prom} {help_text}")
+            lines.append(f"# TYPE {prom} {kind}")
+
+        for name, family in sorted(self._counters.items()):
+            prom = _prom_name(name)
+            header(name, prom, "counter")
+            for key, c in sorted(family.items()):
+                lines.append(f"{prom}{_prom_labels(key)} {_prom_value(c.value)}")
+        for name, family in sorted(self._gauges.items()):
+            prom = _prom_name(name)
+            header(name, prom, "gauge")
+            for key, g in sorted(family.items()):
+                lines.append(f"{prom}{_prom_labels(key)} {_prom_value(g.value)}")
+        for name, family in sorted(self._histograms.items()):
+            prom = _prom_name(name)
+            header(name, prom, "summary")
+            for key, h in sorted(family.items()):
+                for q, value in (
+                    ("0.5", h.p50),
+                    ("0.9", h.p90),
+                    ("0.99", h.p99),
+                ):
+                    if h.count:
+                        lines.append(
+                            f"{prom}{_prom_labels(key, (('quantile', q),))} "
+                            f"{_prom_value(value)}"
+                        )
+                lines.append(f"{prom}_sum{_prom_labels(key)} {_prom_value(h.total)}")
+                lines.append(f"{prom}_count{_prom_labels(key)} {h.count}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+# ----------------------------------------------------------------------
+# content digests of a run's identity
+# ----------------------------------------------------------------------
+def program_digest(graph) -> str:
+    """Content digest of an M-task graph's *scheduling-relevant* shape.
+
+    Hashes every task's name, work, processor bounds, synchronisation
+    points, collective specs and parameter shapes plus the edge list --
+    everything the cost model and the scheduler see.  Task bodies
+    (``func``) are excluded: two builds of the same program digest
+    identically even though their closures differ.
+    """
+    tasks = sorted(graph.topological_order(), key=lambda t: t.name)
+    payload = {
+        "name": getattr(graph, "name", ""),
+        "tasks": [
+            {
+                "name": t.name,
+                "work": t.work,
+                "min_procs": t.min_procs,
+                "max_procs": t.max_procs,
+                "sync_points": t.sync_points,
+                "comm": [
+                    [c.op, c.total_elements, c.itemsize, c.count, c.scope,
+                     c.task_parallel_only]
+                    for c in t.comm
+                ],
+                "params": [
+                    [p.name, str(p.mode), p.elements, p.itemsize]
+                    for p in t.params
+                ],
+            }
+            for t in tasks
+        ],
+        "edges": sorted((u.name, v.name) for u, v, _ in graph.edges()),
+    }
+    return json_digest(payload)
+
+
+def topology_digest(machine_or_platform) -> str:
+    """Content digest of the target machine's architecture tree."""
+    machine = getattr(machine_or_platform, "machine", machine_or_platform)
+    payload = {
+        "name": machine.name,
+        "total_cores": machine.total_cores,
+        "node_shapes": [list(s) for s in machine.node_shapes],
+    }
+    return json_digest(payload)
+
+
+def options_digest(options: Dict[str, Any]) -> str:
+    """Content digest of the run-options dict (solver, mapping, flags)."""
+    return json_digest(options or {})
+
+
+# ----------------------------------------------------------------------
+# run records
+# ----------------------------------------------------------------------
+@dataclass
+class RunRecord:
+    """One structured, persisted record of a pipeline/runtime run.
+
+    Every field except ``timestamp`` is derived deterministically from
+    the run, so two identical runs serialize byte-identically modulo the
+    injected timestamp (the property the registry round-trip test
+    asserts).  The digest triple ``(program, topology, options)`` keys
+    comparable runs for drift detection.
+    """
+
+    program: str
+    topology: str
+    options: str
+    solver: str = ""
+    scheduler: str = ""
+    backend: str = "sim"
+    platform: str = ""
+    cores: int = 0
+    tasks: int = 0
+    makespan: float = 0.0
+    predicted_makespan: float = 0.0
+    metrics: Dict[str, float] = field(default_factory=dict)
+    analysis: Dict[str, Any] = field(default_factory=dict)
+    counters: Dict[str, float] = field(default_factory=dict)
+    timestamp: float = 0.0
+    schema: str = "repro.obs.runrecord/1"
+
+    @property
+    def key(self) -> str:
+        """Short digest-triple key grouping comparable runs."""
+        return f"{self.program[:12]}-{self.topology[:12]}-{self.options[:12]}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Export every field as a JSON-serialisable dict."""
+        return {
+            "schema": self.schema,
+            "key": self.key,
+            "program": self.program,
+            "topology": self.topology,
+            "options": self.options,
+            "solver": self.solver,
+            "scheduler": self.scheduler,
+            "backend": self.backend,
+            "platform": self.platform,
+            "cores": self.cores,
+            "tasks": self.tasks,
+            "makespan": self.makespan,
+            "predicted_makespan": self.predicted_makespan,
+            "metrics": dict(self.metrics),
+            "analysis": dict(self.analysis),
+            "counters": dict(self.counters),
+            "timestamp": self.timestamp,
+        }
+
+    def to_json(self) -> str:
+        """Canonical single-line JSON (sorted keys, no whitespace)."""
+        return json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":"), default=str
+        )
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "RunRecord":
+        """Rebuild a record from its :meth:`to_dict` payload."""
+        known = {
+            k: payload[k]
+            for k in (
+                "program", "topology", "options", "solver", "scheduler",
+                "backend", "platform", "cores", "tasks", "makespan",
+                "predicted_makespan", "metrics", "analysis", "counters",
+                "timestamp", "schema",
+            )
+            if k in payload
+        }
+        return cls(**known)
+
+
+def record_from_result(
+    result,
+    *,
+    timestamp: float,
+    spec: Optional[Dict[str, Any]] = None,
+    backend: Optional[str] = None,
+) -> RunRecord:
+    """Build a :class:`RunRecord` from a pipeline run.
+
+    ``result`` is a :class:`~repro.pipeline.PipelineResult`; ``spec`` the
+    CLI/run option dict folded into the options digest; ``timestamp``
+    must be injected by the caller so the record itself stays a pure
+    function of the run.  ``backend`` labels what executed the run
+    (``"sim"`` for simulated pipelines, a backend name for functional
+    runs) and defaults to the spec's ``backend`` entry.
+    """
+    spec = dict(spec or {})
+    spec.pop("recovery", None)  # wall-clock-free options only
+    trace = result.trace
+    if trace is not None:
+        topo = topology_digest(trace.machine)
+    else:
+        topo = json_digest({"cores": result.scheduling.nprocs})
+    opts = dict(spec)
+    opts["strategy"] = result.meta.get("strategy", "")
+    return RunRecord(
+        program=program_digest(result.graph),
+        topology=topo,
+        options=options_digest(opts),
+        solver=str(spec.get("solver", "")),
+        scheduler=result.scheduling.scheduler or "",
+        backend=backend or str(spec.get("backend", "sim")),
+        platform=str(spec.get("platform", "")),
+        cores=int(result.scheduling.nprocs),
+        tasks=len(result.graph),
+        makespan=float(result.makespan),
+        predicted_makespan=float(result.predicted_makespan),
+        metrics=result.metrics(),
+        analysis=result.analysis().to_dict() if trace is not None else {},
+        counters={k: float(v) for k, v in sorted(result.obs.counters.items())},
+        timestamp=float(timestamp),
+    )
+
+
+def publish_result(registry: MetricsRegistry, result, **labels: Any) -> None:
+    """Publish a pipeline run's summary metrics into ``registry``.
+
+    Every entry of ``result.metrics()`` becomes a labeled gauge
+    ``repro_run_<metric>`` and every instrumentation histogram a labeled
+    summary ``repro_<histogram>``; counters land in
+    ``repro_<counter>_total``.  Used by ``python -m repro.obs prom``.
+    """
+    for name, value in sorted(result.metrics().items()):
+        registry.gauge(f"repro_run_{name}", **labels).set(value)
+    for name, hist in sorted(result.obs.histograms.items()):
+        target = registry.histogram(f"repro_{name}", **labels)
+        for value in hist.values:
+            target.observe(value)
+    for name, value in sorted(result.obs.counters.items()):
+        counter = registry.counter(f"repro_{name}_total", **labels)
+        counter.value = float(value)
+
+
+# ----------------------------------------------------------------------
+# the persistent run registry
+# ----------------------------------------------------------------------
+class RunRegistry:
+    """Append-only JSONL store of :class:`RunRecord` entries.
+
+    One record per line under ``<root>/runs.jsonl``; loading tolerates a
+    torn final line (the same contract as the recovery journal), so a
+    run killed mid-append never corrupts the history.
+    """
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+        self.path = self.root / "runs.jsonl"
+
+    def append(self, record: RunRecord) -> Path:
+        """Append one record; returns the registry file path."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "a") as fh:
+            fh.write(record.to_json() + "\n")
+        return self.path
+
+    def load(self) -> List[Dict[str, Any]]:
+        """All stored records as dicts, oldest first (torn tail skipped)."""
+        if not self.path.exists():
+            return []
+        records: List[Dict[str, Any]] = []
+        for line in self.path.read_text().splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError:
+                continue  # torn final line of a killed append
+        return records
+
+    def __len__(self) -> int:
+        return len(self.load())
+
+    def history(
+        self, key: Optional[str] = None, last: Optional[int] = None
+    ) -> List[Dict[str, Any]]:
+        """Stored records, optionally filtered by digest-key prefix.
+
+        ``key`` matches the record's digest-triple ``key`` or any of the
+        three full digests by prefix; ``last`` keeps only the N most
+        recent matches (still oldest first).
+        """
+        records = self.load()
+        if key:
+            records = [
+                r
+                for r in records
+                if str(r.get("key", "")).startswith(key)
+                or str(r.get("program", "")).startswith(key)
+                or str(r.get("topology", "")).startswith(key)
+                or str(r.get("options", "")).startswith(key)
+            ]
+        if last is not None and last >= 0:
+            records = records[-last:]
+        return records
+
+    def trend(
+        self,
+        metric: str = "makespan",
+        key: Optional[str] = None,
+        last: int = 10,
+        threshold: float = 1.25,
+    ) -> Dict[str, Any]:
+        """Detect drift of ``metric`` across the last ``last`` records.
+
+        Compares the latest value against the median of the earlier
+        window (records matching ``key``, newest ``last`` of them); the
+        ratio is oriented via the diff gate's metric directions so that
+        values above 1.0 are worse.  Returns a summary dict with
+        ``drifted`` set when the ratio exceeds ``threshold``; fewer than
+        two comparable records yield ``count < 2`` and no verdict.
+        """
+        def value_of(record: Dict[str, Any]) -> Optional[float]:
+            v = record.get(metric, record.get("metrics", {}).get(metric))
+            if isinstance(v, bool) or not isinstance(v, (int, float)):
+                return None
+            return float(v) if math.isfinite(v) else None
+
+        rows = [
+            (r.get("timestamp", 0.0), value_of(r))
+            for r in self.history(key=key, last=last)
+        ]
+        values = [v for _, v in rows if v is not None]
+        out: Dict[str, Any] = {
+            "metric": metric,
+            "key": key,
+            "count": len(values),
+            "values": values,
+            "threshold": threshold,
+        }
+        if len(values) < 2:
+            return out
+        latest = values[-1]
+        earlier = sorted(values[:-1])
+        mid = len(earlier) // 2
+        if len(earlier) % 2:
+            baseline = earlier[mid]
+        else:
+            baseline = 0.5 * (earlier[mid - 1] + earlier[mid])
+        from .cli import _direction  # lazy: cli imports this module lazily too
+
+        direction = _direction(metric)
+        if direction == "higher":
+            worse, better = baseline, latest
+        elif direction == "lower":
+            worse, better = latest, baseline
+        else:  # unknown direction: any relative change counts
+            worse, better = max(latest, baseline), min(latest, baseline)
+        if better == 0.0:
+            ratio = 1.0 if worse == 0.0 else float("inf")
+        else:
+            ratio = worse / better
+        out.update(
+            latest=latest,
+            baseline=baseline,
+            ratio=ratio,
+            direction=direction or "any",
+            drifted=ratio > threshold,
+        )
+        return out

@@ -234,6 +234,7 @@ class SchedulingPipeline:
             cache=stats,
             meta=meta,
             reschedule=reschedule,
+            cost=cost,
         )
 
     # ------------------------------------------------------------------

@@ -44,6 +44,9 @@ class PipelineResult:
     #: core-loss recovery outcome (``None`` unless the pipeline ran with
     #: a fault plan carrying a ``core_loss``)
     reschedule: Optional[Any] = None
+    #: the cost evaluator the run scheduled with (``Tsymb`` source for
+    #: :meth:`calibration`; ``None`` for hand-built results)
+    cost: Optional[Any] = None
 
     @property
     def makespan(self) -> float:
@@ -77,6 +80,18 @@ class PipelineResult:
         from ..obs.metrics import analyze
 
         return analyze(self)
+
+    def calibration(self, cost: Optional[Any] = None):
+        """Predicted-vs-actual cost-model accuracy of this run.
+
+        Joins ``Tsymb`` at each task's scheduled width against the
+        simulated trace durations; returns a
+        :class:`~repro.obs.calibrate.CalibrationReport`.  ``cost``
+        overrides the evaluator recorded by the pipeline.
+        """
+        from ..obs.calibrate import calibrate_result
+
+        return calibrate_result(self, cost=cost)
 
     def metrics(self) -> Dict[str, float]:
         """Flat, deterministic metric dict for ``repro.obs diff``."""

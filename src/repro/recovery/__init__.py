@@ -16,7 +16,7 @@ Four pillars, mirroring the tentpole:
   cancellation into structured partial run results.
 """
 
-from .checkpoint import CheckpointStore, array_digest
+from .checkpoint import CheckpointStore, array_digest, json_digest
 from .journal import JournalError, JournalMismatch, JournalState, RunJournal
 from .speculation import SpeculationPolicy, SpeculationRecord, parse_speculation_spec
 from .supervisor import Supervisor
@@ -24,6 +24,7 @@ from .supervisor import Supervisor
 __all__ = [
     "CheckpointStore",
     "array_digest",
+    "json_digest",
     "RunJournal",
     "JournalState",
     "JournalError",

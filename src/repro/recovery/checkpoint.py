@@ -15,12 +15,13 @@ determinism guarantee is built on.
 from __future__ import annotations
 
 import hashlib
+import json
 from pathlib import Path
-from typing import Dict, Tuple
+from typing import Any, Dict, Tuple
 
 import numpy as np
 
-__all__ = ["array_digest", "CheckpointStore"]
+__all__ = ["array_digest", "json_digest", "CheckpointStore"]
 
 
 def array_digest(arr: np.ndarray) -> str:
@@ -31,6 +32,20 @@ def array_digest(arr: np.ndarray) -> str:
     h.update(str(a.shape).encode())
     h.update(a.tobytes())
     return h.hexdigest()
+
+
+def json_digest(obj: Any) -> str:
+    """SHA-256 digest of a JSON-serialisable structure.
+
+    The object is rendered canonically (sorted keys, no whitespace,
+    non-JSON leaves stringified), so two structurally equal values always
+    produce the same digest -- the content-addressing used by the run
+    registry to key program/topology/options descriptions.
+    """
+    payload = json.dumps(
+        obj, sort_keys=True, separators=(",", ":"), default=str
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
 
 
 class CheckpointStore:

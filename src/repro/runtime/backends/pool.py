@@ -408,6 +408,10 @@ class ProcessPoolBackend(ExecutionBackend):
         self._offset = 0.0
         self._next_job = 0
         self._jobs: Dict[int, _Job] = {}
+        self._done = 0
+        self._opened = 0.0
+        self._busy: Dict[int, float] = {}
+        self._spec_inflight = 0
 
     # ------------------------------------------------------------------
     def open(self, run: RunContext) -> None:
@@ -439,17 +443,42 @@ class ProcessPoolBackend(ExecutionBackend):
             )
             proc.start()
             self._procs.append(proc)
+        self._done = 0
+        self._opened = time.perf_counter()
+        self._busy = {}
+        self._spec_inflight = 0
+        run.obs.publish(
+            "backend_tasks_total", float(len(run.graph)), backend=self.name
+        )
+        run.obs.publish("backend_tasks_done", 0.0, backend=self.name)
+        run.obs.publish("backend_workers", float(n), backend=self.name)
+        run.obs.publish("backend_speculation_in_flight", 0.0, backend=self.name)
 
     # ------------------------------------------------------------------
     def run_batch(self, tasks, prepare, commit) -> None:
-        """Prepare in order, execute concurrently, commit in order."""
+        """Prepare in order, execute concurrently, commit in order.
+
+        Heartbeat gauges (``backend_tasks_done``, per-worker busy
+        fraction) are published as results commit, so a long pool run
+        can be watched live through the attached metrics registry.
+        """
+        obs = self._run.obs if self._run is not None else None
         requests = [r for r in (prepare(t) for t in tasks) if r is not None]
+        skipped = len(tasks) - len(requests)
+        if skipped and obs is not None:
+            self._done += skipped  # resumed/journaled tasks count as done
+            obs.publish("backend_tasks_done", float(self._done), backend=self.name)
         if not requests:
             return
         order = [self._dispatch(req) for req in requests]
         resolved = self._gather(set(order))
         for jid, req in zip(order, requests):
             commit(req, resolved[jid])
+            self._done += 1
+            if obs is not None:
+                obs.publish(
+                    "backend_tasks_done", float(self._done), backend=self.name
+                )
 
     # ------------------------------------------------------------------
     def _dispatch(self, request: TaskRequest) -> int:
@@ -479,6 +508,13 @@ class ProcessPoolBackend(ExecutionBackend):
         self._inq.put(
             ("task", jid, req.task.name, req.q, dict(req.ctx.env), owner.payload, True)
         )
+        self._spec_inflight += 1
+        if self._run is not None:
+            self._run.obs.publish(
+                "backend_speculation_in_flight",
+                float(self._spec_inflight),
+                backend=self.name,
+            )
 
     # ------------------------------------------------------------------
     def _gather(self, pending: set) -> Dict[int, TaskOutcome]:
@@ -515,10 +551,18 @@ class ProcessPoolBackend(ExecutionBackend):
 
     def _handle_result(self, msg, pending: set, resolved: Dict[int, TaskOutcome]) -> None:
         _, jid, wid, payload = msg
+        self._heartbeat(wid, payload)
         job = self._jobs.get(jid)
         if job is None:  # job of an earlier batch already released
             _discard_outputs(payload)
             return
+        if job.backup_of is not None and self._spec_inflight > 0:
+            self._spec_inflight -= 1
+            self._run.obs.publish(
+                "backend_speculation_in_flight",
+                float(self._spec_inflight),
+                backend=self.name,
+            )
         owner_jid = job.backup_of if job.backup_of is not None else jid
         owner = self._jobs[owner_jid]
         owner.arrivals_left -= 1
@@ -535,6 +579,28 @@ class ProcessPoolBackend(ExecutionBackend):
                 pending.discard(owner_jid)
         if owner.arrivals_left == 0:
             self._release(owner)
+
+    def _heartbeat(self, wid: int, payload) -> None:
+        """Publish one worker's cumulative busy fraction.
+
+        Attempt durations reported by the worker accumulate into its
+        busy total; the fraction is busy seconds over seconds since the
+        pool opened, clamped to 1.0 (clock-frame jitter on very short
+        runs can nudge it past the bound).
+        """
+        run = self._run
+        if run is None:
+            return
+        busy = sum(e.get("duration", 0.0) for e in payload.get("events", []))
+        self._busy[wid] = self._busy.get(wid, 0.0) + busy
+        elapsed = time.perf_counter() - self._opened
+        fraction = min(1.0, self._busy[wid] / elapsed) if elapsed > 0 else 0.0
+        run.obs.publish(
+            "backend_worker_busy_fraction",
+            fraction,
+            backend=self.name,
+            worker=wid,
+        )
 
     # ------------------------------------------------------------------
     def _primary_outcome(self, payload, wid, owner: _Job) -> TaskOutcome:
@@ -678,3 +744,6 @@ class ProcessPoolBackend(ExecutionBackend):
         self._inq = None
         self._outq = None
         self._run = None
+        self._done = 0
+        self._busy = {}
+        self._spec_inflight = 0

@@ -194,10 +194,16 @@ class SerialBackend(ExecutionBackend):
 
     def __init__(self) -> None:
         self._run: Optional[RunContext] = None
+        self._done = 0
 
     def open(self, run: RunContext) -> None:
-        """Remember the run context; nothing to allocate."""
+        """Remember the run context and publish the progress baseline."""
         self._run = run
+        self._done = 0
+        run.obs.publish(
+            "backend_tasks_total", float(len(run.graph)), backend=self.name
+        )
+        run.obs.publish("backend_tasks_done", 0.0, backend=self.name)
 
     def run_batch(self, tasks, prepare, commit) -> None:
         """Prepare, execute and commit each task strictly in order.
@@ -205,13 +211,20 @@ class SerialBackend(ExecutionBackend):
         Interleaving commit with execution (instead of executing the
         whole batch first) preserves the historical semantics exactly --
         in particular a :class:`~repro.recovery.Supervisor` task budget
-        is re-evaluated after every single completion.
+        is re-evaluated after every single completion.  A heartbeat
+        gauge (``backend_tasks_done``) is published after each task --
+        resumed/skipped tasks count as done immediately.
         """
+        obs = self._run.obs if self._run is not None else None
         for task in tasks:
             request = prepare(task)
-            if request is None:
-                continue
-            commit(request, self._execute(request))
+            if request is not None:
+                commit(request, self._execute(request))
+            self._done += 1
+            if obs is not None:
+                obs.publish(
+                    "backend_tasks_done", float(self._done), backend=self.name
+                )
 
     def _execute(self, request: TaskRequest) -> TaskOutcome:
         run = self._run
@@ -234,3 +247,4 @@ class SerialBackend(ExecutionBackend):
     def close(self) -> None:
         """Nothing to release."""
         self._run = None
+        self._done = 0

@@ -151,6 +151,17 @@ class ExecutionTrace:
             return span - busy.get(core, 0.0)
         return span * self.machine.total_cores - sum(busy.values())
 
+    def actuals(self):
+        """Per-task ``(task, width, actual_seconds)`` triples, name-sorted.
+
+        The calibration join of :mod:`repro.obs.calibrate`: ``actual`` is
+        the *fault-free* duration -- simulated duration minus injected
+        fault overhead, clamped at zero -- because that is the quantity
+        the symbolic cost model ``Tsymb`` predicts.
+        """
+        for e in sorted(self.entries, key=lambda e: e.task.name):
+            yield e.task, len(e.cores), max(0.0, e.duration - e.fault_overhead)
+
     def speculation_summary(self) -> Dict[str, float]:
         """Win/loss counts and saved makespan seconds of backup attempts."""
         return {

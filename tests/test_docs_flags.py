@@ -15,9 +15,9 @@ ROOT = Path(__file__).resolve().parent.parent
 
 #: the shared flag set the README's table documents
 SHARED_FLAGS = ["--faults", "--speculate", "--checkpoint-dir", "--resume",
-                "--backend"]
+                "--backend", "--registry-dir"]
 
-RUN_COMMANDS = ["export", "report", "gantt"]
+RUN_COMMANDS = ["export", "report", "gantt", "calib", "prom"]
 
 
 def _option_strings(parser):

@@ -139,6 +139,34 @@ class TestDiff:
         b.write_text(json.dumps({"metrics": {"y_seconds": 2.0}}))
         assert main(["diff", str(a), str(b)]) == 2
 
+    def test_rows_sorted_worst_relative_delta_first(self, tmp_path, capsys):
+        base = run_json(
+            tmp_path, "base.json",
+            1.0, {"idle_fraction": 0.1, "critical_path_share": 0.2},
+        )
+        worse = run_json(
+            tmp_path, "worse.json",
+            1.5, {"idle_fraction": 0.4, "critical_path_share": 0.21},
+        )
+        rc = main(["diff", "--verbose", str(base), str(worse)])
+        assert rc == 1
+        out = capsys.readouterr().out
+        table = [
+            line.split()[0]
+            for line in out.splitlines()
+            if line.startswith(("makespan", "idle_fraction",
+                                "critical_path_share"))
+        ]
+        # idle_fraction quadrupled, makespan x1.5, critical path ~flat
+        assert table == ["idle_fraction", "makespan", "critical_path_share"]
+
+    def test_failure_message_includes_absolute_values(self, tmp_path, capsys):
+        base = run_json(tmp_path, "base.json", 1.0)
+        worse = run_json(tmp_path, "worse.json", 1.5)
+        assert main(["diff", str(base), str(worse)]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSED makespan: 1 -> 1.5 (ratio 1.500 > 1.25)" in out
+
     def test_committed_baseline_self_diff_passes(self, capsys):
         """The CI gate diffing the committed baseline against itself must
         pass -- mirrors the workflow wiring."""
