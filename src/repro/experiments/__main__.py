@@ -27,6 +27,14 @@ without speculative backup attempts, reporting the recovered penalty
 and backup win/loss counts (see
 :mod:`repro.experiments.speculation_sweep`).
 
+``--shootout`` appends the scheduler shoot-out: every zoo scheduler
+(g-search, AMTHA, moldable dual approximation, CPA) runs on every
+adversarial scenario of :func:`repro.graphs.adversarial_suite` and a
+per-regime win matrix is printed; ``--shootout-out PATH`` additionally
+writes the diff-gateable ``repro.obs.bench/1`` JSON (the committed
+``BENCH_shootout.json``), and ``--registry-dir`` records each winning
+run (see :mod:`repro.experiments.shootout`).
+
 ``--checkpoint-dir DIR`` runs one *functional* solver step under a
 write-ahead journal + checkpoint store rooted at ``DIR``; with
 ``--resume`` the journaled tasks are skipped and their outputs restored
@@ -161,6 +169,25 @@ def main(argv: List[str] = None) -> int:
         "i.e. straggler rate 0.25)",
     )
     ap.add_argument(
+        "--shootout",
+        action="store_true",
+        help="append the scheduler shoot-out: every zoo scheduler on every "
+        "adversarial scenario, scored as a per-regime win matrix",
+    )
+    ap.add_argument(
+        "--shootout-out",
+        type=Path,
+        metavar="PATH",
+        help="with --shootout: write the diff-gateable benchmark JSON "
+        "(schema repro.obs.bench/1) to PATH",
+    )
+    ap.add_argument(
+        "--shootout-seed",
+        type=int,
+        default=0,
+        help="base seed of the adversarial scenario suite (default 0)",
+    )
+    ap.add_argument(
         "--checkpoint-dir",
         metavar="DIR",
         help="run one functional IRK step under a write-ahead journal + "
@@ -183,7 +210,9 @@ def main(argv: List[str] = None) -> int:
     args = ap.parse_args(argv)
 
     # a sweep/recovery flag alone runs just that; combine with --only for both
-    if (args.faults or args.speculate or args.checkpoint_dir) and not args.only:
+    if (
+        args.faults or args.speculate or args.checkpoint_dir or args.shootout
+    ) and not args.only:
         selected = []
     else:
         selected = args.only or sorted(ARTEFACTS)
@@ -223,6 +252,45 @@ def main(argv: List[str] = None) -> int:
         print(f"({time.perf_counter() - t0:.1f}s)\n")
         if args.out:
             (args.out / "speculation.txt").write_text(text + "\n")
+    if args.shootout:
+        from .shootout import run_shootout
+
+        t0 = time.perf_counter()
+        print("### shootout " + "#" * 52)
+        shoot = run_shootout(quick=args.quick, seed=args.shootout_seed)
+        text = shoot.table_str()
+        print(text)
+        print(f"({time.perf_counter() - t0:.1f}s)\n")
+        if args.out:
+            (args.out / "shootout.txt").write_text(text + "\n")
+        if args.shootout_out:
+            path = shoot.write_bench(args.shootout_out)
+            print(f"wrote shoot-out benchmark JSON to {path}")
+        if args.registry_dir:
+            from ..obs.registry import RunRegistry, record_from_result
+
+            registry = RunRegistry(args.registry_dir)
+            recorded = 0
+            for cell in shoot.cells:
+                if cell.result is None:
+                    continue
+                registry.append(
+                    record_from_result(
+                        cell.result,
+                        spec={
+                            "artefact": "shootout",
+                            "scheduler": cell.scheduler,
+                            "scenario": cell.scenario,
+                            "regime": cell.regime,
+                            "quick": bool(args.quick),
+                        },
+                        timestamp=time.time(),
+                    )
+                )
+                recorded += 1
+            print(
+                f"appended {recorded} shoot-out run record(s) to {registry.path}"
+            )
     if args.checkpoint_dir:
         from ..ode import MethodConfig, bruss2d
         from ..recovery import parse_speculation_spec
@@ -247,7 +315,7 @@ def main(argv: List[str] = None) -> int:
             f"{rec['resumed_tasks']} resumed from journal, "
             f"{rec['checkpoint_bytes']} checkpoint bytes"
         )
-    if args.trace_out or args.registry_dir:
+    if (args.trace_out or args.registry_dir) and selected:
         # one representative run per artefact, shared by both exports
         runs = [(name, _representative_run(name, args.quick)) for name in selected]
         if args.trace_out:

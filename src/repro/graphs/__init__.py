@@ -9,12 +9,19 @@ realistic work, moldability bounds and collective specs, so the
 vectorized cost path is exercised end to end.
 
 :func:`synthesize` is the keyed entry point the scale benchmark
-(``benchmarks/bench_schedule_scale.py``) sweeps over.
+(``benchmarks/bench_schedule_scale.py``) sweeps over;
+:func:`fit_to_cores` reconciles a generated graph's moldability bounds
+with a target core count.  :mod:`repro.graphs.adversarial` adds the
+hostile scenarios (degenerate layers, boundary moldability bounds,
+comm- vs compute-dominated regimes, bursty faults) the scheduler
+shoot-out sweeps.
 """
 
+from .adversarial import REGIMES, Scenario, adversarial_suite
 from .synthetic import (
     FAMILIES,
     chain_graph,
+    fit_to_cores,
     fork_join_graph,
     layered_graph,
     random_dag,
@@ -23,7 +30,11 @@ from .synthetic import (
 
 __all__ = [
     "FAMILIES",
+    "REGIMES",
+    "Scenario",
+    "adversarial_suite",
     "chain_graph",
+    "fit_to_cores",
     "fork_join_graph",
     "layered_graph",
     "random_dag",

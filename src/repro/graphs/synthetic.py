@@ -22,6 +22,7 @@ __all__ = [
     "layered_graph",
     "random_dag",
     "synthesize",
+    "fit_to_cores",
     "FAMILIES",
 ]
 
@@ -35,12 +36,71 @@ _COMM_MENU = (
 )
 
 
-def _make_task(rng: random.Random, name: str, elements: int) -> MTask:
+def _fit_bounds(
+    name: str,
+    min_procs: int,
+    max_procs: Optional[int],
+    cores: Optional[int],
+    strict: bool = False,
+) -> tuple:
+    """Reconcile one task's moldability bounds with a target core count.
+
+    Returns ``(min_procs, max_procs)`` such that ``min_procs <= cores``
+    (when a core count is given) and ``min_procs <= max_procs``.  With
+    ``strict=True`` an infeasible bound raises one :class:`ValueError`
+    naming the task instead of clamping -- otherwise the clamp is
+    deterministic: ``min_procs`` drops to the core count, and a
+    ``max_procs`` below ``min_procs`` rises to it.
+    """
+    if cores is not None and cores < 1:
+        raise ValueError("cores must be positive")
+    if max_procs is not None and max_procs < min_procs:
+        if strict:
+            raise ValueError(
+                f"task {name!r}: min_procs={min_procs} exceeds "
+                f"max_procs={max_procs}"
+            )
+        max_procs = min_procs
+    if cores is not None and min_procs > cores:
+        if strict:
+            raise ValueError(
+                f"task {name!r}: min_procs={min_procs} exceeds the "
+                f"{cores}-core target topology"
+            )
+        min_procs = cores
+    return min_procs, max_procs
+
+
+def fit_to_cores(graph: TaskGraph, cores: int, *, strict: bool = False) -> TaskGraph:
+    """Clamp every task's moldability bounds to a ``cores``-core machine.
+
+    Historically a generated task could declare ``min_procs`` larger
+    than the scheduling platform and the violation only surfaced as an
+    opaque failure deep inside ``schedule_layer``.  This pass reconciles
+    the bounds up front: with ``strict=False`` (default) each offending
+    task is clamped deterministically via the same rules the generators
+    apply; with ``strict=True`` the first offender raises a
+    :class:`ValueError` naming the task.  Tasks are updated *in place*
+    (graph nodes are keyed by task identity) and the graph is returned
+    for chaining.
+    """
+    for t in graph:
+        t.min_procs, t.max_procs = _fit_bounds(
+            t.name, t.min_procs, t.max_procs, cores, strict
+        )
+    return graph
+
+
+def _make_task(
+    rng: random.Random, name: str, elements: int, cores: Optional[int] = None
+) -> MTask:
     """One synthetic task: lognormal-ish work, occasional moldability
-    bounds, zero to two collective specs."""
+    bounds (clamped to ``cores`` when given), zero to two collective
+    specs."""
     work = elements * rng.uniform(5.0, 50.0)
     min_procs = rng.choice((1, 1, 1, 1, 2, 4))
     max_procs: Optional[int] = rng.choice((None, None, None, 256))
+    min_procs, max_procs = _fit_bounds(name, min_procs, max_procs, cores)
     comm = []
     for _ in range(rng.randint(0, 2)):
         op, scope, tpo = rng.choice(_COMM_MENU)
@@ -66,7 +126,9 @@ def _flow(rng: random.Random, var: str, elements: int) -> DataFlow:
     return DataFlow(var=var, elements=rng.randint(1, elements))
 
 
-def chain_graph(n: int, *, seed: int = 0, elements: int = 1024) -> TaskGraph:
+def chain_graph(
+    n: int, *, seed: int = 0, elements: int = 1024, cores: Optional[int] = None
+) -> TaskGraph:
     """A single linear chain of ``n`` tasks (contraction stress case)."""
     if n <= 0:
         raise ValueError("n must be positive")
@@ -75,7 +137,7 @@ def chain_graph(n: int, *, seed: int = 0, elements: int = 1024) -> TaskGraph:
     with g.deferred_validation():
         prev: Optional[MTask] = None
         for i in range(n):
-            t = g.add_task(_make_task(rng, f"c{i}", elements))
+            t = g.add_task(_make_task(rng, f"c{i}", elements, cores))
             if prev is not None:
                 g.add_dependency(prev, t, [_flow(rng, "x", elements)])
             prev = t
@@ -83,7 +145,12 @@ def chain_graph(n: int, *, seed: int = 0, elements: int = 1024) -> TaskGraph:
 
 
 def fork_join_graph(
-    n: int, *, width: int = 32, seed: int = 0, elements: int = 1024
+    n: int,
+    *,
+    width: int = 32,
+    seed: int = 0,
+    elements: int = 1024,
+    cores: Optional[int] = None,
 ) -> TaskGraph:
     """Repeated fork-join stages: fork -> ``width`` parallel tasks -> join.
 
@@ -99,15 +166,15 @@ def fork_join_graph(
         stage = 0
         prev_join: Optional[MTask] = None
         while made < n:
-            fork = g.add_task(_make_task(rng, f"fork{stage}", elements))
+            fork = g.add_task(_make_task(rng, f"fork{stage}", elements, cores))
             if prev_join is not None:
                 g.add_dependency(prev_join, fork, [_flow(rng, "y", elements)])
             body = []
             for j in range(width):
-                t = g.add_task(_make_task(rng, f"b{stage}_{j}", elements))
+                t = g.add_task(_make_task(rng, f"b{stage}_{j}", elements, cores))
                 g.add_dependency(fork, t, [_flow(rng, "x", elements)])
                 body.append(t)
-            join = g.add_task(_make_task(rng, f"join{stage}", elements))
+            join = g.add_task(_make_task(rng, f"join{stage}", elements, cores))
             for t in body:
                 g.add_dependency(t, join, [_flow(rng, "x", elements)])
             made += width + 2
@@ -123,6 +190,7 @@ def layered_graph(
     edge_density: float = 0.1,
     seed: int = 0,
     elements: int = 1024,
+    cores: Optional[int] = None,
 ) -> TaskGraph:
     """A wide layered DAG: ``ceil(n / width)`` layers of ``width`` tasks.
 
@@ -145,7 +213,7 @@ def layered_graph(
         while made < n:
             cur = []
             for j in range(min(width, n - made)):
-                t = g.add_task(_make_task(rng, f"l{li}_{j}", elements))
+                t = g.add_task(_make_task(rng, f"l{li}_{j}", elements, cores))
                 cur.append(t)
             made += len(cur)
             if prev_layer:
@@ -167,6 +235,7 @@ def random_dag(
     max_preds: int = 3,
     seed: int = 0,
     elements: int = 1024,
+    cores: Optional[int] = None,
 ) -> TaskGraph:
     """A random DAG over a fixed topological order.
 
@@ -181,7 +250,7 @@ def random_dag(
     with g.deferred_validation():
         tasks: List[MTask] = []
         for i in range(n):
-            t = g.add_task(_make_task(rng, f"r{i}", elements))
+            t = g.add_task(_make_task(rng, f"r{i}", elements, cores))
             if tasks:
                 window = tasks[-256:]
                 k = rng.randint(1, max_preds)

@@ -506,9 +506,11 @@ def _cmd_trend(args) -> int:
         threshold=args.threshold,
     )
     if summary["count"] < 2:
+        skipped = summary.get("skipped", 0)
+        note = f" ({skipped} record(s) without a finite value)" if skipped else ""
         print(
             f"need at least 2 comparable records for {args.metric!r}, "
-            f"found {summary['count']}",
+            f"found {summary['count']}{note}",
             file=sys.stderr,
         )
         return 2

@@ -15,6 +15,7 @@ a bare per-node strip; this module renders the richer chart the
 
 from __future__ import annotations
 
+import math
 from typing import Any, Dict, List, Sequence
 
 __all__ = ["render_trace", "render_layers", "render_analysis_bars"]
@@ -56,7 +57,11 @@ def render_trace(
     """
     if by not in ("core", "node"):
         raise ValueError("by must be 'core' or 'node'")
-    span = trace.makespan or 1.0
+    span = trace.makespan
+    if not (math.isfinite(span) and span > 0):
+        # zero-duration traces (and NaN-polluted ones) still render: every
+        # slice collapses onto the first column instead of crashing cell()
+        span = 1.0
     entries = sorted(trace.entries, key=lambda e: (e.start, e.task.name))
     letters = {e.task: _letter(i) for i, e in enumerate(entries)}
 
@@ -73,6 +78,10 @@ def render_trace(
         label = lambda k: f"core {k.label:>7s}"
 
     def cell(t: float) -> int:
+        if not math.isfinite(t) or t < 0:
+            # NaN-adjacent timestamps degrade to the chart origin; they
+            # must not crash int() or produce negative column indices
+            t = 0.0
         return min(int(t / span * (width - 1)), width - 1)
 
     grid: Dict[Any, List[str]] = {k: [" "] * width for k in keys}

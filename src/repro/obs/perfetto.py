@@ -24,6 +24,7 @@ does.
 from __future__ import annotations
 
 import json
+import math
 from pathlib import Path
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -139,6 +140,17 @@ def worker_span_events(
     return events
 
 
+def _finite(value: float, fallback: float = 0.0) -> float:
+    """Coerce NaN/inf to ``fallback``; trace viewers reject non-finite
+    timestamps and negative durations, so the export sanitizes instead
+    of emitting a file Perfetto silently drops."""
+    try:
+        v = float(value)
+    except (TypeError, ValueError):
+        return fallback
+    return v if math.isfinite(v) else fallback
+
+
 def _core_tracks(machine) -> Dict[Any, Tuple[int, int]]:
     """Map each core to its ``(pid, run-tid)``; wait tid is run tid + 1."""
     tracks: Dict[Any, Tuple[int, int]] = {}
@@ -194,12 +206,18 @@ def execution_trace_events(
     for e in entries:
         # failed attempts + backoff precede the successful attempt, so the
         # fault slice leads and comp/comm tile the rest of [start, finish]
-        overhead = getattr(e, "fault_overhead", 0.0)
+        overhead = max(0.0, _finite(getattr(e, "fault_overhead", 0.0)))
         spec = getattr(e, "speculation", "")
+        # sanitize the interval itself: a 0.0 or NaN-adjacent simulated
+        # duration must still tile [start, finish] without inverting it
+        start = max(0.0, _finite(e.start))
+        finish = max(start, _finite(e.finish, start))
+        comp_time = max(0.0, _finite(e.comp_time))
+        redist_wait = max(0.0, _finite(e.redist_wait))
         # a winning backup cancels the primary at the backup's finish, so
         # every primary slice is clamped to [start, finish]
-        comp_start = min(e.start + overhead, e.finish)
-        comp_end = min(comp_start + e.comp_time, e.finish)
+        comp_start = min(start + overhead, finish)
+        comp_end = min(comp_start + comp_time, finish)
         args = {
             "width": len(e.cores),
             "comp_time": e.comp_time,
@@ -216,7 +234,7 @@ def execution_trace_events(
         for c in e.cores:
             pid, tid = tracks[c]
             pid += pid_offset
-            if overhead > 0 and comp_start > e.start:
+            if overhead > 0 and comp_start > start:
                 events.append(
                     {
                         "ph": "X",
@@ -224,8 +242,8 @@ def execution_trace_events(
                         "cat": "fault",
                         "pid": pid,
                         "tid": tid,
-                        "ts": e.start * MICROS,
-                        "dur": (comp_start - e.start) * MICROS,
+                        "ts": start * MICROS,
+                        "dur": (comp_start - start) * MICROS,
                         "args": args,
                     }
                 )
@@ -243,7 +261,7 @@ def execution_trace_events(
             )
             # the comm slice tiles the remainder of [start, finish]
             # exactly (comp + comm == duration up to float error)
-            if e.finish > comp_end:
+            if finish > comp_end:
                 events.append(
                     {
                         "ph": "X",
@@ -252,12 +270,12 @@ def execution_trace_events(
                         "pid": pid,
                         "tid": tid,
                         "ts": comp_end * MICROS,
-                        "dur": (e.finish - comp_end) * MICROS,
+                        "dur": (finish - comp_end) * MICROS,
                         "args": args,
                     }
                 )
-            if e.redist_wait > 0:
-                wait_start = max(0.0, e.start - e.redist_wait)
+            if redist_wait > 0:
+                wait_start = max(0.0, start - redist_wait)
                 events.append(
                     {
                         "ph": "X",
@@ -266,7 +284,7 @@ def execution_trace_events(
                         "pid": pid,
                         "tid": tid + 1,
                         "ts": wait_start * MICROS,
-                        "dur": (e.start - wait_start) * MICROS,
+                        "dur": (start - wait_start) * MICROS,
                         "args": args,
                     }
                 )
@@ -275,6 +293,7 @@ def execution_trace_events(
         for c in getattr(e, "backup_cores", ()):
             pid, tid = tracks[c]
             pid += pid_offset
+            backup_start = min(max(0.0, _finite(e.backup_start)), finish)
             events.append(
                 {
                     "ph": "X",
@@ -282,8 +301,8 @@ def execution_trace_events(
                     "cat": "speculation",
                     "pid": pid,
                     "tid": tid,
-                    "ts": e.backup_start * MICROS,
-                    "dur": (e.finish - e.backup_start) * MICROS,
+                    "ts": backup_start * MICROS,
+                    "dur": (finish - backup_start) * MICROS,
                     "args": args,
                 }
             )
@@ -500,12 +519,19 @@ def validate_trace_events(events: Sequence[Dict[str, Any]]) -> List[str]:
             problems.append(f"event {i} ({ph}): pid/tid must be integers")
             continue
         ts = ev.get("ts", 0)
+        if not math.isfinite(ts):
+            # NaN compares False against everything, so the sign checks
+            # below would silently pass a timestamp the viewer rejects
+            problems.append(f"event {i} ({ph}): non-finite ts {ts}")
+            continue
         if ts < 0:
             problems.append(f"event {i} ({ph}): negative ts {ts}")
         if ph == "X":
             dur = ev.get("dur")
             if dur is None:
                 problems.append(f"event {i}: complete event without 'dur'")
+            elif not math.isfinite(dur):
+                problems.append(f"event {i}: non-finite dur {dur}")
             elif dur < 0:
                 problems.append(f"event {i}: negative dur {dur}")
             track = (ev["pid"], ev["tid"])

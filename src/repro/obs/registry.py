@@ -472,7 +472,9 @@ class RunRegistry:
                 or str(r.get("options", "")).startswith(key)
             ]
         if last is not None and last >= 0:
-            records = records[-last:]
+            # guard the Python slicing pitfall: records[-0:] is the whole
+            # list, but "the 0 most recent records" must be none at all
+            records = records[-last:] if last > 0 else []
         return records
 
     def trend(
@@ -489,7 +491,10 @@ class RunRegistry:
         ratio is oriented via the diff gate's metric directions so that
         values above 1.0 are worse.  Returns a summary dict with
         ``drifted`` set when the ratio exceeds ``threshold``; fewer than
-        two comparable records yield ``count < 2`` and no verdict.
+        two comparable records -- a single-record registry, an empty
+        window (``last <= 0``), or records whose metric is missing or
+        non-finite (counted in ``skipped``) -- yield ``count < 2`` and
+        no verdict, never a drift report.
         """
         def value_of(record: Dict[str, Any]) -> Optional[float]:
             v = record.get(metric, record.get("metrics", {}).get(metric))
@@ -506,6 +511,7 @@ class RunRegistry:
             "metric": metric,
             "key": key,
             "count": len(values),
+            "skipped": len(rows) - len(values),
             "values": values,
             "threshold": threshold,
         }

@@ -1,5 +1,7 @@
 """M-task scheduling algorithms: the layer-based algorithm of the paper
-plus the CPA/CPR and data-parallel comparison baselines."""
+plus the CPA/CPR and data-parallel comparison baselines and the
+shoot-out competitors (AMTHA task-to-core mapping, dual-approximation
+moldable scheduling)."""
 
 from .allocation import (
     adjust_group_sizes,
@@ -7,6 +9,7 @@ from .allocation import (
     lpt_assign,
     round_robin_assign,
 )
+from .amtha import AMTHAScheduler
 from .base import Scheduler, SchedulingResult, symbolic_timeline
 from .baselines import (
     data_parallel_scheduler,
@@ -19,6 +22,7 @@ from .cpr import CPRScheduler
 from .dynamic import DynamicScheduler, DynamicTask, SpawnContext
 from .layered import LayerBasedScheduler
 from .mcpa import MCPAScheduler
+from .moldable import MoldableLayerScheduler
 from .layers import build_layers, layer_index
 from .listsched import bottom_levels, list_schedule
 
@@ -27,6 +31,8 @@ __all__ = [
     "SchedulingResult",
     "symbolic_timeline",
     "LayerBasedScheduler",
+    "AMTHAScheduler",
+    "MoldableLayerScheduler",
     "CPAScheduler",
     "CPRScheduler",
     "MCPAScheduler",

@@ -12,6 +12,7 @@ resizes the subsets proportionally to their accumulated sequential work.
 from __future__ import annotations
 
 import heapq
+import math
 from collections import deque
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -73,6 +74,10 @@ def lpt_assign_indices(
     objects; the ``g``-search calls it directly so one sort per distinct
     cost column serves every candidate ``g`` probing that column.
     """
+    if g <= 0:
+        # the historical behaviour was an IndexError on heap[0] for any
+        # non-empty order; fail with the same contract equal_partition uses
+        raise ValueError("g must be positive")
     groups: List[List[int]] = [[] for _ in range(g)]
     heap = [(0.0, l) for l in range(g)]  # ascending indices: already a heap
     replace = heapq.heapreplace
@@ -133,6 +138,10 @@ def adjust_group_sizes(
     floors = [max((max((t.min_procs for t in grp), default=1)), 1) for grp in groups]
     if sum(floors) > total_cores:
         raise ValueError("min_procs constraints exceed the available cores")
+    if not math.isfinite(total_work):
+        # a NaN/inf work sum would turn every ideal into NaN and crash
+        # int(); degrade to the same equal-split path as zero work
+        total_work = 0.0
     if total_work <= 0:
         # no work to weight by: aim for equal sizes, but go through the
         # same apportionment below so min_procs floors are still honoured

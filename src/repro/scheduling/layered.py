@@ -138,6 +138,11 @@ class LayerBasedScheduler(Scheduler):
         obs = obs if obs is not None else Instrumentation()
         P = self.nprocs
         tasks = list(tasks)
+        if not tasks:
+            # :func:`build_layers` never emits empty layers, but direct
+            # callers (adversarial sweeps, reschedule suffixes) may; an
+            # empty layer is one idle group spanning the whole machine
+            return Layer(groups=[[]], group_sizes=[P]), 0.0
         max_minp = max((t.min_procs for t in tasks), default=1)
         feasible = []
         for g in self._candidates(len(tasks)):

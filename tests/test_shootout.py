@@ -1,0 +1,117 @@
+"""Tests of the scheduler shoot-out harness and its benchmark artefact."""
+
+import json
+
+import pytest
+
+from repro.core import MTask, TaskGraph
+from repro.experiments.shootout import ZOO, run_shootout
+from repro.graphs.adversarial import Scenario
+from repro.obs.cli import flatten_metrics
+
+
+def _tiny_graph(name, work=5e8, **bounds):
+    """A two-task chain for fast harness-level tests."""
+    g = TaskGraph(name)
+    a = MTask("a", work=work, **bounds)
+    b = MTask("b", work=work, **bounds)
+    g.add_dependency(a, b)
+    return g
+
+
+@pytest.fixture(scope="module")
+def tiny_suite():
+    return {
+        "degenerate": [
+            Scenario("tiny-1", "degenerate", _tiny_graph("t1"), 16),
+            Scenario("tiny-2", "degenerate", _tiny_graph("t2", work=1e9), 16),
+        ],
+        "bounds": [
+            Scenario("tiny-3", "bounds", _tiny_graph("t3", max_procs=1), 16),
+        ],
+    }
+
+
+@pytest.fixture(scope="module")
+def result(tiny_suite):
+    return run_shootout(suite=tiny_suite)
+
+
+class TestWinMatrix:
+    def test_every_scenario_produces_one_winner(self, result):
+        total_wins = sum(
+            w for per_regime in result.wins.values() for w in per_regime.values()
+        )
+        assert total_wins == sum(result.scenarios_per_regime.values()) == 3
+
+    def test_all_zoo_schedulers_ran(self, result):
+        assert result.schedulers() == list(ZOO)
+        assert len(result.cells) == len(ZOO) * 3
+
+    def test_no_failures_on_tiny_suite(self, result):
+        assert not any(c.failed for c in result.cells)
+
+    def test_table_lists_every_scheduler_and_regime(self, result):
+        text = result.table_str()
+        for name in ZOO:
+            assert name in text
+        for regime in ("degenerate", "bounds"):
+            assert regime in text
+
+    def test_unknown_scheduler_rejected(self, tiny_suite):
+        with pytest.raises(ValueError, match="unknown scheduler"):
+            run_shootout(schedulers=["gsearch", "nope"], suite=tiny_suite)
+
+
+class TestFailureScoring:
+    def test_crashing_cells_lose_and_are_reported(self):
+        # min_procs beyond the 4-core platform: every scheduler raises,
+        # so the scenario has no winner and every cell carries the error
+        hostile = {
+            "bounds": [
+                Scenario(
+                    "impossible", "bounds", _tiny_graph("x", min_procs=64), 4
+                )
+            ]
+        }
+        res = run_shootout(suite=hostile)
+        assert all(c.failed for c in res.cells)
+        assert sum(w for pr in res.wins.values() for w in pr.values()) == 0
+        assert "failed cell(s)" in res.table_str()
+        bench = res.to_bench()
+        assert all(row["makespan"] == float("inf") for row in bench["results"])
+
+
+class TestBenchArtefact:
+    def test_bench_rows_are_diff_gateable(self, result):
+        bench = result.to_bench()
+        assert bench["schema"] == "repro.obs.bench/1"
+        flat = flatten_metrics(bench)
+        for name in ZOO:
+            for regime in ("degenerate", "bounds"):
+                key = f"{name}|{regime}.makespan"
+                assert key in flat
+                assert flat[key] >= 0.0
+
+    def test_write_bench_roundtrips(self, result, tmp_path):
+        path = result.write_bench(tmp_path / "bench.json")
+        assert json.loads(path.read_text()) == result.to_bench()
+
+    def test_repeat_run_is_bit_deterministic(self, tiny_suite, result):
+        again = run_shootout(suite=tiny_suite)
+        assert again.to_bench() == result.to_bench()
+
+
+class TestCommittedBenchmark:
+    def test_committed_file_matches_quick_sweep_shape(self):
+        from pathlib import Path
+
+        path = Path(__file__).parent.parent / "BENCH_shootout.json"
+        bench = json.loads(path.read_text())
+        assert bench["schema"] == "repro.obs.bench/1"
+        rows = bench["results"]
+        schedulers = {r["scheduler"] for r in rows}
+        regimes = {r["regime"] for r in rows}
+        assert schedulers == set(ZOO)
+        assert len(schedulers) >= 3 and len(regimes) >= 4
+        assert all(r["failures"] == 0 for r in rows)
