@@ -1,12 +1,15 @@
 #!/usr/bin/env python
-"""Benchmark the process-pool runtime backend against the serial one.
+"""Benchmark the parallel runtime backends against the serial one.
 
 For a 2-layer IRK step (``K=4, m=2``) and a PABM step (``K=8, m=2``)
-the script executes the solver's *functional* M-task program twice --
-once on the default :class:`~repro.runtime.SerialBackend` and once on a
-:class:`~repro.runtime.ProcessPoolBackend` with four forked workers --
-and reports the wall-clock **speedup** together with a bit-identity
-check of the produced variables.
+the script executes the solver's *functional* M-task program three
+times -- on the default :class:`~repro.runtime.SerialBackend`, on a
+:class:`~repro.runtime.ProcessPoolBackend` with four forked workers,
+and on a localhost :class:`~repro.runtime.ClusterBackend` with four
+socket workers -- and reports the wall-clock **speedup** together with
+a bit-identity check of the produced variables.  The cluster numbers
+land in their own ``<solver>:cluster`` rows, so the diff gate (which
+compares the row intersection) judges pool and cluster independently.
 
 Real task bodies on this problem size finish in microseconds, so the
 wall-clock comparison would measure only dispatch overhead.  Instead
@@ -41,7 +44,12 @@ import numpy as np
 from repro.ode import MethodConfig, bruss2d
 from repro.ode.programs import build_ode_program
 from repro.recovery import array_digest
-from repro.runtime import ProcessPoolBackend, independent_batches, run_program
+from repro.runtime import (
+    ClusterBackend,
+    ProcessPoolBackend,
+    independent_batches,
+    run_program,
+)
 
 SOLVERS = (
     MethodConfig("irk", K=4, m=2),  # the "2-layer" IRK step: two stage layers
@@ -90,7 +98,8 @@ def _add_sleep_load(body) -> float:
     return scale
 
 
-def bench_solver(cfg: MethodConfig) -> dict:
+def bench_solver(cfg: MethodConfig) -> list:
+    """Two result rows for one solver: the pool row and the cluster row."""
     body, store = _functional_step(cfg)
     scale = _add_sleep_load(body)
 
@@ -103,23 +112,42 @@ def bench_solver(cfg: MethodConfig) -> dict:
     pool_run = run_program(body, dict(store), backend=backend)
     pool_seconds = time.perf_counter() - t0
 
-    serial_digests = {
-        k: array_digest(v) for k, v in sorted(serial_run.variables.items())
-    }
-    pool_digests = {
-        k: array_digest(v) for k, v in sorted(pool_run.variables.items())
-    }
-    return {
-        "solver": cfg.method,
-        "tasks": len(list(body.topological_order())),
-        "batches": len(independent_batches(body)),
-        "workers": WORKERS,
-        "sleep_scale_seconds_per_flop": scale,
-        "serial_seconds": serial_seconds,
-        "pool_seconds": pool_seconds,
-        "speedup": serial_seconds / pool_seconds,
-        "identical": float(serial_digests == pool_digests),
-    }
+    t0 = time.perf_counter()
+    cluster_run = run_program(
+        body, dict(store), backend=ClusterBackend(workers=WORKERS)
+    )
+    cluster_seconds = time.perf_counter() - t0
+
+    def digests(run):
+        return {k: array_digest(v) for k, v in sorted(run.variables.items())}
+
+    serial_digests = digests(serial_run)
+    tasks = len(list(body.topological_order()))
+    batches = len(independent_batches(body))
+    return [
+        {
+            "solver": cfg.method,
+            "tasks": tasks,
+            "batches": batches,
+            "workers": WORKERS,
+            "sleep_scale_seconds_per_flop": scale,
+            "serial_seconds": serial_seconds,
+            "pool_seconds": pool_seconds,
+            "speedup": serial_seconds / pool_seconds,
+            "identical": float(serial_digests == digests(pool_run)),
+        },
+        {
+            "solver": f"{cfg.method}:cluster",
+            "tasks": tasks,
+            "batches": batches,
+            "workers": WORKERS,
+            "sleep_scale_seconds_per_flop": scale,
+            "serial_seconds": serial_seconds,
+            "cluster_seconds": cluster_seconds,
+            "speedup": serial_seconds / cluster_seconds,
+            "identical": float(serial_digests == digests(cluster_run)),
+        },
+    ]
 
 
 def main(argv: list) -> int:
@@ -128,24 +156,26 @@ def main(argv: list) -> int:
         if len(argv) > 1
         else Path(__file__).resolve().parent.parent / "BENCH_runtime.json"
     )
-    rows = [bench_solver(cfg) for cfg in SOLVERS]
+    rows = [row for cfg in SOLVERS for row in bench_solver(cfg)]
     payload = {
         "schema": "repro.obs.bench/1",
-        "benchmark": "serial vs process-pool runtime backend, "
-        "sleep-loaded functional solver steps",
+        "benchmark": "serial vs process-pool vs socket-cluster runtime "
+        "backend, sleep-loaded functional solver steps",
         "python": _platform.python_version(),
         "results": rows,
     }
     out_path.write_text(json.dumps(payload, indent=2) + "\n")
-    print(f"{'solver':>8s} | {'tasks':>5s} | {'serial [s]':>10s} | "
-          f"{'pool:%d [s]' % WORKERS:>10s} | {'speedup':>7s} | identical")
+    print(f"{'solver':>14s} | {'tasks':>5s} | {'serial [s]':>10s} | "
+          f"{'par:%d [s]' % WORKERS:>10s} | {'speedup':>7s} | identical")
     for r in rows:
-        print(f"{r['solver']:>8s} | {r['tasks']:5d} | "
-              f"{r['serial_seconds']:10.3f} | {r['pool_seconds']:10.3f} | "
+        par = r.get("cluster_seconds", r.get("pool_seconds"))
+        print(f"{r['solver']:>14s} | {r['tasks']:5d} | "
+              f"{r['serial_seconds']:10.3f} | {par:10.3f} | "
               f"{r['speedup']:6.2f}x | {'yes' if r['identical'] else 'NO'}")
     print(f"\nwrote {out_path}")
     if not all(r["identical"] for r in rows):
-        print("ERROR: pool run diverged from the serial run", file=sys.stderr)
+        print("ERROR: a parallel run diverged from the serial run",
+              file=sys.stderr)
         return 1
     return 0
 

@@ -39,8 +39,9 @@ run (see :mod:`repro.experiments.shootout`).
 write-ahead journal + checkpoint store rooted at ``DIR``; with
 ``--resume`` the journaled tasks are skipped and their outputs restored
 (see :mod:`repro.experiments.recovery_run`).  ``--backend pool[:W]``
-executes that step on a forked process pool instead of in-process (see
-:mod:`repro.runtime.backends`).
+executes that step on a forked process pool instead of in-process, and
+``--backend cluster[:W]`` on socket workers with heartbeat failure
+detection and work stealing (see :mod:`repro.runtime.backends`).
 """
 
 from __future__ import annotations
@@ -201,11 +202,12 @@ def main(argv: List[str] = None) -> int:
     )
     ap.add_argument(
         "--backend",
-        metavar="serial|pool[:WORKERS]",
+        metavar="serial|pool[:W]|cluster[:W]",
         default="serial",
         help="execution backend of the --checkpoint-dir functional step: "
-        "'serial' (default) or 'pool' for a forked process pool, "
-        "optionally with a worker count (e.g. pool:4)",
+        "'serial' (default), 'pool' for a forked process pool or "
+        "'cluster' for socket workers with heartbeat failure detection, "
+        "optionally with a worker count (e.g. pool:4, cluster:4)",
     )
     args = ap.parse_args(argv)
 

@@ -21,7 +21,11 @@ from .retry import (
     TaskExecutionError,
     TaskTimeout,
 )
-from .reschedule import RescheduleOutcome, reschedule_on_core_loss
+from .reschedule import (
+    RescheduleOutcome,
+    cluster_loss_handler,
+    reschedule_on_core_loss,
+)
 
 __all__ = [
     "CoreLoss",
@@ -34,4 +38,5 @@ __all__ = [
     "TaskTimeout",
     "RescheduleOutcome",
     "reschedule_on_core_loss",
+    "cluster_loss_handler",
 ]

@@ -35,7 +35,11 @@ from ..obs import Instrumentation
 from ..sim.trace import ExecutionTrace
 from .plan import CoreLoss
 
-__all__ = ["RescheduleOutcome", "reschedule_on_core_loss"]
+__all__ = [
+    "RescheduleOutcome",
+    "reschedule_on_core_loss",
+    "cluster_loss_handler",
+]
 
 
 @dataclass
@@ -220,3 +224,64 @@ def reschedule_on_core_loss(
         original_layered=layered,
         suffix=suffix,
     )
+
+
+def cluster_loss_handler(
+    graph: TaskGraph,
+    layered: LayeredSchedule,
+    trace: ExecutionTrace,
+    platform,
+    strategy,
+    scheduler=None,
+    options=None,
+    obs: Optional[Instrumentation] = None,
+    nodes_per_worker: int = 1,
+):
+    """Bridge a backend's ``on_worker_lost`` hook to core-loss re-planning.
+
+    Returns a callback suitable for
+    :class:`~repro.runtime.backends.ClusterBackend`'s ``on_worker_lost``
+    parameter.  Each permanent worker departure is treated as the loss
+    of ``nodes_per_worker`` whole nodes at the boundary of the batch
+    being executed (a batch of independent tasks *is* a schedule layer,
+    so ``WorkerLoss.batch_index`` maps directly onto
+    ``CoreLoss.after_layer``), and :func:`reschedule_on_core_loss` is
+    invoked with the cumulative loss so far -- the re-plan always
+    reflects every departure, not just the latest one.
+
+    The outcomes accumulate on the returned callback's ``outcomes``
+    attribute in event order.  Re-planning is advisory for the run that
+    suffered the loss (the cluster backend already requeued the work;
+    for pure bodies the variables are identical either way) -- the new
+    ``group_sizes()`` matter for *subsequent* or resumed runs, so a
+    handler failure, including running out of nodes to re-plan on, is
+    recorded on ``callback.errors`` rather than raised into (and
+    aborting) the surviving run.
+    """
+    outcomes: list = []
+    errors: list = []
+    lost_nodes = [0]
+
+    def on_worker_lost(loss) -> None:
+        lost_nodes[0] += nodes_per_worker
+        event = CoreLoss(after_layer=loss.batch_index, nodes=lost_nodes[0])
+        try:
+            outcomes.append(
+                reschedule_on_core_loss(
+                    graph,
+                    layered,
+                    trace,
+                    platform,
+                    strategy,
+                    event,
+                    scheduler=scheduler,
+                    options=options,
+                    obs=obs,
+                )
+            )
+        except (ValueError, RuntimeError) as exc:
+            errors.append((loss, exc))
+
+    on_worker_lost.outcomes = outcomes
+    on_worker_lost.errors = errors
+    return on_worker_lost

@@ -56,6 +56,19 @@ class RetryPolicy:
         ``backoff * backoff_factor**attempt`` grows without bound (and
         overflows to ``inf`` for large attempt numbers); every delay is
         clamped to ``max_delay`` after jitter is applied.
+    deadline_seconds:
+        Overall per-task budget in *effective* seconds (attempt
+        durations times straggler factors, plus accounted backoff)
+        across all attempts -- distinct from the per-attempt
+        ``timeout``.  When retrying a failed attempt would push the
+        accumulated budget past the deadline, the task gives up
+        immediately with a ``"gave_up"`` failure record whose ``cause``
+        is ``"deadline"`` (surfaced in ``RunResult.failures``).  The
+        check gates *retries* only: an attempt that eventually succeeds
+        is never cut short.  Because every single delay is already
+        clamped to ``max_delay``, the accumulated budget stays finite
+        however many attempts the policy allows.  ``None`` disables the
+        budget.
     seed:
         Seeds the jitter streams (see module docstring).
     """
@@ -66,6 +79,7 @@ class RetryPolicy:
     backoff_factor: float = 2.0
     jitter: float = 0.1
     max_delay: float = 60.0
+    deadline_seconds: Optional[float] = None
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -79,6 +93,16 @@ class RetryPolicy:
             raise ValueError("jitter must be in [0, 1)")
         if not (self.max_delay > 0 and math.isfinite(self.max_delay)):
             raise ValueError("max_delay must be positive and finite")
+        if self.deadline_seconds is not None:
+            if not (
+                self.deadline_seconds > 0 and math.isfinite(self.deadline_seconds)
+            ):
+                raise ValueError("deadline_seconds must be positive and finite")
+            if self.timeout is not None and self.deadline_seconds < self.timeout:
+                raise ValueError(
+                    "deadline_seconds must be >= timeout (the budget must "
+                    "admit at least one full attempt)"
+                )
 
     @property
     def max_attempts(self) -> int:

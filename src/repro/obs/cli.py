@@ -29,8 +29,9 @@ Run specifications are shared by
 problem size (``--n 200``), plus optional fault injection
 (``--faults``), speculative straggler mitigation (``--speculate``), a
 journaled functional run (``--checkpoint-dir`` / ``--resume``), the
-execution backend of that functional run (``--backend serial`` or
-``--backend pool[:WORKERS]``) and a persistent run registry
+execution backend of that functional run (``--backend serial``,
+``--backend pool[:W]`` or ``--backend cluster[:W]``) and a persistent
+run registry
 (``--registry-dir``) every run appends its :class:`RunRecord` to.
 """
 
@@ -155,11 +156,13 @@ def _add_run_arguments(ap: argparse.ArgumentParser) -> None:
     )
     ap.add_argument(
         "--backend",
-        metavar="serial|pool[:WORKERS]",
+        metavar="serial|pool[:W]|cluster[:W]",
         default="serial",
         help="execution backend of the functional --checkpoint-dir run: "
-        "'serial' (default, in-process) or 'pool' for a forked "
-        "process pool, optionally with a worker count (e.g. pool:4)",
+        "'serial' (default, in-process), 'pool' for a forked "
+        "process pool or 'cluster' for socket workers with heartbeat "
+        "failure detection, optionally with a worker count (e.g. pool:4, "
+        "cluster:4)",
     )
     ap.add_argument(
         "--registry-dir",
@@ -640,7 +643,7 @@ fault-tolerance, recovery and telemetry flags:
   --speculate FACTOR[:QUANTILE]      speculative backup attempts
   --checkpoint-dir DIR               journaled functional step
   --resume                           resume from that journal
-  --backend serial|pool[:WORKERS]    functional execution backend
+  --backend serial|pool|cluster[:W]  functional execution backend
   --registry-dir DIR                 append a RunRecord to the run registry
 
 examples:

@@ -120,6 +120,8 @@ class RunJournal:
         self.crash_after = crash_after
         self._fh = None
         self._task_records = 0
+        #: tasks whose completion is already journaled (exactly-once guard)
+        self._completed_tasks: set = set()
 
     # ------------------------------------------------------------------
     # reading
@@ -174,6 +176,9 @@ class RunJournal:
                 state.records.append(rec)
         if state.records and state.header is None:
             raise JournalError(f"journal {self.path} has records but no header")
+        self._completed_tasks = {
+            r["task"] for r in state.records if r.get("kind") == "task"
+        }
         return state
 
     # ------------------------------------------------------------------
@@ -251,7 +256,20 @@ class RunJournal:
         error: str = "",
         backoff_seconds: float = 0.0,
     ) -> Dict[str, Any]:
-        """Checkpoint ``outputs`` and append the task completion record."""
+        """Checkpoint ``outputs`` and append the task completion record.
+
+        Each task may complete exactly once per run: a second record for
+        the same task (e.g. a duplicate commit of a requeued-then-
+        recovered cluster dispatch leaking past the backend's dedup)
+        raises :class:`JournalError` instead of silently double-
+        appending -- a resumed run would otherwise restore whichever
+        record happened to parse last.
+        """
+        if task in self._completed_tasks:
+            raise JournalError(
+                f"duplicate completion for task {task!r}: the journal "
+                "already holds its record (exactly-once commit violated)"
+            )
         digests: Dict[str, str] = {}
         checkpoint_bytes = 0
         for name, arr in outputs.items():
@@ -272,6 +290,7 @@ class RunJournal:
             rec["error"] = error
             rec["backoff_seconds"] = backoff_seconds
         self._write(rec)
+        self._completed_tasks.add(task)
         return rec
 
     def record_failure(self, record: FailureRecord) -> None:

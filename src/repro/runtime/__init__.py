@@ -1,9 +1,11 @@
 """Functional (data-carrying) execution of M-task programs."""
 
 from .backends import (
+    ClusterBackend,
     ExecutionBackend,
     ProcessPoolBackend,
     SerialBackend,
+    WorkerLoss,
     independent_batches,
     parse_backend_spec,
 )
@@ -19,6 +21,8 @@ __all__ = [
     "ExecutionBackend",
     "SerialBackend",
     "ProcessPoolBackend",
+    "ClusterBackend",
+    "WorkerLoss",
     "independent_batches",
     "parse_backend_spec",
 ]

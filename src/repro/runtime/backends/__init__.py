@@ -2,10 +2,11 @@
 
 The executor (:func:`repro.runtime.run_program`) owns run *semantics*;
 an :class:`ExecutionBackend` owns the *mechanics* of running ready task
-bodies.  Two implementations ship: the historical, bit-identical
-:class:`SerialBackend` and the genuinely parallel
-:class:`ProcessPoolBackend`.  See :mod:`repro.runtime.backends.base`
-for the batching invariant the split rests on.
+bodies.  Three implementations ship: the historical, bit-identical
+:class:`SerialBackend`, the genuinely parallel shared-memory
+:class:`ProcessPoolBackend`, and the elastic socket-worker
+:class:`ClusterBackend`.  See :mod:`repro.runtime.backends.base` for
+the batching invariant the split rests on.
 """
 
 from .base import (
@@ -14,9 +15,11 @@ from .base import (
     RunContext,
     TaskOutcome,
     TaskRequest,
+    emit_worker_crash,
     independent_batches,
     parse_backend_spec,
 )
+from .cluster import ClusterBackend, WorkerLoss
 from .pool import ProcessPoolBackend
 from .serial import SerialBackend
 
@@ -28,6 +31,9 @@ __all__ = [
     "TaskRequest",
     "SerialBackend",
     "ProcessPoolBackend",
+    "ClusterBackend",
+    "WorkerLoss",
+    "emit_worker_crash",
     "independent_batches",
     "parse_backend_spec",
 ]

@@ -34,7 +34,29 @@ __all__ = [
     "ExecutionBackend",
     "independent_batches",
     "parse_backend_spec",
+    "emit_worker_crash",
 ]
+
+
+def emit_worker_crash(
+    obs, backend: str, worker: Optional[int], pid: Optional[int], reason: str,
+    in_flight: List[Dict[str, Any]],
+) -> None:
+    """Emit the structured ``worker_crash`` record both backends share.
+
+    ``in_flight`` rows are ``{"task": name, "attempt": attempt}`` -- the
+    work that was at risk when the worker died.  The pool backend emits
+    it before aborting the run; the cluster backend emits it and carries
+    on with the surviving members.
+    """
+    obs.record(
+        "worker_crash",
+        backend=backend,
+        worker=worker,
+        pid=pid,
+        reason=reason,
+        in_flight=in_flight,
+    )
 
 
 @dataclass
@@ -193,21 +215,24 @@ def independent_batches(graph) -> List[List[Any]]:
 
 
 def parse_backend_spec(spec: str):
-    """Parse the ``serial`` / ``pool[:WORKERS]`` CLI backend spec.
+    """Parse the ``serial`` / ``pool[:N]`` / ``cluster[:N]`` backend spec.
 
     ``serial`` returns a
     :class:`~repro.runtime.backends.serial.SerialBackend`; ``pool``
     a :class:`~repro.runtime.backends.pool.ProcessPoolBackend` with the
-    default worker count, ``pool:4`` one with four workers.  Raises a
+    default worker count, ``pool:4`` one with four workers; ``cluster``
+    and ``cluster:N`` the socket-based
+    :class:`~repro.runtime.backends.cluster.ClusterBackend`.  Raises a
     one-line :class:`ValueError` on anything else.
     """
+    from .cluster import ClusterBackend
     from .pool import ProcessPoolBackend
     from .serial import SerialBackend
 
     parts = spec.split(":")
     if parts[0] == "serial" and len(parts) == 1:
         return SerialBackend()
-    if parts[0] == "pool" and len(parts) in (1, 2):
+    if parts[0] in ("pool", "cluster") and len(parts) in (1, 2):
         workers = None
         if len(parts) == 2:
             try:
@@ -221,7 +246,10 @@ def parse_backend_spec(spec: str):
                 raise ValueError(
                     f"backend spec {spec!r}: worker count must be >= 1"
                 )
+        if parts[0] == "cluster":
+            return ClusterBackend(workers=workers)
         return ProcessPoolBackend(workers=workers)
     raise ValueError(
-        f"backend spec {spec!r} must be 'serial', 'pool' or 'pool:WORKERS'"
+        f"backend spec {spec!r} must be 'serial', 'pool[:WORKERS]' or "
+        f"'cluster[:WORKERS]'"
     )

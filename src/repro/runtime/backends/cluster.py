@@ -1,0 +1,1029 @@
+"""Elastic socket-cluster execution backend with failure detection.
+
+:class:`ClusterBackend` dispatches each batch of independent M-tasks to
+worker *processes* connected over TCP sockets (localhost by default):
+an asyncio **coordinator** -- running on a dedicated thread inside the
+parent -- serves a length-prefixed, array-chunked pickle protocol
+(:mod:`repro.runtime.backends.wire`), and each worker is a forked child
+(:mod:`repro.runtime.backends.cluster_worker`) that inherits the task
+registry, fault plan and retry policy at fork time, exactly like a pool
+worker.  The same per-``(task, attempt)`` seeded draws make every
+outcome independent of *which* worker executes it -- the basis of the
+serial/cluster bit-identity guarantee.
+
+Robustness is the point of this backend:
+
+* **membership by heartbeat.**  Every worker sends a heartbeat frame on
+  an interval; the coordinator's membership table marks a worker dead
+  once no frame has arrived for ``heartbeat_timeout`` seconds (a closed
+  connection -- e.g. a SIGKILLed worker -- is detected immediately).
+  Workers may join at any time (:meth:`ClusterBackend.spawn_worker`, or
+  an external ``python -m repro.runtime.backends.cluster_worker``) and
+  leave at any time; both are membership events, not crashes.
+* **lost-worker requeue.**  Tasks in flight on (or queued behind) a
+  dead worker are redispatched to the survivors with an incremented
+  dispatch attempt; accounted backoff between redispatches reuses
+  :class:`~repro.faults.RetryPolicy` seeded delays (``dispatch_retry``).
+  Only when *no* worker remains does the run fail, naming the stranded
+  tasks.  Each permanent departure is reported through the shared
+  ``worker_crash`` instrumentation record and the optional
+  ``on_worker_lost`` hook -- the pipeline wires that hook to
+  :func:`~repro.faults.reschedule_on_core_loss` (see
+  :func:`~repro.faults.reschedule.cluster_loss_handler`) so execution
+  degrades gracefully instead of dying.
+* **per-task dispatch deadlines.**  With ``dispatch_retry``, a worker
+  holding a task longer than ``dispatch_retry.timeout`` seconds is
+  treated as hung: the task is redispatched elsewhere (bounded by the
+  policy's ``max_attempts``), and the hung worker receives no new work
+  until it answers.
+* **work stealing.**  Batch tasks are sharded round-robin into
+  per-worker queues; a worker that drains its own queue steals from the
+  most loaded one (``cluster.steals``), so one slow worker cannot
+  strand a batch's tail.  A newly joined worker starts stealing
+  immediately -- elasticity and stealing are one mechanism.
+* **exactly-once commit.**  Every dispatch carries ``(task, attempt)``;
+  the coordinator resolves each job once and drops late duplicates --
+  e.g. the answer of a slow worker whose task was already stolen,
+  re-executed and committed elsewhere (``cluster.duplicate_results``).
+  Together with the executor's single in-order commit per request and
+  the :class:`~repro.recovery.RunJournal`'s duplicate-completion guard,
+  a task outcome reaches the journal exactly once, so a cluster run
+  under injected worker kills resumes bit-identical to an uninterrupted
+  serial run.
+* **speculation.**  With a
+  :class:`~repro.recovery.SpeculationPolicy`, a task outstanding past
+  the policy threshold races a backup on another worker -- the remote
+  analogue of the pool backend's concurrent speculation, and the
+  mitigation for *slow* (rather than dead) remote workers.
+
+Commit order is the batch's topological order regardless of completion
+order, so journals, failure records and variable stores stay
+bit-identical across serial, pool and cluster backends.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import collections
+import multiprocessing
+import os
+import queue
+import signal
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ...recovery.speculation import SpeculationRecord
+from .base import (
+    AttemptEvent,
+    ExecutionBackend,
+    RunContext,
+    TaskOutcome,
+    TaskRequest,
+    emit_worker_crash,
+)
+from .cluster_worker import serve
+from .wire import read_message_async, write_message_async
+
+__all__ = ["ClusterBackend", "WorkerLoss"]
+
+
+@dataclass(frozen=True)
+class WorkerLoss:
+    """One permanent worker departure, as seen by the run.
+
+    Passed to the backend's ``on_worker_lost`` hook (main thread, in
+    dispatch order).  ``in_flight`` names the tasks that were requeued
+    off the dead worker; ``batch_index`` is the 0-based index of the
+    independent batch being executed when the loss was detected --
+    :func:`~repro.faults.reschedule.cluster_loss_handler` maps it to the
+    layer boundary :func:`~repro.faults.reschedule_on_core_loss`
+    replans from.
+    """
+
+    worker: int
+    pid: Optional[int]
+    reason: str
+    batch_index: int
+    in_flight: Tuple[str, ...]
+    remaining_workers: int
+
+
+# ----------------------------------------------------------------------
+# coordinator (asyncio, dedicated thread)
+# ----------------------------------------------------------------------
+class _Member:
+    """Coordinator-side membership-table row for one worker."""
+
+    __slots__ = (
+        "wid", "pid", "writer", "last_seen", "alive", "inflight", "queue",
+        "tasks_done", "steals",
+    )
+
+    def __init__(self, wid: int, pid: Optional[int], writer) -> None:
+        self.wid = wid
+        self.pid = pid
+        self.writer = writer
+        self.last_seen = time.monotonic()
+        self.alive = True
+        self.inflight: Optional[int] = None
+        self.queue: Deque[int] = collections.deque()
+        self.tasks_done = 0
+        self.steals = 0
+
+
+class _CoordJob:
+    """Coordinator-side state of one dispatchable job."""
+
+    __slots__ = ("jid", "frame", "attempt", "worker", "dispatched", "resolved")
+
+    def __init__(self, jid: int, frame: Dict[str, Any]) -> None:
+        self.jid = jid
+        self.frame = frame  # kept whole so requeues can redispatch
+        self.attempt = 0
+        self.worker: Optional[int] = None
+        self.dispatched: Optional[float] = None
+        self.resolved = False
+
+
+class _Coordinator:
+    """The asyncio membership/dispatch engine behind a cluster run.
+
+    Lives on its own thread with its own event loop; the backend's main
+    thread talks to it through ``asyncio.run_coroutine_threadsafe`` and
+    reads results/events from thread-safe queues.  All mutable state
+    (members, jobs) is touched only on the loop thread.
+    """
+
+    def __init__(
+        self,
+        heartbeat_timeout: float,
+        dispatch_retry,
+        results: "queue.Queue",
+        events: Deque[Tuple],
+        tick: float = 0.02,
+    ) -> None:
+        self.heartbeat_timeout = heartbeat_timeout
+        self.dispatch_retry = dispatch_retry
+        self.results = results
+        self.events = events
+        self.tick = tick
+        self.loop = asyncio.new_event_loop()
+        self.members: Dict[int, _Member] = {}
+        self.jobs: Dict[int, _CoordJob] = {}
+        self.port: Optional[int] = None
+        self._server = None
+        self._monitor_task = None
+        self._thread: Optional[threading.Thread] = None
+
+    # -- lifecycle ------------------------------------------------------
+    def start(self, host: str = "127.0.0.1") -> int:
+        """Start the loop thread and the stream server; returns the port."""
+        self._thread = threading.Thread(
+            target=self._run_loop, name="cluster-coordinator", daemon=True
+        )
+        self._thread.start()
+        fut = asyncio.run_coroutine_threadsafe(self._start_server(host), self.loop)
+        self.port = fut.result(timeout=10.0)
+        return self.port
+
+    def _run_loop(self) -> None:
+        asyncio.set_event_loop(self.loop)
+        self.loop.run_forever()
+        # drain cancelled tasks so their exceptions are retrieved
+        pending = asyncio.all_tasks(self.loop)
+        for task in pending:
+            task.cancel()
+        if pending:
+            self.loop.run_until_complete(
+                asyncio.gather(*pending, return_exceptions=True)
+            )
+        self.loop.close()
+
+    async def _start_server(self, host: str) -> int:
+        self._server = await asyncio.start_server(self._handle_client, host, 0)
+        self._monitor_task = self.loop.create_task(self._monitor())
+        return self._server.sockets[0].getsockname()[1]
+
+    def stop(self) -> None:
+        """Stop serving: send ``stop`` to the workers, close, join."""
+        if self._thread is None:
+            return
+        try:
+            asyncio.run_coroutine_threadsafe(self._shutdown(), self.loop).result(
+                timeout=5.0
+            )
+        except Exception:  # pragma: no cover - best-effort teardown
+            pass
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self._thread.join(timeout=5.0)
+        self._thread = None
+
+    async def _shutdown(self) -> None:
+        if self._monitor_task is not None:
+            self._monitor_task.cancel()
+        for member in self.members.values():
+            if member.alive:
+                try:
+                    await write_message_async(member.writer, {"type": "stop"})
+                except (ConnectionError, OSError):
+                    pass
+            try:
+                member.writer.close()
+            except Exception:  # pragma: no cover
+                pass
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+
+    # -- membership -----------------------------------------------------
+    async def _handle_client(self, reader, writer) -> None:
+        """Serve one worker connection: hello, then heartbeats/results."""
+        try:
+            hello = await read_message_async(reader)
+        except (asyncio.IncompleteReadError, ConnectionError, OSError):
+            writer.close()
+            return
+        if not isinstance(hello, dict) or hello.get("type") != "hello":
+            writer.close()
+            return
+        wid = int(hello["worker"])
+        if wid in self.members and self.members[wid].alive:
+            # duplicate id: refuse the newcomer, keep the incumbent
+            self.events.append(("rejected", wid))
+            writer.close()
+            return
+        member = _Member(wid, hello.get("pid"), writer)
+        self.members[wid] = member
+        self.events.append(("worker_joined", wid, member.pid, self.alive_count()))
+        self._pump(member)
+        try:
+            while True:
+                msg = await read_message_async(reader)
+                member.last_seen = time.monotonic()
+                kind = msg.get("type")
+                if kind == "heartbeat":
+                    continue
+                if kind == "result":
+                    self._on_result(member, msg)
+        except (asyncio.IncompleteReadError, ConnectionError, OSError, EOFError):
+            self._mark_lost(member, "connection lost")
+
+    def alive_count(self) -> int:
+        """Number of live members (safe to read from any thread)."""
+        return sum(1 for m in self.members.values() if m.alive)
+
+    def heartbeat_ages(self) -> Dict[int, float]:
+        """Seconds since each live member's last frame (any thread)."""
+        now = time.monotonic()
+        return {m.wid: now - m.last_seen for m in self.members.values() if m.alive}
+
+    def member_stats(self) -> Dict[int, Dict[str, int]]:
+        """Per-worker completion/steal counts (any thread)."""
+        return {
+            m.wid: {"tasks_done": m.tasks_done, "steals": m.steals}
+            for m in self.members.values()
+        }
+
+    def _mark_lost(self, member: _Member, reason: str) -> None:
+        """Declare a member dead and requeue everything it held."""
+        if not member.alive:
+            return
+        member.alive = False
+        try:
+            member.writer.close()
+        except Exception:  # pragma: no cover
+            pass
+        at_risk: List[_CoordJob] = []
+        if member.inflight is not None:
+            job = self.jobs.get(member.inflight)
+            if job is not None and not job.resolved:
+                at_risk.append(job)
+            member.inflight = None
+        for jid in member.queue:
+            job = self.jobs.get(jid)
+            if job is not None and not job.resolved:
+                at_risk.append(job)
+        member.queue.clear()
+        self.events.append(
+            (
+                "worker_lost",
+                member.wid,
+                member.pid,
+                reason,
+                tuple(j.frame["name"] for j in at_risk if j.dispatched is not None
+                      or j.worker == member.wid),
+                self.alive_count(),
+            )
+        )
+        for job in at_risk:
+            self._requeue(job, f"worker {member.wid} {reason}")
+
+    # -- dispatch / stealing -------------------------------------------
+    async def submit(self, frames: List[Dict[str, Any]]) -> None:
+        """Register a batch of job frames and shard them round-robin."""
+        targets = sorted(
+            (m for m in self.members.values() if m.alive), key=lambda m: m.wid
+        )
+        for i, frame in enumerate(frames):
+            job = _CoordJob(frame["job"], frame)
+            self.jobs[job.jid] = job
+            if targets:
+                targets[i % len(targets)].queue.append(job.jid)
+        if not targets:
+            self._check_stranded()
+            return
+        for member in targets:
+            self._pump(member)
+
+    async def submit_backup(self, frame: Dict[str, Any], avoid_jid: int) -> None:
+        """Register a speculative backup, preferring a different worker."""
+        job = _CoordJob(frame["job"], frame)
+        self.jobs[job.jid] = job
+        owner = self.jobs.get(avoid_jid)
+        avoid = owner.worker if owner is not None else None
+        candidates = sorted(
+            (m for m in self.members.values() if m.alive and m.wid != avoid),
+            key=lambda m: (m.inflight is not None, len(m.queue), m.wid),
+        )
+        if not candidates:
+            candidates = sorted(
+                (m for m in self.members.values() if m.alive), key=lambda m: m.wid
+            )
+        if not candidates:
+            self._check_stranded()
+            return
+        candidates[0].queue.appendleft(job.jid)
+        self._pump(candidates[0])
+
+    def _pump(self, member: _Member) -> None:
+        """Hand an idle member its next job (own queue first, then steal)."""
+        if not member.alive or member.inflight is not None:
+            return
+        jid = self._next_for(member)
+        if jid is not None:
+            self._dispatch(member, jid)
+
+    def _next_for(self, member: _Member) -> Optional[int]:
+        while member.queue:
+            jid = member.queue.popleft()
+            if not self.jobs[jid].resolved:
+                return jid
+        victims = [
+            m
+            for m in self.members.values()
+            if m.alive and m.wid != member.wid and m.queue
+        ]
+        if not victims:
+            return None
+        victim = max(victims, key=lambda m: (len(m.queue), m.wid))
+        while victim.queue:
+            jid = victim.queue.pop()  # steal from the tail, owner keeps the head
+            if not self.jobs[jid].resolved:
+                member.steals += 1
+                self.events.append(
+                    ("steal", member.wid, victim.wid, self.jobs[jid].frame["name"])
+                )
+                return jid
+        return None
+
+    def _dispatch(self, member: _Member, jid: int) -> None:
+        job = self.jobs[jid]
+        job.worker = member.wid
+        job.dispatched = time.monotonic()
+        member.inflight = jid
+        frame = dict(job.frame)
+        frame["attempt"] = job.attempt
+        self.loop.create_task(self._send(member, frame))
+
+    async def _send(self, member: _Member, frame: Dict[str, Any]) -> None:
+        try:
+            await write_message_async(member.writer, frame)
+        except (ConnectionError, OSError):
+            self._mark_lost(member, "connection lost")
+
+    def _requeue(self, job: _CoordJob, reason: str) -> None:
+        """Redispatch an at-risk job, with accounted seeded backoff."""
+        name = job.frame["name"]
+        retry = self.dispatch_retry
+        if retry is not None and job.attempt + 1 >= retry.max_attempts:
+            job.resolved = True
+            self.results.put(
+                ("dispatch_failed", job.jid, name, job.attempt + 1, reason)
+            )
+            return
+        backoff = retry.delay(name, job.attempt) if retry is not None else 0.0
+        job.attempt += 1
+        job.worker = None
+        job.dispatched = None
+        self.events.append(("requeue", name, job.attempt, reason, backoff))
+        targets = [m for m in self.members.values() if m.alive]
+        if not targets:
+            self._check_stranded()
+            return
+        target = min(targets, key=lambda m: (len(m.queue), m.wid))
+        target.queue.append(job.jid)
+        self._pump(target)
+
+    def _check_stranded(self) -> None:
+        """With no live members, unresolved jobs can never complete."""
+        stranded = sorted(
+            j.frame["name"] for j in self.jobs.values() if not j.resolved
+        )
+        if stranded:
+            for job in self.jobs.values():
+                job.resolved = True
+            self.results.put(("stranded", tuple(stranded)))
+
+    # -- results --------------------------------------------------------
+    def _on_result(self, member: _Member, msg: Dict[str, Any]) -> None:
+        jid = msg.get("job")
+        job = self.jobs.get(jid)
+        if member.inflight == jid:
+            member.inflight = None
+            member.tasks_done += 1
+        if job is None or job.resolved:
+            # late answer of a requeued/stolen dispatch: exactly-once
+            # commit drops everything after the first arrival
+            name = job.frame["name"] if job is not None else "?"
+            self.events.append(("duplicate", name, msg.get("attempt", 0)))
+        else:
+            job.resolved = True
+            self.results.put(
+                ("result", jid, member.wid, msg.get("attempt", 0), msg["payload"])
+            )
+        self._pump(member)
+
+    # -- failure detection ---------------------------------------------
+    async def _monitor(self) -> None:
+        """Heartbeat-timeout and dispatch-deadline sweep."""
+        deadline = (
+            self.dispatch_retry.timeout if self.dispatch_retry is not None else None
+        )
+        while True:
+            await asyncio.sleep(self.tick)
+            now = time.monotonic()
+            for member in list(self.members.values()):
+                if not member.alive:
+                    continue
+                if now - member.last_seen > self.heartbeat_timeout:
+                    self._mark_lost(member, "heartbeat timeout")
+                    continue
+                if (
+                    deadline is not None
+                    and member.inflight is not None
+                ):
+                    job = self.jobs.get(member.inflight)
+                    if (
+                        job is not None
+                        and not job.resolved
+                        and job.dispatched is not None
+                        and now - job.dispatched > deadline
+                    ):
+                        # hung dispatch: requeue elsewhere, keep the
+                        # suspect busy (no new work until it answers)
+                        self.events.append(
+                            ("deadline", job.frame["name"], job.attempt, member.wid)
+                        )
+                        self._requeue(job, f"dispatch deadline on worker {member.wid}")
+                # an idle member may have missed a pump (e.g. joined
+                # while every queue was momentarily empty)
+                self._pump(member)
+
+
+# ----------------------------------------------------------------------
+# backend (main thread)
+# ----------------------------------------------------------------------
+class _MainJob:
+    """Main-thread state of one dispatched cluster job."""
+
+    __slots__ = ("jid", "request", "backup_of", "dispatched", "threshold", "backup_jid")
+
+    def __init__(self, jid: int, request: TaskRequest, backup_of: Optional[int] = None):
+        self.jid = jid
+        self.request = request
+        self.backup_of = backup_of
+        self.dispatched = 0.0
+        self.threshold: Optional[float] = None
+        self.backup_jid: Optional[int] = None
+
+
+def _forked_worker(
+    host, port, wid, registry, faults, retry, parent_pid, heartbeat_interval, delay
+) -> None:
+    """Fork target: serve the coordinator from a fresh child process."""
+    try:
+        cores = sorted(os.sched_getaffinity(0))
+        os.sched_setaffinity(0, {cores[wid % len(cores)]})
+    except (AttributeError, OSError, IndexError):  # pragma: no cover
+        pass
+    serve(
+        host,
+        port,
+        wid,
+        registry,
+        faults=faults,
+        retry=retry,
+        parent_pid=parent_pid,
+        heartbeat_interval=heartbeat_interval,
+        delay=delay,
+    )
+
+
+class ClusterBackend(ExecutionBackend):
+    """Run M-task batches on socket-connected worker processes.
+
+    Parameters
+    ----------
+    workers:
+        Workers forked at :meth:`open` (default ``os.cpu_count()``, at
+        least 2).  More can join later (:meth:`spawn_worker`); the run
+        survives any number of departures as long as one member lives.
+    heartbeat_interval / heartbeat_timeout:
+        Workers heartbeat every ``heartbeat_interval`` seconds; the
+        coordinator declares a silent worker dead after
+        ``heartbeat_timeout`` seconds (default ``40 ×`` the interval).
+        A closed connection is detected immediately, so the timeout only
+        gates *hung* (not crashed) workers.
+    dispatch_retry:
+        Optional :class:`~repro.faults.RetryPolicy` for *dispatch-level*
+        robustness: ``timeout`` is the per-task dispatch deadline
+        (a worker holding a task longer is treated as hung and the task
+        redispatched), ``max_attempts`` bounds redispatches, and
+        ``delay()`` supplies the accounted seeded backoff between them.
+        Dispatch accounting is infrastructure-level -- it never touches
+        ``RunStats``, so bit-identity with the serial backend holds.
+    poll_interval:
+        Main-thread result poll period; also bounds how quickly
+        speculation thresholds and chaos triggers are noticed.
+    worker_delay:
+        ``{worker_id: seconds}`` straggler injection -- those workers
+        sleep before every task (the chaos harness races speculation
+        against them).
+    on_worker_lost:
+        Callback invoked (main thread, in event order) with a
+        :class:`WorkerLoss` for every permanent departure -- the hook
+        the pipeline's core-loss rescheduling attaches to.
+    chaos_kill:
+        ``(worker_id, after_results)``: SIGKILL that worker once the
+        backend has gathered that many results -- the deterministic
+        worker-kill hook of the cluster chaos job (the analogue of
+        ``RunJournal.crash_after``).
+    host:
+        Bind address of the coordinator socket (default localhost).
+    """
+
+    name = "cluster"
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        heartbeat_interval: float = 0.05,
+        heartbeat_timeout: Optional[float] = None,
+        dispatch_retry=None,
+        poll_interval: float = 0.02,
+        worker_delay: Optional[Dict[int, float]] = None,
+        on_worker_lost: Optional[Callable[[WorkerLoss], None]] = None,
+        chaos_kill: Optional[Tuple[int, int]] = None,
+        host: str = "127.0.0.1",
+    ) -> None:
+        self.workers = workers
+        self.heartbeat_interval = heartbeat_interval
+        self.heartbeat_timeout = (
+            heartbeat_timeout if heartbeat_timeout is not None
+            else 40.0 * heartbeat_interval
+        )
+        self.dispatch_retry = dispatch_retry
+        self.poll_interval = poll_interval
+        self.worker_delay = dict(worker_delay or {})
+        self.on_worker_lost = on_worker_lost
+        self.chaos_kill = chaos_kill
+        self.host = host
+        self._run: Optional[RunContext] = None
+        self._coord: Optional[_Coordinator] = None
+        self._results: "queue.Queue" = queue.Queue()
+        self._events: Deque[Tuple] = collections.deque()
+        self._procs: Dict[int, Any] = {}
+        self._jobs: Dict[int, _MainJob] = {}
+        self._next_jid = 0
+        self._next_wid = 0
+        self._offset = 0.0
+        self._done = 0
+        self._gathered = 0
+        self._batch_index = -1
+        self._spec_inflight = 0
+        self._chaos_fired = False
+
+    # ------------------------------------------------------------------
+    def open(self, run: RunContext) -> None:
+        """Start the coordinator, fork the workers, await the handshakes."""
+        if "fork" not in multiprocessing.get_all_start_methods():
+            raise RuntimeError(
+                "ClusterBackend requires the 'fork' start method (task bodies "
+                "are closures and cannot be pickled); it is not available on "
+                "this platform -- use the serial backend"
+            )
+        self._run = run
+        self._offset = time.perf_counter() - time.monotonic()
+        self._results = queue.Queue()
+        self._events = collections.deque()
+        self._coord = _Coordinator(
+            heartbeat_timeout=self.heartbeat_timeout,
+            dispatch_retry=self.dispatch_retry,
+            results=self._results,
+            events=self._events,
+        )
+        try:
+            self._coord.start(self.host)
+            n = self.workers if self.workers is not None else max(2, os.cpu_count() or 1)
+            for _ in range(n):
+                self.spawn_worker()
+            deadline = time.monotonic() + 15.0
+            while self._coord.alive_count() < n:
+                if time.monotonic() > deadline:
+                    raise RuntimeError(
+                        f"cluster backend: only {self._coord.alive_count()} of "
+                        f"{n} workers joined within 15s"
+                    )
+                time.sleep(0.005)
+        except Exception:
+            self.close()
+            raise
+        self._done = 0
+        self._gathered = 0
+        self._batch_index = -1
+        self._spec_inflight = 0
+        self._chaos_fired = False
+        run.obs.publish("backend_tasks_total", float(len(run.graph)), backend=self.name)
+        run.obs.publish("backend_tasks_done", 0.0, backend=self.name)
+        run.obs.publish("backend_workers", float(n), backend=self.name)
+        run.obs.publish("backend_speculation_in_flight", 0.0, backend=self.name)
+        self._drain_events()
+
+    # ------------------------------------------------------------------
+    @property
+    def worker_pids(self) -> Dict[int, int]:
+        """Live mapping of worker id to process id (forked workers only)."""
+        return {wid: p.pid for wid, p in self._procs.items() if p.is_alive()}
+
+    @property
+    def coordinator_address(self) -> Optional[Tuple[str, int]]:
+        """``(host, port)`` external workers can join, once open."""
+        if self._coord is None or self._coord.port is None:
+            return None
+        return (self.host, self._coord.port)
+
+    def spawn_worker(self, delay: Optional[float] = None) -> int:
+        """Fork one more worker into the membership (elastic join).
+
+        Returns the new worker id.  ``delay`` overrides the per-worker
+        straggler injection for this worker.
+        """
+        run, coord = self._run, self._coord
+        if run is None or coord is None or coord.port is None:
+            raise RuntimeError("spawn_worker() requires an open backend")
+        wid = self._next_wid
+        self._next_wid += 1
+        registry = {t.name: t for t in run.graph.topological_order()}
+        mp_ctx = multiprocessing.get_context("fork")
+        proc = mp_ctx.Process(
+            target=_forked_worker,
+            args=(
+                self.host,
+                coord.port,
+                wid,
+                registry,
+                run.faults,
+                run.retry,
+                os.getpid(),
+                self.heartbeat_interval,
+                self.worker_delay.get(wid, 0.0) if delay is None else delay,
+            ),
+            daemon=True,
+        )
+        proc.start()
+        self._procs[wid] = proc
+        return wid
+
+    def kill_worker(self, wid: int) -> None:
+        """SIGKILL a forked worker (chaos testing)."""
+        proc = self._procs.get(wid)
+        if proc is not None and proc.is_alive() and proc.pid:
+            os.kill(proc.pid, signal.SIGKILL)
+
+    # ------------------------------------------------------------------
+    def run_batch(self, tasks, prepare, commit) -> None:
+        """Prepare in order, execute on the cluster, commit in order."""
+        run = self._run
+        assert run is not None, "open() must be called before run_batch()"
+        obs = run.obs
+        self._batch_index += 1
+        self._drain_events()
+        requests = [r for r in (prepare(t) for t in tasks) if r is not None]
+        skipped = len(tasks) - len(requests)
+        if skipped:
+            self._done += skipped
+            obs.publish("backend_tasks_done", float(self._done), backend=self.name)
+        if not requests:
+            return
+        order: List[int] = []
+        frames: List[Dict[str, Any]] = []
+        for req in requests:
+            jid = self._next_jid
+            self._next_jid += 1
+            job = _MainJob(jid, req)
+            job.dispatched = time.perf_counter()
+            self._jobs[jid] = job
+            order.append(jid)
+            frames.append(
+                {
+                    "type": "task",
+                    "job": jid,
+                    "name": req.task.name,
+                    "q": req.q,
+                    "env": dict(req.ctx.env),
+                    "values": dict(req.values),
+                    "backup": False,
+                }
+            )
+        asyncio.run_coroutine_threadsafe(
+            self._coord.submit(frames), self._coord.loop
+        ).result(timeout=30.0)
+        resolved = self._gather(set(order))
+        for jid, req in zip(order, requests):
+            commit(req, resolved[jid])
+            self._done += 1
+            obs.publish("backend_tasks_done", float(self._done), backend=self.name)
+        self._drain_events()
+
+    # ------------------------------------------------------------------
+    def _gather(self, pending: set) -> Dict[int, TaskOutcome]:
+        run = self._run
+        resolved: Dict[int, TaskOutcome] = {}
+        while pending:
+            self._drain_events()
+            self._maybe_chaos_kill()
+            try:
+                item = self._results.get(timeout=self.poll_interval)
+            except queue.Empty:
+                if run.speculation is not None and run.history is not None:
+                    self._maybe_speculate(pending)
+                self._publish_heartbeats()
+                continue
+            kind = item[0]
+            if kind == "stranded":
+                self._drain_events()
+                raise RuntimeError(
+                    "cluster backend: every worker died; stranded tasks: "
+                    + ", ".join(repr(t) for t in item[1])
+                )
+            if kind == "dispatch_failed":
+                _, jid, name, attempts, reason = item
+                self._drain_events()
+                raise RuntimeError(
+                    f"cluster backend: task {name!r} exhausted {attempts} "
+                    f"dispatch attempt(s): {reason}"
+                )
+            _, jid, wid, attempt, payload = item
+            self._gathered += 1
+            job = self._jobs.get(jid)
+            if job is None:  # job of an earlier batch already released
+                continue
+            owner_jid = job.backup_of if job.backup_of is not None else jid
+            owner = self._jobs[owner_jid]
+            if job.backup_of is not None and self._spec_inflight > 0:
+                self._spec_inflight -= 1
+                run.obs.publish(
+                    "backend_speculation_in_flight",
+                    float(self._spec_inflight),
+                    backend=self.name,
+                )
+            if owner_jid not in pending:
+                continue  # race already decided
+            if job.backup_of is None:
+                resolved[owner_jid] = self._primary_outcome(payload, wid, owner)
+                pending.discard(owner_jid)
+            else:
+                outcome = self._backup_outcome(payload, wid, owner)
+                if outcome is not None:  # backup won the race
+                    resolved[owner_jid] = outcome
+                    pending.discard(owner_jid)
+        for jid in list(self._jobs):
+            job = self._jobs[jid]
+            owner_jid = job.backup_of if job.backup_of is not None else job.jid
+            if owner_jid in resolved or owner_jid not in self._jobs:
+                self._jobs.pop(jid, None)
+        return resolved
+
+    def _maybe_chaos_kill(self) -> None:
+        if self.chaos_kill is None or self._chaos_fired:
+            return
+        wid, after = self.chaos_kill
+        if self._gathered >= after:
+            self._chaos_fired = True
+            self.kill_worker(wid)
+
+    def _maybe_speculate(self, pending: set) -> None:
+        run = self._run
+        threshold = run.speculation.threshold(completed=run.history)
+        if threshold is None:
+            return
+        now = time.perf_counter()
+        for jid in list(pending):
+            job = self._jobs.get(jid)
+            if job is None or job.backup_jid is not None:
+                continue
+            if now - job.dispatched > threshold:
+                self._dispatch_backup(job, threshold)
+
+    def _dispatch_backup(self, owner: _MainJob, threshold: float) -> None:
+        jid = self._next_jid
+        self._next_jid += 1
+        self._jobs[jid] = _MainJob(jid, owner.request, backup_of=owner.jid)
+        owner.backup_jid = jid
+        owner.threshold = threshold
+        req = owner.request
+        frame = {
+            "type": "task",
+            "job": jid,
+            "name": req.task.name,
+            "q": req.q,
+            "env": dict(req.ctx.env),
+            "values": dict(req.values),
+            "backup": True,
+        }
+        asyncio.run_coroutine_threadsafe(
+            self._coord.submit_backup(frame, owner.jid), self._coord.loop
+        ).result(timeout=30.0)
+        self._spec_inflight += 1
+        self._run.obs.publish(
+            "backend_speculation_in_flight",
+            float(self._spec_inflight),
+            backend=self.name,
+        )
+
+    # ------------------------------------------------------------------
+    def _drain_events(self) -> None:
+        """Apply coordinator membership/steal events on the main thread.
+
+        The coordinator thread never touches the instrumentation -- it
+        appends structured events, and this method (called from the
+        executor's thread between polls) turns them into counters,
+        gauges, ``worker_crash`` records and ``on_worker_lost`` calls.
+        """
+        run = self._run
+        if run is None:
+            return
+        obs = run.obs
+        while True:
+            try:
+                event = self._events.popleft()
+            except IndexError:
+                return
+            tag = event[0]
+            if tag == "worker_joined":
+                _, wid, pid, alive = event
+                obs.count("cluster.worker_joins")
+                obs.publish("backend_workers", float(alive), backend=self.name)
+            elif tag == "worker_lost":
+                _, wid, pid, reason, in_flight, alive = event
+                obs.count("cluster.worker_losses")
+                obs.publish("backend_workers", float(alive), backend=self.name)
+                emit_worker_crash(
+                    obs,
+                    self.name,
+                    wid,
+                    pid,
+                    reason,
+                    [{"task": t, "attempt": 1} for t in in_flight],
+                )
+                if self.on_worker_lost is not None:
+                    self.on_worker_lost(
+                        WorkerLoss(
+                            worker=wid,
+                            pid=pid,
+                            reason=reason,
+                            batch_index=max(0, self._batch_index),
+                            in_flight=tuple(in_flight),
+                            remaining_workers=alive,
+                        )
+                    )
+            elif tag == "requeue":
+                _, name, attempt, reason, backoff = event
+                obs.count("cluster.requeues")
+                if backoff:
+                    obs.observe("cluster.requeue_backoff_seconds", backoff)
+            elif tag == "steal":
+                _, thief, victim, name = event
+                obs.count("cluster.steals")
+            elif tag == "duplicate":
+                _, name, attempt = event
+                obs.count("cluster.duplicate_results")
+                obs.record("duplicate_result", task=name, attempt=attempt,
+                           backend=self.name)
+            elif tag == "deadline":
+                obs.count("cluster.dispatch_deadlines")
+
+    def _publish_heartbeats(self) -> None:
+        run, coord = self._run, self._coord
+        if run is None or coord is None:
+            return
+        for wid, age in sorted(coord.heartbeat_ages().items()):
+            run.obs.publish(
+                "backend_worker_heartbeat_age_seconds",
+                age,
+                backend=self.name,
+                worker=wid,
+            )
+
+    # ------------------------------------------------------------------
+    def _primary_outcome(self, payload, wid, owner: _MainJob) -> TaskOutcome:
+        produced = payload.get("outputs")
+        info = dict(payload.get("info", {}))
+        events = [
+            AttemptEvent(
+                attempt=e.get("attempt", 0),
+                start=e.get("start", 0.0) + self._offset,
+                duration=e.get("duration", 0.0),
+                kind=e.get("kind", "ok"),
+                error=e.get("error", ""),
+                backoff=e.get("backoff", 0.0),
+                worker=wid,
+            )
+            for e in payload.get("events", [])
+        ]
+        outcome = TaskOutcome(
+            produced=produced,
+            failure=payload.get("failure"),
+            info=info,
+            events=events,
+            collectives=payload.get("collectives", []),
+            worker=wid,
+        )
+        if owner.backup_jid is not None and produced is not None:
+            outcome.speculation = (
+                SpeculationRecord(
+                    task=owner.request.task.name,
+                    primary_seconds=float(info.get("seconds", 0.0)),
+                    backup_seconds=-1.0,
+                    win=False,
+                ),
+                None,
+            )
+        return outcome
+
+    def _backup_outcome(self, payload, wid, owner: _MainJob) -> Optional[TaskOutcome]:
+        produced = payload.get("outputs")
+        if produced is None:
+            return None  # backup crashed or misbehaved: just a lost race
+        run = self._run
+        name = owner.request.task.name
+        slow = run.faults.slowdown(name, 1) if run.faults is not None else 1.0
+        events = payload.get("events", [])
+        duration = events[0].get("duration", 0.0) if events else 0.0
+        start = events[0].get("start", 0.0) + self._offset if events else 0.0
+        eff_backup = (owner.threshold or 0.0) + duration * slow
+        elapsed = time.perf_counter() - owner.dispatched
+        record = SpeculationRecord(
+            task=name,
+            primary_seconds=elapsed,
+            backup_seconds=eff_backup,
+            win=True,
+        )
+        backup_event = AttemptEvent(
+            attempt=0, start=start, duration=duration, kind="ok", worker=wid
+        )
+        return TaskOutcome(
+            produced=produced,
+            failure=None,
+            info={"attempts": 1, "seconds": eff_backup, "error": "",
+                  "backoff_seconds": 0.0},
+            events=[],
+            collectives=payload.get("collectives", []),
+            speculation=(record, backup_event),
+            worker=wid,
+        )
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Stop the coordinator and reap every worker process."""
+        if self._coord is not None:
+            self._coord.stop()
+            self._coord = None
+        for proc in self._procs.values():
+            proc.join(timeout=0.25)
+        for proc in self._procs.values():
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=1.0)
+        self._procs = {}
+        self._jobs = {}
+        self._run = None
+        self._results = queue.Queue()
+        self._events = collections.deque()
+        self._done = 0
+        self._gathered = 0
+        self._spec_inflight = 0

@@ -1,0 +1,201 @@
+"""Cluster worker: connects to a coordinator socket and executes tasks.
+
+A worker is one OS process serving one coordinator connection.  Its
+life cycle:
+
+1. connect to ``host:port`` and send a ``hello`` frame (worker id, pid);
+2. start a **heartbeat thread** that sends a ``heartbeat`` frame every
+   ``heartbeat_interval`` seconds (sharing the socket under a lock) and
+   doubles as the orphan watchdog -- if the parent process disappears
+   the worker exits instead of lingering;
+3. loop on the socket: each ``task`` frame is executed with exactly the
+   same deterministic attempt loop as a process-pool worker
+   (:func:`repro.runtime.backends.pool._execute_attempts` -- per
+   ``(task, attempt)`` seeded fault/retry draws, so *which* worker runs
+   an attempt never changes its outcome), and the result (output arrays
+   chunked by the wire layer) is sent back as a ``result`` frame
+   echoing the job id and dispatch attempt;
+4. a ``stop`` frame -- or the connection closing -- ends the loop.
+
+Workers are normally **forked** by :class:`~repro.runtime.backends.cluster.ClusterBackend`
+so they inherit the task registry (task bodies are closures and cannot
+be pickled) plus the run's fault plan and retry policy.  For programs
+whose bodies *are* importable, ``python -m repro.runtime.backends.cluster_worker
+HOST:PORT --program pkg.mod:factory`` joins an already-running
+coordinator from a fresh interpreter -- the elastic-membership path: the
+coordinator admits any worker that completes the hello handshake, at
+any point of the run.
+
+``delay`` turns the worker into a *deliberate straggler* (it sleeps
+that long before every task body) -- the chaos harness uses it to prove
+speculation wins against a slow remote worker.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import os
+import socket
+import threading
+import time
+from typing import Any, Dict, Optional
+
+from .wire import recv_message, send_message
+
+__all__ = ["serve", "main"]
+
+
+def serve(
+    host: str,
+    port: int,
+    worker_id: int,
+    registry: Dict[str, Any],
+    faults: Optional[Any] = None,
+    retry: Optional[Any] = None,
+    parent_pid: Optional[int] = None,
+    heartbeat_interval: float = 0.05,
+    delay: float = 0.0,
+) -> None:
+    """Serve one coordinator connection until ``stop`` or disconnect.
+
+    ``registry`` maps task names to the :class:`~repro.core.task.MTask`
+    objects whose bodies this worker can execute; ``faults``/``retry``
+    drive the same deterministic attempt loop as the serial and pool
+    backends.  ``parent_pid`` arms the orphan watchdog.
+    """
+    from .pool import _execute_attempts, _execute_backup
+
+    sock = socket.create_connection((host, port))
+    sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    send_lock = threading.Lock()
+    stop = threading.Event()
+    send_message(
+        sock,
+        {"type": "hello", "worker": worker_id, "pid": os.getpid()},
+        lock=send_lock,
+    )
+
+    def heartbeat() -> None:
+        while not stop.wait(heartbeat_interval):
+            if parent_pid is not None and os.getppid() != parent_pid:
+                os._exit(0)  # orphaned: the coordinator process is gone
+            try:
+                send_message(
+                    sock, {"type": "heartbeat", "worker": worker_id}, lock=send_lock
+                )
+            except OSError:
+                return
+
+    hb = threading.Thread(target=heartbeat, daemon=True)
+    hb.start()
+    try:
+        while True:
+            try:
+                msg = recv_message(sock)
+            except (EOFError, OSError):
+                break
+            if msg["type"] == "stop":
+                break
+            if msg["type"] != "task":
+                continue
+            if delay > 0.0:
+                time.sleep(delay)
+            task = registry[msg["name"]]
+            if msg.get("backup"):
+                result = _execute_backup(task, msg["q"], msg["env"], msg["values"])
+            else:
+                result = _execute_attempts(
+                    task, msg["q"], msg["env"], msg["values"], faults, retry
+                )
+            payload = dict(result)
+            payload["outputs"] = payload.pop("produced", None)
+            try:
+                send_message(
+                    sock,
+                    {
+                        "type": "result",
+                        "job": msg["job"],
+                        "attempt": msg["attempt"],
+                        "worker": worker_id,
+                        "payload": payload,
+                    },
+                    lock=send_lock,
+                )
+            except OSError:
+                break
+    finally:
+        stop.set()
+        try:
+            sock.close()
+        except OSError:  # pragma: no cover - racing teardown
+            pass
+
+
+def _load_registry(spec: str) -> Dict[str, Any]:
+    """Resolve ``module:callable`` to a task registry.
+
+    The callable takes no arguments and returns either a
+    :class:`~repro.core.graph.TaskGraph` or a ``{name: task}`` mapping.
+    """
+    mod_name, _, attr = spec.partition(":")
+    if not mod_name or not attr:
+        raise ValueError(f"--program must be 'module:callable', got {spec!r}")
+    factory = getattr(importlib.import_module(mod_name), attr)
+    program = factory()
+    if isinstance(program, dict):
+        return program
+    return {t.name: t for t in program.topological_order()}
+
+
+def main(argv=None) -> int:
+    """``python -m repro.runtime.backends.cluster_worker HOST:PORT ...``"""
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.runtime.backends.cluster_worker",
+        description="join a running cluster coordinator as one worker",
+    )
+    ap.add_argument("address", metavar="HOST:PORT", help="coordinator address")
+    ap.add_argument(
+        "--worker-id",
+        type=int,
+        default=os.getpid(),
+        help="membership id announced in the hello frame (default: pid)",
+    )
+    ap.add_argument(
+        "--program",
+        required=True,
+        metavar="MODULE:CALLABLE",
+        help="no-arg factory returning the TaskGraph (or name->task dict) "
+        "whose bodies this worker executes",
+    )
+    ap.add_argument(
+        "--heartbeat-interval",
+        type=float,
+        default=0.05,
+        metavar="SECONDS",
+        help="seconds between heartbeat frames (default 0.05)",
+    )
+    ap.add_argument(
+        "--delay",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="straggler injection: sleep this long before every task",
+    )
+    args = ap.parse_args(argv)
+    host, _, port = args.address.rpartition(":")
+    if not host or not port.isdigit():
+        ap.error(f"address must be HOST:PORT, got {args.address!r}")
+    serve(
+        host,
+        int(port),
+        args.worker_id,
+        _load_registry(args.program),
+        heartbeat_interval=args.heartbeat_interval,
+        delay=args.delay,
+    )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    raise SystemExit(main())

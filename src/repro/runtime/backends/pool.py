@@ -63,7 +63,14 @@ from multiprocessing import resource_tracker, shared_memory
 from ...faults.retry import FailureRecord, InjectedFault, TaskTimeout
 from ...recovery.speculation import SpeculationRecord
 from ..context import RuntimeContext
-from .base import AttemptEvent, ExecutionBackend, RunContext, TaskOutcome, TaskRequest
+from .base import (
+    AttemptEvent,
+    ExecutionBackend,
+    RunContext,
+    TaskOutcome,
+    TaskRequest,
+    emit_worker_crash,
+)
 
 __all__ = ["ProcessPoolBackend"]
 
@@ -155,8 +162,10 @@ def _execute_attempts(task, q, env, values, faults, retry) -> Dict[str, Any]:
     ctx = RuntimeContext(task.name, q, env=env)
     name = task.name
     attempts = retry.max_attempts if retry is not None else 1
+    deadline = retry.deadline_seconds if retry is not None else None
     slowdown = faults.slowdown(name) if faults is not None else 1.0
     total_backoff = 0.0
+    budget_used = 0.0  # effective attempt seconds + accounted backoff
     last_error: Optional[BaseException] = None
     events: List[Dict[str, Any]] = []
     info: Dict[str, Any] = {
@@ -215,10 +224,18 @@ def _execute_attempts(task, q, env, values, faults, retry) -> Dict[str, Any]:
                 if isinstance(exc, InjectedFault)
                 else "error"
             )
+            budget_used += duration * slowdown
             backoff = 0.0
+            gave_up_deadline = False
             if retry is not None and attempt + 1 < attempts:
                 backoff = retry.delay(name, attempt)
-                total_backoff += backoff
+                if deadline is not None and budget_used + backoff > deadline:
+                    # retrying would bust the overall budget: give up now
+                    gave_up_deadline = True
+                    backoff = 0.0
+                else:
+                    total_backoff += backoff
+                    budget_used += backoff
             events.append(
                 {
                     "attempt": attempt,
@@ -229,6 +246,27 @@ def _execute_attempts(task, q, env, values, faults, retry) -> Dict[str, Any]:
                     "backoff": backoff,
                 }
             )
+            if gave_up_deadline:
+                info.update(
+                    attempts=attempt + 1,
+                    error=str(exc),
+                    backoff_seconds=total_backoff,
+                )
+                failure = FailureRecord(
+                    task=name,
+                    action="gave_up",
+                    attempts=attempt + 1,
+                    error=str(exc),
+                    cause="deadline",
+                    backoff_seconds=total_backoff,
+                )
+                return {
+                    "produced": None,
+                    "failure": failure,
+                    "info": info,
+                    "events": events,
+                    "collectives": list(ctx.log),
+                }
             if retry is None and faults is None:
                 info.update(error=str(exc))
                 info["crash"] = traceback.format_exc()
@@ -528,13 +566,58 @@ class ProcessPoolBackend(ExecutionBackend):
             if msg is not None:
                 self._handle_result(msg, pending, resolved)
                 continue
-            if any(not p.is_alive() for p in self._procs):
-                raise RuntimeError(
-                    "a pool worker died unexpectedly while tasks were in flight"
-                )
+            dead = [
+                (wid, proc) for wid, proc in enumerate(self._procs)
+                if not proc.is_alive()
+            ]
+            if dead:
+                raise self._worker_crash_error(dead, pending)
             if run.speculation is not None and run.history is not None:
                 self._maybe_speculate(pending)
         return resolved
+
+    def _worker_crash_error(self, dead, pending: set) -> RuntimeError:
+        """Build the hard-death error, naming the at-risk work.
+
+        Pool workers pull from one shared queue, so the parent cannot
+        attribute a specific job to the dead worker -- it names every
+        task still in flight (the candidates) alongside the dead
+        worker's id, pid and exit code, and emits the structured
+        ``worker_crash`` record the cluster backend shares.
+        """
+        in_flight = []
+        for jid in sorted(pending):
+            owner = self._jobs.get(jid)
+            if owner is None:
+                continue
+            in_flight.append({"task": owner.request.task.name, "attempt": 0})
+            if owner.backup_jid is not None:
+                in_flight.append(
+                    {"task": owner.request.task.name, "attempt": 0,
+                     "backup": True}
+                )
+        if self._run is not None:
+            for wid, proc in dead:
+                emit_worker_crash(
+                    self._run.obs,
+                    self.name,
+                    wid,
+                    proc.pid,
+                    f"process exited with code {proc.exitcode}",
+                    in_flight,
+                )
+        dead_desc = ", ".join(
+            f"worker {wid} (pid {proc.pid}, exit code {proc.exitcode})"
+            for wid, proc in dead
+        )
+        tasks_desc = ", ".join(
+            f"{row['task']!r}" + (" [backup]" if row.get("backup") else "")
+            for row in in_flight
+        ) or "none"
+        return RuntimeError(
+            f"pool {dead_desc} died while tasks were in flight; "
+            f"at-risk task(s): {tasks_desc}"
+        )
 
     def _maybe_speculate(self, pending: set) -> None:
         run = self._run

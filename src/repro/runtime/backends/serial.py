@@ -96,8 +96,10 @@ def _run_attempts(
     """
     name = task.name
     attempts = retry.max_attempts if retry is not None else 1
+    deadline = retry.deadline_seconds if retry is not None else None
     slowdown = faults.slowdown(name) if faults is not None else 1.0
     total_backoff = 0.0
+    budget_used = 0.0  # effective attempt seconds + accounted backoff
     last_error: Optional[BaseException] = None
     info: Dict[str, Any] = {
         "attempts": attempts,
@@ -163,9 +165,26 @@ def _run_attempts(
                 obs.count("faults.timeouts")
             elif isinstance(exc, InjectedFault):
                 obs.count("faults.injected")
+            budget_used += task_span.duration * slowdown
             if retry is not None and attempt + 1 < attempts:
                 delay = retry.delay(name, attempt)
+                if deadline is not None and budget_used + delay > deadline:
+                    # retrying would bust the overall budget: give up now
+                    info.update(
+                        attempts=attempt + 1,
+                        error=str(last_error),
+                        backoff_seconds=total_backoff,
+                    )
+                    return None, FailureRecord(
+                        task=name,
+                        action="gave_up",
+                        attempts=attempt + 1,
+                        error=str(last_error),
+                        cause="deadline",
+                        backoff_seconds=total_backoff,
+                    ), info
                 total_backoff += delay
+                budget_used += delay
                 stats.backoff_seconds += delay
                 obs.observe("runtime.backoff_seconds", delay)
                 if sleep is not None:

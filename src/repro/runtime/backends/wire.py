@@ -1,0 +1,221 @@
+"""Wire protocol of the cluster backend: framed, chunked pickle messages.
+
+One message on the wire is::
+
+    [4-byte len][pickled meta][4-byte count][4-byte len][chunk]...
+
+The *meta* is an arbitrary picklable object in which every numpy array
+has been replaced by an ``_ArrayRef`` placeholder; the raw array bytes
+follow the meta as separate length-prefixed **chunks** of at most
+:data:`ARRAY_CHUNK_BYTES` each.  Chunking keeps any single read or
+write bounded no matter how large the task's arrays are -- a multi-MB
+global array streams across the socket in 256 KiB pieces instead of one
+monolithic pickle blob -- and gives the coordinator natural
+backpressure points between chunks.
+
+Both sides of the protocol live here:
+
+* the **synchronous** functions (:func:`send_message`,
+  :func:`recv_message`) used by worker processes over plain sockets
+  (a worker's heartbeat thread shares the socket, so sends take an
+  optional lock);
+* the **asyncio** coroutines (:func:`read_message_async`,
+  :func:`write_message_async`) used by the coordinator's stream server.
+
+Messages are pickled, so this protocol is for *trusted* transport only
+(the coordinator binds to localhost by default and the workers are its
+own forked children -- the same trust model as ``multiprocessing``).
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import struct
+import threading
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "ARRAY_CHUNK_BYTES",
+    "MAX_META_BYTES",
+    "WireError",
+    "pack",
+    "unpack",
+    "send_message",
+    "recv_message",
+    "read_message_async",
+    "write_message_async",
+]
+
+#: maximum size of one raw array chunk on the wire
+ARRAY_CHUNK_BYTES = 256 * 1024
+
+#: sanity bound on the pickled meta (arrays never travel inside it)
+MAX_META_BYTES = 64 * 1024 * 1024
+
+_HEADER = struct.Struct("!I")
+
+
+class WireError(RuntimeError):
+    """A malformed or truncated message arrived on the wire."""
+
+
+@dataclass(frozen=True)
+class _ArrayRef:
+    """Placeholder for one numpy array lifted out of the meta.
+
+    ``first``/``count`` index into the message's flat chunk list; the
+    array's buffer is the concatenation of those chunks.
+    """
+
+    first: int
+    count: int
+    shape: Tuple[int, ...]
+    dtype: str
+
+
+def pack(obj: Any) -> Tuple[bytes, List[bytes]]:
+    """Split ``obj`` into ``(pickled meta, raw array chunks)``.
+
+    Recursively replaces every ``np.ndarray`` in dicts/lists/tuples with
+    an ``_ArrayRef`` and appends its (contiguous) buffer, cut into
+    ≤ :data:`ARRAY_CHUNK_BYTES` pieces, to the chunk list.
+    """
+    chunks: List[bytes] = []
+
+    def lift(value: Any) -> Any:
+        if isinstance(value, np.ndarray):
+            arr = np.ascontiguousarray(value)
+            raw = arr.tobytes()
+            first = len(chunks)
+            if raw:
+                for off in range(0, len(raw), ARRAY_CHUNK_BYTES):
+                    chunks.append(raw[off : off + ARRAY_CHUNK_BYTES])
+            return _ArrayRef(
+                first=first,
+                count=len(chunks) - first,
+                shape=arr.shape,
+                dtype=str(arr.dtype),
+            )
+        if isinstance(value, dict):
+            return {k: lift(v) for k, v in value.items()}
+        if isinstance(value, list):
+            return [lift(v) for v in value]
+        if isinstance(value, tuple):
+            return tuple(lift(v) for v in value)
+        return value
+
+    meta = pickle.dumps(lift(obj), protocol=pickle.HIGHEST_PROTOCOL)
+    return meta, chunks
+
+
+def unpack(meta: bytes, chunks: List[bytes]) -> Any:
+    """Inverse of :func:`pack`: restore arrays from their chunk ranges."""
+
+    def lower(value: Any) -> Any:
+        if isinstance(value, _ArrayRef):
+            raw = b"".join(chunks[value.first : value.first + value.count])
+            arr = np.frombuffer(raw, dtype=np.dtype(value.dtype))
+            return arr.reshape(value.shape).copy()
+        if isinstance(value, dict):
+            return {k: lower(v) for k, v in value.items()}
+        if isinstance(value, list):
+            return [lower(v) for v in value]
+        if isinstance(value, tuple):
+            return tuple(lower(v) for v in value)
+        return value
+
+    return lower(pickle.loads(meta))
+
+
+# ----------------------------------------------------------------------
+# synchronous (worker) side
+# ----------------------------------------------------------------------
+def send_message(
+    sock: socket.socket, obj: Any, lock: Optional[threading.Lock] = None
+) -> None:
+    """Frame and send one message (blocking, whole-message atomic).
+
+    With ``lock`` (the worker's send lock), the heartbeat thread and the
+    result path never interleave their frames.
+    """
+    meta, chunks = pack(obj)
+    parts: List[bytes] = [_HEADER.pack(len(meta)), meta, _HEADER.pack(len(chunks))]
+    for chunk in chunks:
+        parts.append(_HEADER.pack(len(chunk)))
+        parts.append(chunk)
+    if lock is not None:
+        with lock:
+            for part in parts:
+                sock.sendall(part)
+    else:
+        for part in parts:
+            sock.sendall(part)
+
+
+def _recv_exactly(sock: socket.socket, n: int) -> bytes:
+    buf = bytearray()
+    while len(buf) < n:
+        piece = sock.recv(n - len(buf))
+        if not piece:
+            raise EOFError("connection closed mid-message")
+        buf += piece
+    return bytes(buf)
+
+
+def recv_message(sock: socket.socket) -> Any:
+    """Receive one framed message (blocking); raises ``EOFError`` on close."""
+    (meta_len,) = _HEADER.unpack(_recv_exactly(sock, _HEADER.size))
+    if meta_len > MAX_META_BYTES:
+        raise WireError(f"message meta of {meta_len} bytes exceeds the sanity bound")
+    meta = _recv_exactly(sock, meta_len)
+    (count,) = _HEADER.unpack(_recv_exactly(sock, _HEADER.size))
+    chunks: List[bytes] = []
+    for _ in range(count):
+        (chunk_len,) = _HEADER.unpack(_recv_exactly(sock, _HEADER.size))
+        if chunk_len > ARRAY_CHUNK_BYTES:
+            raise WireError(
+                f"array chunk of {chunk_len} bytes exceeds the "
+                f"{ARRAY_CHUNK_BYTES}-byte chunk bound"
+            )
+        chunks.append(_recv_exactly(sock, chunk_len))
+    return unpack(meta, chunks)
+
+
+# ----------------------------------------------------------------------
+# asyncio (coordinator) side
+# ----------------------------------------------------------------------
+async def read_message_async(reader) -> Any:
+    """Read one framed message from an ``asyncio.StreamReader``."""
+    (meta_len,) = _HEADER.unpack(await reader.readexactly(_HEADER.size))
+    if meta_len > MAX_META_BYTES:
+        raise WireError(f"message meta of {meta_len} bytes exceeds the sanity bound")
+    meta = await reader.readexactly(meta_len)
+    (count,) = _HEADER.unpack(await reader.readexactly(_HEADER.size))
+    chunks: List[bytes] = []
+    for _ in range(count):
+        (chunk_len,) = _HEADER.unpack(await reader.readexactly(_HEADER.size))
+        if chunk_len > ARRAY_CHUNK_BYTES:
+            raise WireError(
+                f"array chunk of {chunk_len} bytes exceeds the "
+                f"{ARRAY_CHUNK_BYTES}-byte chunk bound"
+            )
+        chunks.append(await reader.readexactly(chunk_len))
+    return unpack(meta, chunks)
+
+
+async def write_message_async(writer, obj: Any) -> None:
+    """Frame and write one message to an ``asyncio.StreamWriter``."""
+    meta, chunks = pack(obj)
+    writer.write(_HEADER.pack(len(meta)))
+    writer.write(meta)
+    writer.write(_HEADER.pack(len(chunks)))
+    for chunk in chunks:
+        writer.write(_HEADER.pack(len(chunk)))
+        writer.write(chunk)
+        # drain between chunks: bounded buffering however large the array
+        await writer.drain()
+    await writer.drain()

@@ -512,6 +512,8 @@ def run_program(
         if failure is not None:
             stats.failures.append(failure)
             obs.count("faults.gave_up")
+            if failure.cause == "deadline":
+                obs.count("faults.deadline_exceeded")
             if journal is not None:
                 journal.record_failure(failure)
             if on_failure == "raise":

@@ -1,0 +1,438 @@
+"""Tests for the elastic cluster backend: spec parsing, serial/cluster
+bit-identity under faults, SIGKILL-driven requeues, heartbeat-timeout
+failure detection, work stealing, exactly-once result dedup, dispatch
+deadlines, elastic joins, stranded batches, journal resume and remote
+speculation races."""
+
+import collections
+import os
+import queue
+import socket
+import time
+
+import numpy as np
+import pytest
+
+from repro.faults import FaultPlan, RetryPolicy
+from repro.obs import Instrumentation
+from repro.ode import MethodConfig, bruss2d
+from repro.recovery import SpeculationPolicy
+from repro.runtime import (
+    ClusterBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    WorkerLoss,
+    parse_backend_spec,
+    run_program,
+)
+from repro.runtime.backends.cluster import _CoordJob, _Coordinator, _Member
+from repro.runtime.backends.base import RunContext
+from repro.runtime.backends.wire import send_message
+
+from tests.test_backends import functional_step, summarize, task
+
+FAULTY = dict(
+    faults=FaultPlan(seed=11, failure_rate=0.3),
+    retry=RetryPolicy(seed=11),
+    on_failure="degrade",
+)
+
+
+# ----------------------------------------------------------------------
+# backend-spec parsing
+# ----------------------------------------------------------------------
+class TestParseClusterSpec:
+    def test_cluster_default_workers(self):
+        backend = parse_backend_spec("cluster")
+        assert isinstance(backend, ClusterBackend)
+        assert backend.workers is None
+
+    def test_cluster_with_worker_count(self):
+        backend = parse_backend_spec("cluster:3")
+        assert isinstance(backend, ClusterBackend)
+        assert backend.workers == 3
+
+    @pytest.mark.parametrize("spec", ["cluster:0", "cluster:-2", "cluster:x",
+                                      "cluster:2:3", "clusterx"])
+    def test_invalid_cluster_specs_raise(self, spec):
+        with pytest.raises(ValueError):
+            parse_backend_spec(spec)
+
+    def test_error_message_names_all_backends(self):
+        with pytest.raises(ValueError, match="cluster"):
+            parse_backend_spec("threads")
+
+
+# ----------------------------------------------------------------------
+# serial <-> cluster bit-identity
+# ----------------------------------------------------------------------
+class TestSerialClusterEquivalence:
+    def test_faulty_run_is_bit_identical(self):
+        body, store = functional_step(MethodConfig("irk", K=4, m=3))
+        serial = run_program(body, dict(store), **FAULTY)
+        cluster = run_program(
+            body, dict(store), backend=ClusterBackend(workers=2), **FAULTY
+        )
+        assert summarize(cluster) == summarize(serial)
+
+    def test_clean_run_collectives_match(self):
+        body, store = functional_step(MethodConfig("pabm", K=4, m=2))
+        serial = run_program(body, dict(store))
+        cluster = run_program(
+            body, dict(store), backend=ClusterBackend(workers=2)
+        )
+        assert summarize(cluster) == summarize(serial)
+        serial_ops = {
+            t.name: ctx.counts_by_op()
+            for t, ctx in serial.stats.contexts.items()
+        }
+        cluster_ops = {
+            t.name: ctx.counts_by_op()
+            for t, ctx in cluster.stats.contexts.items()
+        }
+        assert cluster_ops == serial_ops
+
+
+# ----------------------------------------------------------------------
+# SIGKILL mid-batch: requeue onto the survivors, stay bit-identical
+# ----------------------------------------------------------------------
+class TestWorkerKill:
+    def test_killed_worker_requeues_bit_identically(self):
+        body, store = functional_step(MethodConfig("irk", K=4, m=3))
+        serial = run_program(body, dict(store), **FAULTY)
+        obs = Instrumentation()
+        losses = []
+        cluster = run_program(
+            body, dict(store), obs=obs,
+            backend=ClusterBackend(
+                workers=3,
+                chaos_kill=(1, 2),
+                on_worker_lost=losses.append,
+            ),
+            **FAULTY,
+        )
+        assert summarize(cluster) == summarize(serial)
+        assert obs.counter("cluster.worker_losses") >= 1
+        crashes = obs.records_of("worker_crash")
+        assert crashes and crashes[0]["backend"] == "cluster"
+        assert crashes[0]["worker"] == 1
+        assert losses and isinstance(losses[0], WorkerLoss)
+        assert losses[0].worker == 1
+        assert losses[0].remaining_workers == 2
+        assert losses[0].batch_index >= 0
+
+    def test_kill_worker_holding_work_requeues_it(self):
+        """A worker killed while tasks sit in its queue requeues them."""
+        body, store = functional_step(MethodConfig("pabm", K=4, m=2))
+        serial = run_program(body, dict(store))
+        obs = Instrumentation()
+        cluster = run_program(
+            body, dict(store), obs=obs,
+            # the victim straggles, guaranteeing it holds undone work
+            backend=ClusterBackend(
+                workers=2, worker_delay={1: 0.2}, chaos_kill=(1, 1),
+                poll_interval=0.005,
+            ),
+        )
+        assert summarize(cluster) == summarize(serial)
+        assert obs.counter("cluster.worker_losses") == 1.0
+        assert obs.counter("cluster.requeues") >= 1
+
+
+# ----------------------------------------------------------------------
+# heartbeat-timeout failure detection
+# ----------------------------------------------------------------------
+class TestHeartbeatFailureDetection:
+    def _open_backend(self, **kw):
+        graph, _ = functional_step(MethodConfig("irk", K=4, m=2))
+        backend = ClusterBackend(workers=2, **kw)
+        run = RunContext(graph=graph, obs=Instrumentation())
+        backend.open(run)
+        return backend
+
+    def test_silent_member_is_declared_lost(self):
+        """A member that joins but never heartbeats dies of timeout."""
+        backend = self._open_backend(heartbeat_timeout=0.3)
+        try:
+            host, port = backend.coordinator_address
+            sock = socket.create_connection((host, port))
+            try:
+                send_message(sock, {"type": "hello", "worker": 99, "pid": 0})
+                deadline = time.monotonic() + 5.0
+                while backend._coord.alive_count() < 3:
+                    assert time.monotonic() < deadline, "fake member never joined"
+                    time.sleep(0.01)
+                # it joined; now it stays silent past the timeout
+                deadline = time.monotonic() + 5.0
+                while backend._coord.alive_count() > 2:
+                    assert time.monotonic() < deadline, "silent member not detected"
+                    time.sleep(0.01)
+                backend._drain_events()
+                crashes = backend._run.obs.records_of("worker_crash")
+                assert any(
+                    c["worker"] == 99 and "heartbeat" in c["reason"]
+                    for c in crashes
+                )
+            finally:
+                sock.close()
+        finally:
+            backend.close()
+
+    def test_connection_drop_is_detected_immediately(self):
+        """A closed connection is a loss without waiting for the timeout."""
+        backend = self._open_backend(heartbeat_timeout=60.0)
+        try:
+            host, port = backend.coordinator_address
+            sock = socket.create_connection((host, port))
+            send_message(sock, {"type": "hello", "worker": 99, "pid": 0})
+            deadline = time.monotonic() + 5.0
+            while backend._coord.alive_count() < 3:
+                assert time.monotonic() < deadline
+                time.sleep(0.01)
+            sock.close()
+            deadline = time.monotonic() + 5.0
+            while backend._coord.alive_count() > 2:
+                assert time.monotonic() < deadline, "dropped member not detected"
+                time.sleep(0.01)
+        finally:
+            backend.close()
+
+    def test_duplicate_worker_id_is_rejected(self):
+        backend = self._open_backend()
+        try:
+            host, port = backend.coordinator_address
+            alive = backend._coord.alive_count()
+            taken = min(backend.worker_pids)
+            sock = socket.create_connection((host, port))
+            try:
+                send_message(sock, {"type": "hello", "worker": taken, "pid": 0})
+                time.sleep(0.2)
+                assert backend._coord.alive_count() == alive
+            finally:
+                sock.close()
+        finally:
+            backend.close()
+
+
+# ----------------------------------------------------------------------
+# work stealing
+# ----------------------------------------------------------------------
+class TestWorkStealing:
+    def test_idle_worker_steals_from_straggler_backlog(self):
+        body, store = functional_step(MethodConfig("pabm", K=8, m=2))
+        serial = run_program(body, dict(store))
+        obs = Instrumentation()
+        cluster = run_program(
+            body, dict(store), obs=obs,
+            backend=ClusterBackend(
+                workers=2, worker_delay={1: 0.1}, poll_interval=0.005
+            ),
+        )
+        assert summarize(cluster) == summarize(serial)
+        assert obs.counter("cluster.steals") >= 1
+
+    def test_steal_takes_the_victims_tail(self):
+        """White-box: the thief steals from the tail, the owner keeps
+        the head it is about to work on."""
+        coord = _Coordinator(
+            heartbeat_timeout=60.0, dispatch_retry=None,
+            results=queue.Queue(), events=collections.deque(),
+        )
+        victim = _Member(0, 100, writer=None)
+        thief = _Member(1, 101, writer=None)
+        coord.members = {0: victim, 1: thief}
+        for jid, name in enumerate(["a", "b", "c"]):
+            coord.jobs[jid] = _CoordJob(jid, {"job": jid, "name": name})
+            victim.queue.append(jid)
+        assert coord._next_for(thief) == 2  # "c", the tail
+        assert thief.steals == 1
+        assert list(victim.queue) == [0, 1]
+        assert ("steal", 1, 0, "c") in coord.events
+
+
+# ----------------------------------------------------------------------
+# exactly-once: duplicate results are dropped, not committed twice
+# ----------------------------------------------------------------------
+class TestExactlyOnceDedup:
+    def test_second_result_for_a_job_is_dropped(self):
+        results: "queue.Queue" = queue.Queue()
+        events: collections.deque = collections.deque()
+        coord = _Coordinator(
+            heartbeat_timeout=60.0, dispatch_retry=None,
+            results=results, events=events,
+        )
+        first = _Member(0, 100, writer=None)
+        second = _Member(1, 101, writer=None)
+        coord.members = {0: first, 1: second}
+        coord.jobs[7] = _CoordJob(7, {"job": 7, "name": "t"})
+        first.inflight = 7
+        second.inflight = 7  # the same job, requeued after a deadline
+
+        coord._on_result(first, {"job": 7, "attempt": 0, "payload": {}})
+        coord._on_result(second, {"job": 7, "attempt": 1, "payload": {}})
+
+        assert results.qsize() == 1  # exactly one commit candidate
+        kind, jid, wid, attempt, payload = results.get_nowait()
+        assert (kind, jid, wid) == ("result", 7, 0)
+        assert ("duplicate", "t", 1) in events
+
+    def test_duplicate_counter_and_record_surface_in_obs(self):
+        backend = ClusterBackend(workers=2)
+        graph, _ = functional_step(MethodConfig("irk", K=4, m=2))
+        obs = Instrumentation()
+        backend._run = RunContext(graph=graph, obs=obs)
+        backend._events.append(("duplicate", "t", 1))
+        backend._drain_events()
+        assert obs.counter("cluster.duplicate_results") == 1.0
+        rec = obs.records_of("duplicate_result")
+        assert rec and rec[0]["task"] == "t" and rec[0]["backend"] == "cluster"
+
+
+# ----------------------------------------------------------------------
+# dispatch deadlines
+# ----------------------------------------------------------------------
+class TestDispatchDeadline:
+    def test_hung_dispatch_is_requeued_elsewhere(self):
+        body, store = functional_step(MethodConfig("irk", K=4, m=2))
+        serial = run_program(body, dict(store))
+        obs = Instrumentation()
+        cluster = run_program(
+            body, dict(store), obs=obs,
+            backend=ClusterBackend(
+                workers=2,
+                worker_delay={1: 0.8},
+                dispatch_retry=RetryPolicy(timeout=0.2, max_retries=9,
+                                           seed=3),
+                poll_interval=0.005,
+            ),
+        )
+        assert summarize(cluster) == summarize(serial)
+        assert obs.counter("cluster.dispatch_deadlines") >= 1
+        assert obs.counter("cluster.requeues") >= 1
+
+    def test_exhausted_dispatch_attempts_fail_the_run(self):
+        """White-box: a job requeued past max_attempts aborts the batch."""
+        results: "queue.Queue" = queue.Queue()
+        coord = _Coordinator(
+            heartbeat_timeout=60.0,
+            dispatch_retry=RetryPolicy(timeout=0.1, max_retries=1, seed=3),
+            results=results, events=collections.deque(),
+        )
+        member = _Member(0, 100, writer=None)
+        coord.members = {0: member}
+        job = _CoordJob(9, {"job": 9, "name": "t"})
+        job.attempt = 1  # one redispatch already spent
+        coord.jobs[9] = job
+        coord._requeue(job, "dispatch deadline on worker 0")
+        kind, jid, name, attempts, reason = results.get_nowait()
+        assert (kind, name, attempts) == ("dispatch_failed", "t", 2)
+        assert job.resolved
+
+
+# ----------------------------------------------------------------------
+# elasticity: joins mid-run, stranded when everyone is gone
+# ----------------------------------------------------------------------
+class TestElasticMembership:
+    def test_spawn_worker_joins_at_runtime(self):
+        graph, _ = functional_step(MethodConfig("irk", K=4, m=2))
+        backend = ClusterBackend(workers=2)
+        backend.open(RunContext(graph=graph, obs=Instrumentation()))
+        try:
+            wid = backend.spawn_worker()
+            deadline = time.monotonic() + 10.0
+            while backend._coord.alive_count() < 3:
+                assert time.monotonic() < deadline, "spawned worker never joined"
+                time.sleep(0.01)
+            assert wid in backend.worker_pids
+            backend._drain_events()
+            obs = backend._run.obs
+            assert obs.counter("cluster.worker_joins") == 3.0  # 2 initial + 1
+        finally:
+            backend.close()
+
+    def test_all_workers_dead_raises_stranded(self):
+        class KillAll(ClusterBackend):
+            """Chaos: SIGKILL every worker at the first gather poll."""
+
+            def _maybe_chaos_kill(self):
+                if not self._chaos_fired:
+                    self._chaos_fired = True
+                    for wid in list(self.worker_pids):
+                        self.kill_worker(wid)
+
+        body, store = functional_step(MethodConfig("irk", K=4, m=2))
+        with pytest.raises(RuntimeError, match="every worker died"):
+            run_program(
+                body, dict(store),
+                backend=KillAll(workers=2, poll_interval=0.005),
+            )
+
+
+# ----------------------------------------------------------------------
+# journal resume on the cluster backend
+# ----------------------------------------------------------------------
+class TestClusterJournalResume:
+    def test_truncated_journal_resumes_bit_identically(self, tmp_path):
+        from repro.experiments.recovery_run import run_checkpointed_step
+        from tests.test_recovery import truncate_to_task_records
+
+        problem = bruss2d(16)
+        cfg = MethodConfig("irk", K=4, m=2)
+        kw = dict(faults=FaultPlan(seed=11, failure_rate=0.3),
+                  retry=RetryPolicy(seed=11))
+
+        ref_run, _ = run_checkpointed_step(problem, cfg, tmp_path / "ref", **kw)
+        full_run, _ = run_checkpointed_step(
+            problem, cfg, tmp_path / "chaos",
+            backend=ClusterBackend(workers=2), **kw
+        )
+        assert summarize(full_run) == summarize(ref_run)
+
+        truncate_to_task_records(tmp_path / "chaos" / "journal.jsonl", keep=5)
+        res_run, summary = run_checkpointed_step(
+            problem, cfg, tmp_path / "chaos", resume=True,
+            backend=ClusterBackend(workers=2), **kw
+        )
+        assert summary["resumed_tasks"] == 5
+        assert summary["backend"] == "cluster"
+        assert summarize(res_run) == summarize(ref_run)
+
+
+# ----------------------------------------------------------------------
+# speculation races a remote straggler
+# ----------------------------------------------------------------------
+class TestRemoteSpeculation:
+    def test_backup_beats_remote_straggler(self):
+        body, store = functional_step(MethodConfig("irk", K=4, m=3))
+        serial = run_program(body, dict(store))
+        run = run_program(
+            body, dict(store),
+            speculation=SpeculationPolicy(factor=1.2, quantile=0.5,
+                                          min_samples=1),
+            backend=ClusterBackend(
+                workers=3, worker_delay={2: 0.4}, poll_interval=0.005
+            ),
+        )
+        wins = [s for s in run.stats.speculations if s.win]
+        assert wins, "no speculative backup won against the straggler"
+        assert summarize(run)["variables"] == summarize(serial)["variables"]
+
+    def test_backup_lands_on_a_different_worker(self):
+        """White-box: submit_backup avoids the primary's worker."""
+        coord = _Coordinator(
+            heartbeat_timeout=60.0, dispatch_retry=None,
+            results=queue.Queue(), events=collections.deque(),
+        )
+        busy = _Member(0, 100, writer=None)
+        idle = _Member(1, 101, writer=None)
+        coord.members = {0: busy, 1: idle}
+        primary = _CoordJob(3, {"job": 3, "name": "t"})
+        primary.worker = 0
+        busy.inflight = 3
+        coord.jobs[3] = primary
+
+        candidates = sorted(
+            (m for m in coord.members.values() if m.alive and m.wid != 0),
+            key=lambda m: (m.inflight is not None, len(m.queue), m.wid),
+        )
+        assert [m.wid for m in candidates] == [1]

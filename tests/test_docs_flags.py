@@ -108,6 +108,33 @@ class TestSharedFlagSet:
         text = (ROOT / "scripts" / "chaos_kill_resume.py").read_text()
         assert '"--backend"' in text
 
+    @pytest.mark.parametrize("spec", ["serial", "pool", "pool:4",
+                                      "cluster", "cluster:4"])
+    def test_documented_backend_specs_parse(self, spec):
+        """Every backend spec the docs advertise must really parse."""
+        from repro.runtime.backends import parse_backend_spec
+
+        backend = parse_backend_spec(spec)
+        assert backend is not None
+
+    @pytest.mark.parametrize("cmd", RUN_COMMANDS)
+    def test_backend_help_documents_cluster(self, cmd):
+        """The --backend metavar/help must advertise all three backends."""
+        sub = _subparser(build_parser(), cmd)
+        action = next(a for a in sub._actions
+                      if "--backend" in a.option_strings)
+        for name in ("serial", "pool", "cluster"):
+            assert name in (action.metavar or ""), (
+                f"{cmd}: --backend metavar does not mention {name!r}"
+            )
+
+    def test_cluster_chaos_script_flags_parse(self):
+        """The cluster chaos script's documented flags must exist."""
+        text = (ROOT / "scripts" / "chaos_kill_worker.py").read_text()
+        for flag in ('"--workdir"', '"--kill-worker"', '"--kill-after"',
+                     '"--crash-after"', '"--straggler"', '"--trace-out"'):
+            assert flag in text, f"chaos_kill_worker.py lost {flag}"
+
 
 class TestReadmeFlagTable:
     def table_flags(self):

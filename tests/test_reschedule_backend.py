@@ -1,0 +1,191 @@
+"""Tests for core-loss re-planning driven from an execution backend:
+``cluster_loss_handler`` bridges ``ClusterBackend.on_worker_lost`` to
+``reschedule_on_core_loss`` -- invoked mid-batch by a real SIGKILL,
+mapped between/inside batch boundaries, cumulative across departures,
+advisory on node exhaustion, and compatible with journaled resume."""
+
+import pytest
+
+from repro.cluster import chic
+from repro.core import CostModel
+from repro.faults import FaultPlan, RetryPolicy, cluster_loss_handler
+from repro.mapping import consecutive
+from repro.ode import MethodConfig
+from repro.pipeline import SchedulingPipeline
+from repro.recovery import RunJournal
+from repro.runtime import ClusterBackend, WorkerLoss, run_program
+from repro.scheduling import LayerBasedScheduler
+
+from tests.test_backends import functional_step, summarize
+from tests.test_recovery import truncate_to_task_records
+
+FAULTY = dict(
+    faults=FaultPlan(seed=11, failure_rate=0.3),
+    retry=RetryPolicy(seed=11),
+    on_failure="degrade",
+)
+
+
+def scheduled_step(cfg=MethodConfig("irk", K=4, m=3), cores=32):
+    """One functional step plus its scheduled/simulated artefacts:
+    ``(body, store, layered, trace, platform, strategy)``."""
+    body, store = functional_step(cfg)
+    platform = chic().with_cores(cores)
+    strategy = consecutive()
+    res = SchedulingPipeline(
+        LayerBasedScheduler(CostModel(platform)), strategy=strategy
+    ).run(body)
+    assert res.scheduling.layered is not None and res.trace is not None
+    return body, store, res.scheduling.layered, res.trace, platform, strategy
+
+
+def make_handler(artefacts, **kw):
+    body, _, layered, trace, platform, strategy = artefacts
+    return cluster_loss_handler(body, layered, trace, platform, strategy, **kw)
+
+
+# ----------------------------------------------------------------------
+# a real mid-batch SIGKILL drives the handler
+# ----------------------------------------------------------------------
+class TestHandlerFromBackend:
+    def test_worker_kill_triggers_reschedule_mid_run(self):
+        artefacts = scheduled_step()
+        body, store = artefacts[0], artefacts[1]
+        serial = run_program(body, dict(store), **FAULTY)
+        handler = make_handler(artefacts)
+        cluster = run_program(
+            body, dict(store),
+            backend=ClusterBackend(
+                workers=3, chaos_kill=(1, 2), on_worker_lost=handler
+            ),
+            **FAULTY,
+        )
+        # the surviving run is still bit-identical to serial
+        assert summarize(cluster) == summarize(serial)
+        assert not handler.errors
+        assert len(handler.outcomes) == 1
+        outcome = handler.outcomes[0]
+        assert outcome.loss.nodes == 1
+        per_node = artefacts[4].machine.cores_per_node(0)
+        assert outcome.reduced_platform.total_cores == 32 - per_node
+        summary = outcome.summary()
+        assert summary["lost_nodes"] == 1
+        assert summary["degraded_makespan"] > 0
+
+    def test_rescheduled_group_sizes_cover_the_suffix(self):
+        artefacts = scheduled_step()
+        handler = make_handler(artefacts)
+        handler(WorkerLoss(worker=0, pid=1, reason="test", batch_index=0,
+                           in_flight=(), remaining_workers=2))
+        outcome = handler.outcomes[0]
+        assert outcome.rescheduled
+        sizes = outcome.group_sizes()
+        layered = artefacts[2]
+        suffix_tasks = {
+            m
+            for layer in layered.layers[outcome.cut:]
+            for t in layer.tasks
+            for m in layered.expand(t)
+        }
+        assert suffix_tasks <= set(sizes)
+        reduced = outcome.reduced_platform.total_cores
+        assert all(1 <= q <= reduced for q in sizes.values())
+
+
+# ----------------------------------------------------------------------
+# batch-boundary mapping: between vs inside, cumulative, clamped
+# ----------------------------------------------------------------------
+class TestBatchBoundaryMapping:
+    def _loss(self, batch_index):
+        return WorkerLoss(worker=0, pid=1, reason="test",
+                          batch_index=batch_index, in_flight=(),
+                          remaining_workers=2)
+
+    def test_loss_before_first_batch_reschedules_everything(self):
+        handler = make_handler(scheduled_step())
+        handler(self._loss(0))
+        outcome = handler.outcomes[0]
+        assert outcome.cut == 0
+        assert outcome.prefix_makespan == 0.0
+        assert outcome.rescheduled
+
+    def test_loss_inside_a_batch_keeps_the_finished_prefix(self):
+        artefacts = scheduled_step()
+        handler = make_handler(artefacts)
+        handler(self._loss(2))
+        outcome = handler.outcomes[0]
+        assert outcome.cut == 2
+        assert outcome.prefix_makespan > 0.0
+        assert outcome.rescheduled
+
+    def test_loss_after_the_last_batch_is_a_noop_reschedule(self):
+        artefacts = scheduled_step()
+        layered = artefacts[2]
+        handler = make_handler(artefacts)
+        handler(self._loss(layered.num_layers + 5))
+        outcome = handler.outcomes[0]
+        assert outcome.cut == layered.num_layers
+        assert not outcome.rescheduled
+
+    def test_departures_accumulate(self):
+        """The second loss re-plans with the cumulative node count."""
+        handler = make_handler(scheduled_step())
+        handler(self._loss(1))
+        handler(self._loss(2))
+        assert [o.loss.nodes for o in handler.outcomes] == [1, 2]
+        assert (handler.outcomes[1].reduced_platform.total_cores
+                < handler.outcomes[0].reduced_platform.total_cores)
+
+
+# ----------------------------------------------------------------------
+# advisory failure: running out of nodes never aborts the run
+# ----------------------------------------------------------------------
+class TestNodeExhaustion:
+    def test_exhausting_the_nodes_records_an_error(self):
+        artefacts = scheduled_step()
+        platform = artefacts[4]
+        nodes = platform.machine.num_nodes
+        handler = make_handler(artefacts)
+        loss = WorkerLoss(worker=0, pid=1, reason="test", batch_index=1,
+                          in_flight=(), remaining_workers=0)
+        for _ in range(nodes):
+            handler(loss)  # the final call removes the last node
+        assert len(handler.outcomes) == nodes - 1
+        assert len(handler.errors) == 1
+        failed_loss, exc = handler.errors[0]
+        assert failed_loss is loss
+        assert isinstance(exc, (ValueError, RuntimeError))
+
+
+# ----------------------------------------------------------------------
+# journaled resume after a loss + reschedule stays bit-identical
+# ----------------------------------------------------------------------
+class TestResumeAfterReschedule:
+    def test_resume_after_loss_and_reschedule_is_bit_identical(self, tmp_path):
+        artefacts = scheduled_step()
+        body, store = artefacts[0], artefacts[1]
+        serial = run_program(body, dict(store), **FAULTY)
+
+        handler = make_handler(artefacts)
+        journal = RunJournal(tmp_path / "journal.jsonl")
+        killed = run_program(
+            body, dict(store), journal=journal,
+            backend=ClusterBackend(
+                workers=3, chaos_kill=(1, 2), on_worker_lost=handler
+            ),
+            **FAULTY,
+        )
+        assert summarize(killed) == summarize(serial)
+        assert len(handler.outcomes) == 1
+
+        # the coordinator process "crashes": the journal is cut to its
+        # first five completions, then the run resumes on the re-planned
+        # (smaller) cluster
+        truncate_to_task_records(tmp_path / "journal.jsonl", keep=5)
+        resumed = run_program(
+            body, dict(store),
+            journal=RunJournal(tmp_path / "journal.jsonl"), resume=True,
+            backend=ClusterBackend(workers=2),
+            **FAULTY,
+        )
+        assert summarize(resumed) == summarize(serial)

@@ -1,0 +1,114 @@
+"""Tests for ``RetryPolicy.deadline_seconds``: the overall per-task
+retry budget, distinct from the per-attempt ``timeout`` -- validation,
+deterministic give-up across all three backends, overflow safety and
+the ``faults.deadline_exceeded`` surfacing."""
+
+import pytest
+
+from repro.faults import FaultPlan, RetryPolicy
+from repro.obs import Instrumentation
+from repro.ode import MethodConfig
+from repro.runtime import ClusterBackend, ProcessPoolBackend, run_program
+
+from tests.test_backends import functional_step, summarize
+
+PLAN = FaultPlan(seed=11, failure_rate=0.3)
+
+
+# ----------------------------------------------------------------------
+# validation
+# ----------------------------------------------------------------------
+class TestDeadlineValidation:
+    @pytest.mark.parametrize("bad", [0.0, -1.0, float("inf"), float("nan")])
+    def test_non_positive_or_non_finite_deadline_raises(self, bad):
+        with pytest.raises(ValueError, match="deadline_seconds"):
+            RetryPolicy(deadline_seconds=bad)
+
+    def test_deadline_smaller_than_timeout_raises(self):
+        """The budget must admit at least one full attempt."""
+        with pytest.raises(ValueError, match="deadline_seconds"):
+            RetryPolicy(timeout=2.0, deadline_seconds=1.0)
+
+    def test_deadline_equal_to_timeout_is_allowed(self):
+        policy = RetryPolicy(timeout=1.0, deadline_seconds=1.0)
+        assert policy.deadline_seconds == 1.0
+
+    def test_deadline_without_timeout_is_allowed(self):
+        assert RetryPolicy(deadline_seconds=0.5).deadline_seconds == 0.5
+
+    def test_default_is_no_deadline(self):
+        assert RetryPolicy().deadline_seconds is None
+
+
+# ----------------------------------------------------------------------
+# deterministic give-up, bit-identical on every backend
+# ----------------------------------------------------------------------
+class TestDeadlineGiveUp:
+    def _run(self, retry, backend=None, obs=None):
+        body, store = functional_step(MethodConfig("irk", K=4, m=3))
+        return run_program(
+            body, dict(store), faults=PLAN, retry=retry,
+            on_failure="degrade", backend=backend, obs=obs,
+        )
+
+    def test_tiny_deadline_trips_on_the_first_failure(self):
+        run = self._run(RetryPolicy(seed=11, deadline_seconds=1e-9))
+        deadline_failures = [f for f in run.failures if f.cause == "deadline"]
+        assert deadline_failures, "no task gave up by deadline"
+        for f in deadline_failures:
+            assert f.action == "gave_up"
+            assert f.attempts == 1  # the budget admitted no retry at all
+
+    def test_deadline_failures_are_counted(self):
+        obs = Instrumentation()
+        run = self._run(RetryPolicy(seed=11, deadline_seconds=1e-9), obs=obs)
+        expected = len([f for f in run.failures if f.cause == "deadline"])
+        assert obs.counter("faults.deadline_exceeded") == float(expected)
+        assert obs.counter("faults.gave_up") >= float(expected)
+
+    @pytest.mark.parametrize("make_backend", [
+        lambda: ProcessPoolBackend(workers=2),
+        lambda: ClusterBackend(workers=2),
+    ], ids=["pool", "cluster"])
+    def test_give_up_is_bit_identical_across_backends(self, make_backend):
+        retry = RetryPolicy(seed=11, deadline_seconds=1e-9)
+        serial = self._run(retry)
+        parallel = self._run(retry, backend=make_backend())
+        assert summarize(parallel) == summarize(serial)
+
+    def test_huge_deadline_never_trips(self):
+        """A generous budget behaves exactly like no budget at all."""
+        unbounded = self._run(RetryPolicy(seed=11))
+        bounded = self._run(RetryPolicy(seed=11, deadline_seconds=1e6))
+        assert summarize(bounded) == summarize(unbounded)
+        assert not any(f.cause == "deadline" for f in bounded.failures)
+
+    def test_success_is_never_cut_short(self):
+        """The deadline gates retries only: with no injected faults every
+        task succeeds regardless of how tight the budget is."""
+        body, store = functional_step(MethodConfig("irk", K=4, m=2))
+        run = run_program(
+            body, dict(store), retry=RetryPolicy(deadline_seconds=1e-9)
+        )
+        assert not run.failures
+
+    def test_overflow_safe_with_many_retries(self):
+        """A huge retry count cannot overflow the budget: every single
+        backoff is clamped to max_delay, so the accumulated budget stays
+        finite and the deadline check still fires deterministically."""
+        retry = RetryPolicy(
+            seed=11, max_retries=10_000, backoff_factor=10.0,
+            max_delay=0.01, deadline_seconds=0.01,
+        )
+        body, store = functional_step(MethodConfig("irk", K=4, m=3))
+        run = run_program(
+            body, dict(store), retry=retry, on_failure="degrade",
+            faults=FaultPlan(seed=11, failure_rate=0.95),
+        )
+        gave_up = [f for f in run.failures if f.action == "gave_up"]
+        assert gave_up, "no task exhausted the deadline budget"
+        for f in gave_up:
+            assert f.cause == "deadline"
+            # the budget admitted a bounded number of attempts, far
+            # fewer than the policy's 10k retries
+            assert 1 <= f.attempts < 100
