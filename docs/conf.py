@@ -62,5 +62,9 @@ nitpick_ignore_regex = [
                   r"|FaultPlan|RetryPolicy|SpeculationPolicy|SpeculationRecord"
                   r"|RunJournal|CheckpointStore|Supervisor|ExecutionBackend"
                   r"|RunContext|TaskRequest|TaskOutcome|AttemptEvent"
-                  r"|RunResult|RunStats|ndarray)"),
+                  r"|RunResult|RunStats|ndarray"
+                  r"|CostModel|Scheduler|SchedulingResult|LayeredSchedule"
+                  r"|Timeline|ExecutionTrace|TaskCost"
+                  r"|ScheduleService|ScheduleCache|Response|RequestError"
+                  r"|MetricsRegistry|RunRegistry)"),
 ]

@@ -10,6 +10,7 @@ the batching invariant the split rests on.
 """
 
 from .base import (
+    ACCEPTED_BACKENDS,
     AttemptEvent,
     ExecutionBackend,
     RunContext,
@@ -24,6 +25,7 @@ from .pool import ProcessPoolBackend
 from .serial import SerialBackend
 
 __all__ = [
+    "ACCEPTED_BACKENDS",
     "AttemptEvent",
     "ExecutionBackend",
     "RunContext",

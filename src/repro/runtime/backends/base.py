@@ -214,6 +214,26 @@ def independent_batches(graph) -> List[List[Any]]:
     return batches
 
 
+#: Every backend name ``parse_backend_spec`` accepts, in documentation
+#: order.  The error message below is built from this tuple, and the
+#: drift test in ``tests/test_docs_flags.py`` asserts each name appears
+#: in it -- adding a backend here without teaching the parser about it
+#: (or vice versa) fails fast.
+ACCEPTED_BACKENDS = ("serial", "pool", "cluster")
+
+#: The worker-taking subset of :data:`ACCEPTED_BACKENDS` (``NAME:N``).
+_SIZED_BACKENDS = tuple(b for b in ACCEPTED_BACKENDS if b != "serial")
+
+
+def _spec_grammar() -> str:
+    """Human-readable list of accepted specs, e.g. ``'pool[:WORKERS]'``."""
+    forms = [
+        f"'{name}[:WORKERS]'" if name in _SIZED_BACKENDS else f"'{name}'"
+        for name in ACCEPTED_BACKENDS
+    ]
+    return ", ".join(forms[:-1]) + " or " + forms[-1]
+
+
 def parse_backend_spec(spec: str):
     """Parse the ``serial`` / ``pool[:N]`` / ``cluster[:N]`` backend spec.
 
@@ -223,7 +243,8 @@ def parse_backend_spec(spec: str):
     default worker count, ``pool:4`` one with four workers; ``cluster``
     and ``cluster:N`` the socket-based
     :class:`~repro.runtime.backends.cluster.ClusterBackend`.  Raises a
-    one-line :class:`ValueError` on anything else.
+    one-line :class:`ValueError` naming every accepted spec
+    (:data:`ACCEPTED_BACKENDS`) on anything else.
     """
     from .cluster import ClusterBackend
     from .pool import ProcessPoolBackend
@@ -232,7 +253,7 @@ def parse_backend_spec(spec: str):
     parts = spec.split(":")
     if parts[0] == "serial" and len(parts) == 1:
         return SerialBackend()
-    if parts[0] in ("pool", "cluster") and len(parts) in (1, 2):
+    if parts[0] in _SIZED_BACKENDS and len(parts) in (1, 2):
         workers = None
         if len(parts) == 2:
             try:
@@ -249,7 +270,4 @@ def parse_backend_spec(spec: str):
         if parts[0] == "cluster":
             return ClusterBackend(workers=workers)
         return ProcessPoolBackend(workers=workers)
-    raise ValueError(
-        f"backend spec {spec!r} must be 'serial', 'pool[:WORKERS]' or "
-        f"'cluster[:WORKERS]'"
-    )
+    raise ValueError(f"backend spec {spec!r} must be {_spec_grammar()}")

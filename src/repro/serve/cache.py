@@ -1,0 +1,117 @@
+"""Persistent, content-addressed schedule cache.
+
+The cache stores fully rendered response *bytes* keyed by the request's
+content digest (``cache_key`` over the program/topology/options digest
+triple), so a hit serves exactly the bytes the cold computation produced
+-- byte-identity is structural, not a property the solver has to
+maintain.  Storage follows the
+:class:`~repro.recovery.CheckpointStore` pattern: one ``<key>.json``
+file per entry, written to a temporary name and atomically renamed into
+place, so a crash mid-write never leaves a torn entry under its final
+name and concurrent writers of the same key are idempotent.
+
+A small in-memory LRU front (``max_memory_entries``) keeps the hot keys
+out of the filesystem entirely; the on-disk tier is the durable,
+restart-surviving one.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from pathlib import Path
+from typing import Optional
+
+__all__ = ["ScheduleCache"]
+
+_KEY_CHARS = set("0123456789abcdef")
+
+
+class ScheduleCache:
+    """Two-tier (memory + disk) cache of rendered response bytes.
+
+    ``root=None`` keeps the cache purely in-memory (tests, ephemeral
+    servers); with a directory, entries persist across restarts and are
+    shared by every server pointed at the same ``--cache-dir``.
+    """
+
+    def __init__(
+        self, root: Optional[object] = None, max_memory_entries: int = 256
+    ) -> None:
+        self.root = Path(root) if root is not None else None
+        self.max_memory_entries = int(max_memory_entries)
+        self._memory: "OrderedDict[str, bytes]" = OrderedDict()
+        #: lookups answered from memory or disk
+        self.hits = 0
+        #: lookups that found nothing
+        self.misses = 0
+        #: entries written by this instance
+        self.writes = 0
+
+    # ------------------------------------------------------------------
+    def _path(self, key: str) -> Path:
+        assert self.root is not None
+        return self.root / f"{key}.json"
+
+    @staticmethod
+    def _check_key(key: str) -> str:
+        if not key or not set(key) <= _KEY_CHARS:
+            raise ValueError(f"cache key must be a hex digest, got {key!r}")
+        return key
+
+    def _remember(self, key: str, body: bytes) -> None:
+        self._memory[key] = body
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.max_memory_entries:
+            self._memory.popitem(last=False)
+
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> Optional[bytes]:
+        """The cached response bytes for ``key``, or ``None``."""
+        key = self._check_key(key)
+        body = self._memory.get(key)
+        if body is not None:
+            self._memory.move_to_end(key)
+            self.hits += 1
+            return body
+        if self.root is not None:
+            path = self._path(key)
+            if path.exists():
+                body = path.read_bytes()
+                self._remember(key, body)
+                self.hits += 1
+                return body
+        self.misses += 1
+        return None
+
+    def put(self, key: str, body: bytes) -> None:
+        """Store ``body`` under ``key`` (atomic tmp-rename on disk)."""
+        key = self._check_key(key)
+        self._remember(key, bytes(body))
+        if self.root is None:
+            return
+        path = self._path(key)
+        if path.exists():
+            return  # content-addressed: an existing entry is identical
+        self.root.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp-{id(self)}")
+        tmp.write_bytes(body)
+        tmp.replace(path)
+        self.writes += 1
+
+    def __contains__(self, key: str) -> bool:
+        key = self._check_key(key)
+        if key in self._memory:
+            return True
+        return self.root is not None and self._path(key).exists()
+
+    def __len__(self) -> int:
+        if self.root is not None and self.root.exists():
+            disk = {p.stem for p in self.root.glob("*.json")}
+            return len(disk | set(self._memory))
+        return len(self._memory)
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups (0.0 before the first lookup)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

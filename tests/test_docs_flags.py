@@ -117,6 +117,32 @@ class TestSharedFlagSet:
         backend = parse_backend_spec(spec)
         assert backend is not None
 
+    def test_backend_spec_error_names_every_accepted_backend(self):
+        """The ValueError for a bad spec must name all accepted backends.
+
+        ``parse_backend_spec`` builds its message from
+        ``ACCEPTED_BACKENDS``; this drift test fails if a backend is
+        added to the parser without appearing in the message (or the
+        message is rewritten by hand and loses one).
+        """
+        from repro.runtime.backends import ACCEPTED_BACKENDS, parse_backend_spec
+
+        with pytest.raises(ValueError) as excinfo:
+            parse_backend_spec("definitely-not-a-backend")
+        message = str(excinfo.value)
+        for name in ACCEPTED_BACKENDS:
+            assert f"'{name}" in message, (
+                f"backend-spec error message does not name {name!r}: "
+                f"{message}"
+            )
+
+    def test_accepted_backends_all_construct(self):
+        """Every name in ``ACCEPTED_BACKENDS`` must actually parse."""
+        from repro.runtime.backends import ACCEPTED_BACKENDS, parse_backend_spec
+
+        for name in ACCEPTED_BACKENDS:
+            assert parse_backend_spec(name) is not None
+
     @pytest.mark.parametrize("cmd", RUN_COMMANDS)
     def test_backend_help_documents_cluster(self, cmd):
         """The --backend metavar/help must advertise all three backends."""
